@@ -1,0 +1,266 @@
+// Command cpack is the CodePack compression utility: it compresses SS32
+// program images (the role IBM's "CodePack PowerPC Code Compression
+// Utility" plays for PowerPC binaries), inspects the result and verifies
+// lossless round trips.
+//
+// Usage:
+//
+//	cpack compress [-o prog.cpk] prog.s|prog.img
+//	cpack decompress [-o prog.img] prog.cpk    # text-only program image
+//	cpack stat prog.s|prog.img          # Table 3/4 style report
+//	cpack verify prog.s|prog.img        # round-trip check
+//	cpack dict [-n 16] prog.s|prog.img  # dictionary contents
+//	cpack disasm [-n 32] prog.s|prog.img
+//
+// Inputs ending in .s are assembled; anything else is parsed as a program
+// image produced with (*program.Image).Marshal.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"codepack/internal/asm"
+	"codepack/internal/core"
+	"codepack/internal/isa"
+	"codepack/internal/program"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "compress":
+		err = compress(args)
+	case "decompress":
+		err = decompress(args)
+	case "stat":
+		err = stat(args)
+	case "verify":
+		err = verify(args)
+	case "dict":
+		err = dict(args)
+	case "disasm":
+		err = disasm(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cpack:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: cpack compress|decompress|stat|verify|dict|disasm [flags] <program>")
+	os.Exit(2)
+}
+
+// decompress expands a .cpk file back into a (text-only) program image.
+func decompress(args []string) error {
+	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
+	out := fs.String("o", "", "output path (default: input + .img)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	b, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	c, err := core.UnmarshalCompressed(fs.Arg(0), b)
+	if err != nil {
+		return err
+	}
+	text, err := c.Decompress()
+	if err != nil {
+		return err
+	}
+	im := &program.Image{
+		Name:     fs.Arg(0),
+		Entry:    c.TextBase,
+		TextBase: c.TextBase,
+		Text:     text,
+	}
+	path := *out
+	if path == "" {
+		path = fs.Arg(0) + ".img"
+	}
+	if err := os.WriteFile(path, im.Marshal(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: expanded %d instructions to %s (note: text section only;\n", fs.Arg(0), len(text), path)
+	fmt.Println("the .cpk format carries no data segment or entry point)")
+	return nil
+}
+
+// load reads a program from disk, assembling .s sources.
+func load(path string) (*program.Image, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(path, ".s") || strings.HasSuffix(path, ".asm") {
+		return asm.Assemble(path, string(b))
+	}
+	return program.Unmarshal(b)
+}
+
+func compress(args []string) error {
+	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	out := fs.String("o", "", "output path (default: input + .cpk)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	im, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	c, err := core.Compress(im)
+	if err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = fs.Arg(0) + ".cpk"
+	}
+	if err := os.WriteFile(path, c.Marshal(), 0o644); err != nil {
+		return err
+	}
+	s := c.Stats()
+	fmt.Printf("%s: %d -> %d bytes (%.1f%%), wrote %s\n",
+		im.Name, s.OriginalBytes, s.CompressedBytes(), 100*s.Ratio(), path)
+	return nil
+}
+
+func stat(args []string) error {
+	if len(args) != 1 {
+		usage()
+	}
+	im, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	c, err := core.Compress(im)
+	if err != nil {
+		return err
+	}
+	s := c.Stats()
+	comp := s.Composition()
+	fmt.Printf("program            %s\n", im.Name)
+	fmt.Printf("original           %d bytes (%d instructions)\n", s.OriginalBytes, len(im.Text))
+	fmt.Printf("compressed         %d bytes\n", s.CompressedBytes())
+	fmt.Printf("compression ratio  %.1f%% (smaller is better)\n", 100*s.Ratio())
+	fmt.Printf("index table        %.1f%% (%d bytes, %d groups)\n",
+		100*comp.IndexTable, s.IndexTableBytes, len(c.Index))
+	fmt.Printf("dictionaries       %.1f%% (high %d + low %d entries)\n",
+		100*comp.Dictionary, c.High.Len(), c.Low.Len())
+	fmt.Printf("compressed tags    %.1f%%\n", 100*comp.Tags)
+	fmt.Printf("dictionary indices %.1f%%\n", 100*comp.DictIndices)
+	fmt.Printf("raw tags           %.1f%%\n", 100*comp.RawTags)
+	fmt.Printf("raw bits           %.1f%% (%d escaped halfwords, %d raw-block instrs)\n",
+		100*comp.RawBits, s.RawHalfwords, s.RawBlockInstrs)
+	fmt.Printf("pad                %.1f%%\n", 100*comp.Pad)
+	return nil
+}
+
+func verify(args []string) error {
+	if len(args) != 1 {
+		usage()
+	}
+	im, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	c, err := core.Compress(im)
+	if err != nil {
+		return err
+	}
+	// Round trip through the serialized form too, as the hardware would
+	// see it.
+	c2, err := core.UnmarshalCompressed(im.Name, c.Marshal())
+	if err != nil {
+		return fmt.Errorf("reload: %w", err)
+	}
+	out, err := c2.Decompress()
+	if err != nil {
+		return fmt.Errorf("decompress: %w", err)
+	}
+	for i, w := range out {
+		if w != im.Text[i] {
+			return fmt.Errorf("mismatch at instruction %d (%#x): got %#08x want %#08x",
+				i, im.TextBase+uint32(4*i), w, im.Text[i])
+		}
+	}
+	// Spot-check the random-access path used by the decompressor hardware.
+	for i := 0; i < len(im.Text); i += 97 {
+		w, err := c2.DecodeAt(im.TextBase + uint32(4*i))
+		if err != nil {
+			return err
+		}
+		if w != im.Text[i] {
+			return fmt.Errorf("random access mismatch at instruction %d", i)
+		}
+	}
+	fmt.Printf("%s: OK, %d instructions verified (ratio %.1f%%)\n",
+		im.Name, len(im.Text), 100*c.Stats().Ratio())
+	return nil
+}
+
+func dict(args []string) error {
+	fs := flag.NewFlagSet("dict", flag.ExitOnError)
+	n := fs.Int("n", 16, "entries to show per dictionary")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	im, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	c, err := core.Compress(im)
+	if err != nil {
+		return err
+	}
+	show := func(name string, d *core.Dict) {
+		fmt.Printf("%s dictionary: %d entries\n", name, d.Len())
+		for i, v := range d.Entries() {
+			if i >= *n {
+				fmt.Printf("  ... %d more\n", d.Len()-*n)
+				break
+			}
+			fmt.Printf("  slot %3d: %#04x\n", i, v)
+		}
+	}
+	show("high", c.High)
+	show("low", c.Low)
+	return nil
+}
+
+func disasm(args []string) error {
+	fs := flag.NewFlagSet("disasm", flag.ExitOnError)
+	n := fs.Int("n", 32, "instructions to show")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	im, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	for i, w := range im.Text {
+		if i >= *n {
+			fmt.Printf("... %d more instructions\n", len(im.Text)-*n)
+			break
+		}
+		pc := im.TextBase + uint32(4*i)
+		fmt.Printf("%08x:  %08x  %s\n", pc, w, isa.Disasm(pc, w))
+	}
+	return nil
+}

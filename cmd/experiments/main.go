@@ -1,0 +1,76 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	experiments [-max N] [-only table5,table10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"codepack/internal/harness"
+)
+
+func main() {
+	maxInstr := flag.Uint64("max", harness.DefaultMaxInstr,
+		"committed instructions per simulation")
+	only := flag.String("only", "", "comma-separated table ids (e.g. table3,figure2)")
+	format := flag.String("format", "text", "output format: text, markdown or csv")
+	flag.Parse()
+
+	s := harness.NewSuite(*maxInstr)
+	type exp struct {
+		id  string
+		run func() (*harness.Table, error)
+	}
+	experiments := []exp{
+		{"table1", s.Table1},
+		{"table2", func() (*harness.Table, error) { return harness.Table2(), nil }},
+		{"table3", s.Table3},
+		{"table4", s.Table4},
+		{"table5", s.Table5},
+		{"table6", s.Table6},
+		{"table7", s.Table7},
+		{"table8", s.Table8},
+		{"table9", s.Table9},
+		{"table10", s.Table10},
+		{"table11", s.Table11},
+		{"table12", s.Table12},
+		{"figure2", func() (*harness.Table, error) { return harness.Figure2() }},
+		{"related", s.RelatedWork},
+		{"dicttransfer", s.DictTransfer},
+		{"seeds", s.SeedStability},
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id != "" {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	for _, e := range experiments {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		start := time.Now()
+		t, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "markdown":
+			fmt.Println(t.Markdown())
+		case "csv":
+			fmt.Println(t.CSV())
+		default:
+			fmt.Println(t)
+			fmt.Printf("(%s in %.1fs)\n\n", e.id, time.Since(start).Seconds())
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Command genbench emits the synthetic benchmark programs as assembly
+// source or binary images, for use with cpack and external tools.
+//
+// Usage:
+//
+//	genbench -bench cc1 -o cc1.s          # assembly source
+//	genbench -bench pegwit -bin -o p.img  # serialized program image
+//	genbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"codepack/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name")
+	out := flag.String("o", "", "output file (default stdout)")
+	bin := flag.Bool("bin", false, "emit a serialized program image instead of source")
+	list := flag.Bool("list", false, "list available benchmarks")
+	dynamic := flag.Uint64("dynamic", 0, "override the target dynamic instruction count")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("bench     text KB  target dynamic")
+		for _, p := range workload.Profiles() {
+			fmt.Printf("%-9s %6d  %d\n", p.Name, p.TextKB, p.TargetDynamic)
+		}
+		return
+	}
+	p, ok := workload.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "genbench: unknown benchmark %q (try -list)\n", *bench)
+		os.Exit(2)
+	}
+	if *dynamic > 0 {
+		p.TargetDynamic = *dynamic
+	}
+
+	var data []byte
+	if *bin {
+		im, err := workload.Generate(p)
+		if err != nil {
+			fail(err)
+		}
+		data = im.Marshal()
+	} else {
+		src, err := workload.Source(p)
+		if err != nil {
+			fail(err)
+		}
+		data = []byte(src)
+	}
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", *out, len(data))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "genbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,165 @@
+// Command sim runs one timing simulation: a benchmark on an architecture
+// with a chosen instruction-fetch model.
+//
+// Usage:
+//
+//	sim -bench cc1 -arch 4 -model optimized -max 2000000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"codepack/internal/cpu"
+	"codepack/internal/harness"
+)
+
+func main() {
+	bench := flag.String("bench", "cc1", "benchmark: cc1 go mpeg2enc pegwit perl vortex")
+	arch := flag.Int("arch", 4, "issue width: 1, 4 or 8")
+	model := flag.String("model", "native", "fetch model: native, codepack, optimized, software")
+	maxInstr := flag.Uint64("max", harness.DefaultMaxInstr, "committed instruction cap")
+	icacheKB := flag.Int("icache", 0, "override I-cache size (KB)")
+	busBits := flag.Int("bus", 0, "override memory bus width (bits)")
+	firstLat := flag.Int("memlat", 0, "override first-access memory latency")
+	decoders := flag.Int("decoders", 0, "override decompressors per cycle")
+	idxLines := flag.Int("idxlines", 0, "override index cache lines")
+	idxEntries := flag.Int("idxentries", 0, "override index entries per line")
+	perfect := flag.Bool("perfectindex", false, "use a perfect index cache")
+	noPrefetch := flag.Bool("noprefetch", false, "disable the output-buffer prefetch")
+	noCWF := flag.Bool("nocwf", false, "disable native critical-word-first")
+	pipeTrace := flag.Int("pipetrace", 0, "print pipeline timestamps for the first N instructions")
+	asJSON := flag.Bool("json", false, "emit the result as JSON")
+	wrongPath := flag.Bool("wrongpath", false, "model speculative wrong-path fetch")
+	flag.Parse()
+
+	var cfg cpu.Config
+	switch *arch {
+	case 1:
+		cfg = cpu.OneIssue()
+	case 4:
+		cfg = cpu.FourIssue()
+	case 8:
+		cfg = cpu.EightIssue()
+	default:
+		fail("arch must be 1, 4 or 8")
+	}
+	if *icacheKB > 0 {
+		cfg.ICache.SizeBytes = *icacheKB * 1024
+	}
+	if *busBits > 0 {
+		cfg.Mem.WidthBytes = *busBits / 8
+	}
+	if *firstLat > 0 {
+		cfg.Mem.FirstLatency = *firstLat
+	}
+	cfg.ModelWrongPath = *wrongPath
+
+	var fm cpu.FetchModel
+	switch *model {
+	case "native":
+		fm = cpu.NativeModel()
+		fm.NoCriticalWordFirst = *noCWF
+	case "codepack":
+		fm = cpu.BaselineModel()
+	case "optimized":
+		fm = cpu.OptimizedModel()
+	case "software":
+		fm = cpu.SoftwareModel()
+	default:
+		fail("model must be native, codepack, optimized or software")
+	}
+	if fm.Kind == cpu.FetchCodePack {
+		if *decoders > 0 {
+			fm.CodePack.DecodeRate = *decoders
+		}
+		if *idxLines > 0 {
+			fm.CodePack.IndexCacheLines = *idxLines
+		}
+		if *idxEntries > 0 {
+			fm.CodePack.IndexEntriesPerLine = *idxEntries
+		}
+		fm.CodePack.PerfectIndex = *perfect
+		fm.CodePack.DisablePrefetch = *noPrefetch
+	}
+
+	s := harness.NewSuite(*maxInstr)
+	b, err := s.Bench(*bench)
+	if err != nil {
+		fail(err.Error())
+	}
+	var r cpu.Result
+	if *pipeTrace > 0 {
+		if fm.Kind == cpu.FetchCodePack && fm.Comp == nil {
+			fm.Comp = b.Comp
+		}
+		left := *pipeTrace
+		fmt.Printf("%-10s %-8s %8s %8s %8s %8s %8s\n",
+			"pc", "op", "fetch", "dispatch", "issue", "complete", "commit")
+		r, err = cpu.SimulateObserved(b.Image, cfg, fm, *maxInstr, func(ts cpu.Timestamps) {
+			if left <= 0 {
+				return
+			}
+			left--
+			fmt.Printf("%-10x %-8v %8d %8d %8d %8d %8d\n",
+				ts.PC, ts.Op, ts.Fetch, ts.Dispatch, ts.Issue, ts.Complete, ts.Commit)
+		})
+	} else {
+		r, err = s.Run(b, cfg, fm)
+	}
+	if err != nil {
+		fail(err.Error())
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			fail(err.Error())
+		}
+		return
+	}
+	printResult(r, fm)
+}
+
+func printResult(r cpu.Result, fm cpu.FetchModel) {
+	fmt.Printf("program        %s on %s\n", r.Program, r.Arch)
+	fmt.Printf("instructions   %d\n", r.Instructions)
+	fmt.Printf("cycles         %d\n", r.Cycles)
+	fmt.Printf("IPC            %.3f\n", r.IPC())
+	fmt.Printf("I-cache        %d misses, %.2f%% per instruction\n",
+		r.ICache.Misses, 100*r.IMissRate())
+	fmt.Printf("D-cache        %d accesses, %.2f%% miss rate\n",
+		r.DCache.Accesses, 100*r.DCache.MissRate())
+	fmt.Printf("mix            %.1f%% loads, %.1f%% stores, %.1f%% branches\n",
+		100*float64(r.Loads)/float64(max(r.Instructions, 1)),
+		100*float64(r.Stores)/float64(max(r.Instructions, 1)),
+		100*float64(r.Branches)/float64(max(r.Instructions, 1)))
+	fmt.Printf("branches       %d (%d mispredicted, %.2f%%)\n",
+		r.Branches, r.Mispredicts,
+		100*float64(r.Mispredicts)/float64(max(r.Branches, 1)))
+	fmt.Printf("bus            %d bursts, %d beats\n", r.Bus.Bursts, r.Bus.Beats)
+	if r.CodePack != nil {
+		s := r.CodePack
+		fmt.Printf("compression    %.1f%% ratio\n", 100*r.Ratio)
+		fmt.Printf("decompressor   %d misses: %d buffer hits (%.1f%%), %d block reads\n",
+			s.Misses, s.BufferHits,
+			100*float64(s.BufferHits)/float64(max(s.Misses, 1)), s.BlockReads)
+		fmt.Printf("index cache    %d lookups, %d misses (%.1f%%)\n",
+			s.IndexLookups, s.IndexMisses, 100*s.IndexMissRate())
+	}
+	_ = fm
+}
+
+func max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "sim:", msg)
+	os.Exit(2)
+}

@@ -1,0 +1,131 @@
+// Package codepack is a library reproduction of IBM's CodePack instruction
+// compression and of the evaluation methodology in Lefurgy, Piccininni and
+// Mudge, "Evaluation of a High Performance Code Compression Method"
+// (MICRO-32, 1999).
+//
+// It bundles three layers:
+//
+//   - A complete CodePack codec: two-dictionary variable-length compression
+//     of 32-bit instructions into 16-instruction blocks with a per-group
+//     index table (Compress, Decompress).
+//
+//   - An SS32 toolchain substrate: a MIPS-IV-style 32-bit instruction set
+//     with an assembler (Assemble), functional emulator and program images,
+//     standing in for the paper's re-encoded SimpleScalar ISA.
+//
+//   - The paper's timing evaluation: trace-driven 1/4/8-issue machine
+//     models with native and CodePack instruction-fetch paths (Simulate),
+//     plus the six calibrated benchmark generators (Benchmarks).
+//
+// Quick start:
+//
+//	im, _ := codepack.Assemble("demo", src)
+//	comp, _ := codepack.Compress(im)
+//	fmt.Printf("ratio %.1f%%\n", 100*comp.Stats().Ratio())
+//	r, _ := codepack.Simulate(im, codepack.FourIssue(), codepack.OptimizedModel(), 0)
+//	fmt.Printf("IPC %.2f\n", r.IPC())
+package codepack
+
+import (
+	"codepack/internal/asm"
+	"codepack/internal/core"
+	"codepack/internal/cpu"
+	"codepack/internal/decomp"
+	"codepack/internal/program"
+	"codepack/internal/vm"
+	"codepack/internal/workload"
+)
+
+// Core codec types.
+type (
+	// Compressed is a CodePack-compressed program: region, index table,
+	// dictionaries and per-block metadata.
+	Compressed = core.Compressed
+	// Dict is one CodePack dictionary of 16-bit halfwords.
+	Dict = core.Dict
+	// Stats is the size/composition breakdown of a compressed program.
+	Stats = core.Stats
+	// Composition is the paper's Table 4 percentage breakdown.
+	Composition = core.Composition
+	// IndexEntry is one decoded index-table entry.
+	IndexEntry = core.IndexEntry
+)
+
+// Substrate types.
+type (
+	// Image is a loadable SS32 program.
+	Image = program.Image
+	// Machine is the SS32 functional emulator.
+	Machine = vm.Machine
+)
+
+// Simulation types.
+type (
+	// ArchConfig describes a simulated machine (Table 2 of the paper).
+	ArchConfig = cpu.Config
+	// FetchModel selects the instruction-miss path (native or CodePack).
+	FetchModel = cpu.FetchModel
+	// DecompressorConfig tunes the CodePack decompression engine.
+	DecompressorConfig = decomp.CodePackConfig
+	// Result carries the metrics of one simulation.
+	Result = cpu.Result
+	// Profile parameterizes a synthetic benchmark generator.
+	Profile = workload.Profile
+)
+
+// Assemble translates SS32 assembly source into a program image.
+func Assemble(name, source string) (*Image, error) {
+	return asm.Assemble(name, source)
+}
+
+// Compress encodes the text section of im with CodePack.
+func Compress(im *Image) (*Compressed, error) {
+	return core.Compress(im)
+}
+
+// CompressWords encodes a raw 32-bit instruction stream.
+func CompressWords(name string, textBase uint32, text []uint32) (*Compressed, error) {
+	return core.CompressWords(name, textBase, text)
+}
+
+// UnmarshalCompressed parses the serialized form produced by
+// (*Compressed).Marshal.
+func UnmarshalCompressed(name string, b []byte) (*Compressed, error) {
+	return core.UnmarshalCompressed(name, b)
+}
+
+// UnmarshalImage parses the serialized form produced by (*Image).Marshal.
+func UnmarshalImage(b []byte) (*Image, error) {
+	return program.Unmarshal(b)
+}
+
+// NewMachine creates a functional emulator with im loaded.
+func NewMachine(im *Image) *Machine { return vm.New(im) }
+
+// Simulate runs im on the architecture cfg under the given fetch model,
+// committing at most maxInstr instructions (0 = to completion).
+func Simulate(im *Image, cfg ArchConfig, model FetchModel, maxInstr uint64) (Result, error) {
+	return cpu.Simulate(im, cfg, model, maxInstr)
+}
+
+// Architecture presets from the paper's Table 2.
+func OneIssue() ArchConfig   { return cpu.OneIssue() }
+func FourIssue() ArchConfig  { return cpu.FourIssue() }
+func EightIssue() ArchConfig { return cpu.EightIssue() }
+
+// Fetch models evaluated by the paper, plus the software-managed
+// decompression of its future-work discussion.
+func NativeModel() FetchModel    { return cpu.NativeModel() }
+func BaselineModel() FetchModel  { return cpu.BaselineModel() }
+func OptimizedModel() FetchModel { return cpu.OptimizedModel() }
+func SoftwareModel() FetchModel  { return cpu.SoftwareModel() }
+
+// Benchmarks returns the six calibrated benchmark profiles standing in for
+// the paper's SPEC CINT95 and MediaBench workloads.
+func Benchmarks() []Profile { return workload.Profiles() }
+
+// Benchmark returns the named benchmark profile.
+func Benchmark(name string) (Profile, bool) { return workload.ByName(name) }
+
+// GenerateBenchmark builds and assembles the synthetic program for p.
+func GenerateBenchmark(p Profile) (*Image, error) { return workload.Generate(p) }

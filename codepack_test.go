@@ -1,0 +1,211 @@
+package codepack_test
+
+import (
+	"fmt"
+	"testing"
+
+	"codepack"
+)
+
+const testProgram = `
+main:
+	li   $s0, 50
+	li   $s1, 0
+loop:
+	addu $s1, $s1, $s0
+	addiu $s0, $s0, -1
+	bgtz $s0, loop
+	move $a0, $s1
+	li   $v0, 1
+	syscall
+	li   $v0, 10
+	syscall
+`
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	im, err := codepack.Assemble("api", testProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Functional execution.
+	m := codepack.NewMachine(im)
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Halted() {
+		t.Fatal("program did not halt")
+	}
+	if m.Output() != "1275" { // sum 1..50
+		t.Fatalf("output %q, want 1275", m.Output())
+	}
+
+	// Compression round trip.
+	comp, err := codepack.Compress(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words, err := comp.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range words {
+		if words[i] != im.Text[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+
+	// Serialization round trip.
+	comp2, err := codepack.UnmarshalCompressed("api", comp.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp2.Stats().Ratio() != comp.Stats().Ratio() {
+		t.Fatal("ratio changed across serialization")
+	}
+
+	// Simulation under all fetch models on all architectures.
+	for _, cfg := range []codepack.ArchConfig{
+		codepack.OneIssue(), codepack.FourIssue(), codepack.EightIssue(),
+	} {
+		for _, model := range []codepack.FetchModel{
+			codepack.NativeModel(), codepack.BaselineModel(), codepack.OptimizedModel(),
+		} {
+			r, err := codepack.Simulate(im, cfg, model, 0)
+			if err != nil {
+				t.Fatalf("%s: %v", cfg.Name, err)
+			}
+			if r.Cycles == 0 || r.Instructions == 0 {
+				t.Fatalf("%s: empty result", cfg.Name)
+			}
+		}
+	}
+}
+
+func TestPublicBenchmarkAccessors(t *testing.T) {
+	if len(codepack.Benchmarks()) != 6 {
+		t.Fatal("expected the paper's six benchmarks")
+	}
+	p, ok := codepack.Benchmark("pegwit")
+	if !ok {
+		t.Fatal("pegwit missing")
+	}
+	p.TargetDynamic = 50_000
+	im, err := codepack.GenerateBenchmark(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.TextBytes() < 60_000 {
+		t.Fatalf("pegwit text only %d bytes", im.TextBytes())
+	}
+	if _, ok := codepack.Benchmark("crafty"); ok {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+// Example demonstrates the three-line happy path: assemble, compress,
+// simulate.
+func Example() {
+	im, _ := codepack.Assemble("example", `
+main:
+	li $t0, 10
+spin:
+	addiu $t0, $t0, -1
+	bgtz $t0, spin
+	li $v0, 10
+	syscall
+`)
+	comp, _ := codepack.Compress(im)
+	fmt.Printf("instructions: %d\n", len(im.Text))
+	fmt.Printf("round trips: %v\n", func() bool {
+		out, _ := comp.Decompress()
+		for i := range out {
+			if out[i] != im.Text[i] {
+				return false
+			}
+		}
+		return true
+	}())
+	// Output:
+	// instructions: 5
+	// round trips: true
+}
+
+// ExampleSimulate compares fetch models on one machine.
+func ExampleSimulate() {
+	im, _ := codepack.Assemble("example", `
+main:
+	li $t0, 2000
+spin:
+	addiu $t0, $t0, -1
+	bgtz $t0, spin
+	li $v0, 10
+	syscall
+`)
+	native, _ := codepack.Simulate(im, codepack.FourIssue(), codepack.NativeModel(), 0)
+	cp, _ := codepack.Simulate(im, codepack.FourIssue(), codepack.BaselineModel(), 0)
+	fmt.Printf("same instructions: %v\n", native.Instructions == cp.Instructions)
+	fmt.Printf("codepack at least as many cycles: %v\n", cp.Cycles >= native.Cycles)
+	// Output:
+	// same instructions: true
+	// codepack at least as many cycles: true
+}
+
+// TestFullProductPipeline drives the complete product surface the tools
+// expose: benchmark generation -> image serialization -> compression ->
+// compressed serialization -> timing simulation of both programs.
+func TestFullProductPipeline(t *testing.T) {
+	p, _ := codepack.Benchmark("pegwit")
+	p.TargetDynamic = 120_000
+	im, err := codepack.GenerateBenchmark(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Image serialization round trip (what genbench -bin | cpack use).
+	im2, err := reloadImage(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Compression + compressed serialization round trip.
+	comp, err := codepack.Compress(im2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp2, err := codepack.UnmarshalCompressed(im2.Name, comp.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	words, err := comp2.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range words {
+		if words[i] != im.Text[i] {
+			t.Fatalf("pipeline corrupted word %d", i)
+		}
+	}
+
+	// Simulate with the reloaded compressed image plugged in explicitly.
+	model := codepack.OptimizedModel()
+	model.Comp = comp2
+	r, err := codepack.Simulate(im2, codepack.FourIssue(), model, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, err := codepack.Simulate(im2, codepack.FourIssue(), codepack.NativeModel(), 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Instructions != native.Instructions {
+		t.Fatal("fetch model changed the executed program")
+	}
+	if r.Ratio == 0 {
+		t.Fatal("ratio missing from compressed run")
+	}
+}
+
+func reloadImage(im *codepack.Image) (*codepack.Image, error) {
+	return codepack.UnmarshalImage(im.Marshal())
+}

@@ -1,0 +1,3 @@
+module codepack
+
+go 1.22

@@ -1,0 +1,261 @@
+// Package asm implements a small two-pass assembler for SS32.
+//
+// The syntax is classic MIPS assembler: optional "label:" prefixes,
+// "#"-comments, ".text"/".data" sections, the data directives .word, .byte,
+// .half, .asciiz, .space and .align, and the usual pseudo-instructions
+// (li, la, move, b, not, neg, blt, bgt, ble, bge, beqz, bnez).
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"codepack/internal/isa"
+	"codepack/internal/program"
+)
+
+// Assemble translates source into a program image. The entry point is the
+// "main" symbol if defined, otherwise the start of the text section.
+func Assemble(name, source string) (*program.Image, error) {
+	a := &assembler{
+		im: &program.Image{
+			Name:     name,
+			TextBase: isa.TextBase,
+			DataBase: isa.DataBase,
+			Symbols:  make(map[string]uint32),
+		},
+	}
+	lines := strings.Split(source, "\n")
+	if err := a.pass(lines, 1); err != nil {
+		return nil, err
+	}
+	if err := a.pass(lines, 2); err != nil {
+		return nil, err
+	}
+	if entry, ok := a.im.Symbols["main"]; ok {
+		a.im.Entry = entry
+	} else {
+		a.im.Entry = a.im.TextBase
+	}
+	return a.im, a.im.Validate()
+}
+
+type assembler struct {
+	im       *program.Image
+	pass2    bool
+	inData   bool
+	textAddr uint32
+	dataAddr uint32
+}
+
+func (a *assembler) pass(lines []string, n int) error {
+	a.pass2 = n == 2
+	a.inData = false
+	a.textAddr = a.im.TextBase
+	a.dataAddr = a.im.DataBase
+	for i, raw := range lines {
+		if err := a.line(raw); err != nil {
+			return fmt.Errorf("asm: line %d: %w (%q)", i+1, err, strings.TrimSpace(raw))
+		}
+	}
+	return nil
+}
+
+func (a *assembler) here() uint32 {
+	if a.inData {
+		return a.dataAddr
+	}
+	return a.textAddr
+}
+
+func (a *assembler) line(raw string) error {
+	s := raw
+	if i := strings.IndexByte(s, '#'); i >= 0 {
+		// Keep '#' inside string literals.
+		if q := strings.IndexByte(s, '"'); q < 0 || i < q {
+			s = s[:i]
+		}
+	}
+	s = strings.TrimSpace(s)
+	for {
+		i := strings.IndexByte(s, ':')
+		if i < 0 || strings.ContainsAny(s[:i], " \t\"") {
+			break
+		}
+		label := s[:i]
+		if !a.pass2 {
+			if _, dup := a.im.Symbols[label]; dup {
+				return fmt.Errorf("duplicate label %q", label)
+			}
+			a.im.Symbols[label] = a.here()
+		}
+		s = strings.TrimSpace(s[i+1:])
+	}
+	if s == "" {
+		return nil
+	}
+	mnemonic, rest, _ := strings.Cut(s, " ")
+	if t, r, ok := strings.Cut(s, "\t"); ok && len(t) < len(mnemonic) {
+		mnemonic, rest = t, r
+	}
+	mnemonic = strings.ToLower(strings.TrimSpace(mnemonic))
+	rest = strings.TrimSpace(rest)
+	if strings.HasPrefix(mnemonic, ".") {
+		return a.directive(mnemonic, rest)
+	}
+	if a.inData {
+		return fmt.Errorf("instruction in data section")
+	}
+	return a.instruction(mnemonic, rest)
+}
+
+func (a *assembler) directive(d, rest string) error {
+	switch d {
+	case ".text":
+		a.inData = false
+	case ".data":
+		a.inData = true
+	case ".globl", ".global", ".ent", ".end":
+		// Accepted and ignored.
+	case ".align":
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 0 || n > 12 {
+			return fmt.Errorf("bad .align %q", rest)
+		}
+		a.alignTo(1 << n)
+	case ".space":
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad .space %q", rest)
+		}
+		a.emitBytes(make([]byte, n))
+	case ".word":
+		for _, f := range splitOperands(rest) {
+			v, err := a.value(f)
+			if err != nil {
+				return err
+			}
+			if a.inData {
+				a.emitBytes([]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+			} else {
+				a.emitWord(isa.Word(v))
+			}
+		}
+	case ".half":
+		for _, f := range splitOperands(rest) {
+			v, err := a.value(f)
+			if err != nil {
+				return err
+			}
+			a.emitBytes([]byte{byte(v), byte(v >> 8)})
+		}
+	case ".byte":
+		for _, f := range splitOperands(rest) {
+			v, err := a.value(f)
+			if err != nil {
+				return err
+			}
+			a.emitBytes([]byte{byte(v)})
+		}
+	case ".asciiz", ".ascii":
+		str, err := strconv.Unquote(strings.TrimSpace(rest))
+		if err != nil {
+			return fmt.Errorf("bad string %q", rest)
+		}
+		b := []byte(str)
+		if d == ".asciiz" {
+			b = append(b, 0)
+		}
+		a.emitBytes(b)
+	default:
+		return fmt.Errorf("unknown directive %q", d)
+	}
+	return nil
+}
+
+func (a *assembler) alignTo(n uint32) {
+	for a.here()%n != 0 {
+		if a.inData {
+			a.emitBytes([]byte{0})
+		} else {
+			a.emitWord(0) // nop
+		}
+	}
+}
+
+func (a *assembler) emitWord(w isa.Word) {
+	if a.pass2 {
+		a.im.Text = append(a.im.Text, w)
+	}
+	a.textAddr += 4
+}
+
+func (a *assembler) emitBytes(b []byte) {
+	if a.inData {
+		if a.pass2 {
+			a.im.Data = append(a.im.Data, b...)
+		}
+		a.dataAddr += uint32(len(b))
+		return
+	}
+	// Bytes in text must stay word-aligned.
+	for len(b)%4 != 0 {
+		b = append(b, 0)
+	}
+	for i := 0; i < len(b); i += 4 {
+		a.emitWord(isa.Word(b[i]) | isa.Word(b[i+1])<<8 | isa.Word(b[i+2])<<16 | isa.Word(b[i+3])<<24)
+	}
+}
+
+// value evaluates an integer literal, character literal or label reference.
+// During pass 1 unresolved labels evaluate to zero.
+func (a *assembler) value(f string) (int64, error) {
+	f = strings.TrimSpace(f)
+	if f == "" {
+		return 0, fmt.Errorf("empty operand")
+	}
+	if f[0] == '\'' {
+		r, err := strconv.Unquote(f)
+		if err != nil || len(r) == 0 {
+			return 0, fmt.Errorf("bad char literal %q", f)
+		}
+		return int64(r[0]), nil
+	}
+	if v, err := strconv.ParseInt(f, 0, 64); err == nil {
+		return v, nil
+	}
+	if addr, ok := a.im.Symbols[f]; ok {
+		return int64(addr), nil
+	}
+	if !a.pass2 {
+		return 0, nil
+	}
+	return 0, fmt.Errorf("undefined symbol %q", f)
+}
+
+// splitOperands splits on commas that are outside quotes and parentheses.
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth, start, inStr := 0, 0, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 && !inStr {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	return append(out, strings.TrimSpace(s[start:]))
+}

@@ -1,0 +1,387 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"codepack/internal/isa"
+)
+
+func assemble(t *testing.T, src string) *programImage {
+	t.Helper()
+	im, err := Assemble("test", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return &programImage{t: t, im: im}
+}
+
+type programImage struct {
+	t  *testing.T
+	im interface {
+		WordAt(uint32) (isa.Word, error)
+		Symbol(string) (uint32, bool)
+	}
+}
+
+func (p *programImage) word(i int) isa.Word {
+	w, err := p.im.WordAt(isa.TextBase + uint32(i*4))
+	if err != nil {
+		p.t.Fatal(err)
+	}
+	return w
+}
+
+func TestBasicInstructions(t *testing.T) {
+	p := assemble(t, `
+main:
+	addu $t0, $t1, $t2
+	addiu $sp, $sp, -32
+	lw $a0, 8($sp)
+	sw $ra, 12($sp)
+	sll $t0, $t0, 2
+	lui $t1, 0x1234
+`)
+	tests := []isa.Inst{
+		{Op: isa.OpADDU, Rd: 8, Rs: 9, Rt: 10},
+		{Op: isa.OpADDIU, Rt: 29, Rs: 29, Imm: -32},
+		{Op: isa.OpLW, Rt: 4, Rs: 29, Imm: 8},
+		{Op: isa.OpSW, Rt: 31, Rs: 29, Imm: 12},
+		{Op: isa.OpSLL, Rd: 8, Rt: 8, Shamt: 2},
+		{Op: isa.OpLUI, Rt: 9, UImm: 0x1234},
+	}
+	for i, want := range tests {
+		if got, wantW := p.word(i), isa.MustEncode(want); got != wantW {
+			t.Errorf("instr %d: %s, want %s", i,
+				isa.Disasm(0, got), isa.Disasm(0, wantW))
+		}
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	p := assemble(t, `
+main:
+	beq $t0, $t1, fwd
+	nop
+fwd:	bne $t0, $zero, main
+	j main
+	jal fwd
+`)
+	beq := isa.Decode(p.word(0))
+	if beq.Imm != 1 { // fwd is 2 instructions ahead: (target-pc-4)/4 = 1
+		t.Errorf("forward branch offset %d, want 1", beq.Imm)
+	}
+	bne := isa.Decode(p.word(2))
+	if bne.Imm != -3 {
+		t.Errorf("backward branch offset %d, want -3", bne.Imm)
+	}
+	if j := isa.Decode(p.word(3)); j.Target != isa.TextBase {
+		t.Errorf("j target %#x", j.Target)
+	}
+	if jal := isa.Decode(p.word(4)); jal.Target != isa.TextBase+8 {
+		t.Errorf("jal target %#x", jal.Target)
+	}
+}
+
+func TestPseudoExpansion(t *testing.T) {
+	im, err := Assemble("t", `
+main:
+	li $t0, 5
+	li $t1, 0x9000
+	li $t2, 0x12345678
+	li $t3, 0x10000
+	la $t4, main
+	move $t5, $t6
+	b main
+	beqz $t0, main
+	bnez $t0, main
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// li 5 -> 1 word; li 0x9000 -> 1 (ori); li 32-bit -> 2 (lui+ori);
+	// li 0x10000 -> 1 (lui only); la -> always 2; rest 1 each.
+	want := 1 + 1 + 2 + 1 + 2 + 1 + 1 + 1 + 1
+	if len(im.Text) != want {
+		t.Fatalf("text has %d words, want %d", len(im.Text), want)
+	}
+	if op := isa.Decode(im.Text[0]).Op; op != isa.OpADDIU {
+		t.Errorf("small li is %v", op)
+	}
+	if op := isa.Decode(im.Text[1]).Op; op != isa.OpORI {
+		t.Errorf("16-bit unsigned li is %v", op)
+	}
+}
+
+func TestBranchComparisonPseudos(t *testing.T) {
+	im, err := Assemble("t", `
+main:
+	blt $t0, $t1, main
+	bge $t0, $t1, main
+	bgt $t0, $t1, main
+	ble $t0, $t1, main
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(im.Text) != 8 {
+		t.Fatalf("4 comparison pseudos expanded to %d words, want 8", len(im.Text))
+	}
+	// blt = slt $at,$t0,$t1 ; bne $at,$0
+	slt := isa.Decode(im.Text[0])
+	if slt.Op != isa.OpSLT || slt.Rd != isa.RegAT || slt.Rs != 8 || slt.Rt != 9 {
+		t.Errorf("blt slt wrong: %+v", slt)
+	}
+	if isa.Decode(im.Text[1]).Op != isa.OpBNE {
+		t.Error("blt branch is not bne")
+	}
+	// bgt swaps operands.
+	sgt := isa.Decode(im.Text[4])
+	if sgt.Rs != 9 || sgt.Rt != 8 {
+		t.Errorf("bgt did not swap operands: %+v", sgt)
+	}
+}
+
+func TestDataSection(t *testing.T) {
+	im, err := Assemble("t", `
+	.text
+main:	nop
+	.data
+val:	.word 0x11223344, 5
+half:	.half 0x5566
+byte:	.byte 1, 2, 3
+str:	.asciiz "hi"
+	.align 2
+aligned: .word 7
+buf:	.space 8
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, _ := im.Symbol("val"); a != isa.DataBase {
+		t.Errorf("val at %#x", a)
+	}
+	if im.Data[0] != 0x44 || im.Data[3] != 0x11 {
+		t.Error(".word not little-endian")
+	}
+	if a, _ := im.Symbol("half"); a != isa.DataBase+8 {
+		t.Errorf("half at %#x", a)
+	}
+	if a, _ := im.Symbol("str"); im.Data[a-isa.DataBase] != 'h' {
+		t.Error("string content wrong")
+	}
+	if a, _ := im.Symbol("aligned"); a%4 != 0 {
+		t.Errorf("aligned symbol at %#x", a)
+	}
+	if a, _ := im.Symbol("buf"); im.Data[a-isa.DataBase] != 0 {
+		t.Error("space not zeroed")
+	}
+}
+
+func TestWordWithSymbol(t *testing.T) {
+	im, err := Assemble("t", `
+main:	nop
+f:	jr $ra
+	.data
+tab:	.word f, main
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := im.Symbol("f")
+	got := uint32(im.Data[0]) | uint32(im.Data[1])<<8 | uint32(im.Data[2])<<16 | uint32(im.Data[3])<<24
+	if got != f {
+		t.Fatalf("function table entry %#x, want %#x", got, f)
+	}
+}
+
+func TestComments(t *testing.T) {
+	im, err := Assemble("t", `
+# full line comment
+main:	nop  # trailing comment
+	.data
+s:	.asciiz "a # not a comment"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(im.Text) != 1 {
+		t.Fatalf("text %d words, want 1", len(im.Text))
+	}
+	if !strings.Contains(string(im.Data), "# not a comment") {
+		t.Error("comment stripping corrupted string literal")
+	}
+}
+
+func TestEntryPoint(t *testing.T) {
+	im, err := Assemble("t", "start:\n\tnop\nmain:\n\tnop\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Entry != isa.TextBase+4 {
+		t.Fatalf("entry %#x, want main", im.Entry)
+	}
+	im2, err := Assemble("t", "start:\n\tnop\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im2.Entry != isa.TextBase {
+		t.Fatalf("no-main entry %#x, want text base", im2.Entry)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown mnemonic":  "main:\n\tfrobnicate $t0\n",
+		"undefined symbol":  "main:\n\tj nowhere\n",
+		"bad register":      "main:\n\taddu $t0, $zz, $t1\n",
+		"duplicate label":   "main:\nmain:\n\tnop\n",
+		"bad directive":     "main:\n\t.bogus 3\n",
+		"instr in data":     "\t.data\nmain:\n\tnop\n",
+		"bad mem operand":   "main:\n\tlw $t0, 4[$sp]\n",
+		"branch target far": "main:\n\tbeq $t0, $t1, far\nfar:\n", // control: valid
+	}
+	for name, src := range cases {
+		_, err := Assemble("t", src)
+		if name == "branch target far" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestFloatingPointSyntax(t *testing.T) {
+	p := assemble(t, `
+main:
+	lwc1 $f2, 4($gp)
+	add.d $f4, $f2, $f6
+	mul.d $f8, $f4, $f4
+	mov.d $f0, $f8
+	swc1 $f0, 8($gp)
+`)
+	in := isa.Decode(p.word(1))
+	if in.Op != isa.OpFADD || in.Rd != 4 || in.Rs != 2 || in.Rt != 6 {
+		t.Errorf("add.d decoded as %+v", in)
+	}
+}
+
+func TestJalrForms(t *testing.T) {
+	p := assemble(t, `
+main:
+	jalr $t8
+	jalr $t0, $t9
+`)
+	one := isa.Decode(p.word(0))
+	if one.Op != isa.OpJALR || one.Rs != 24 || one.Rd != isa.RegRA {
+		t.Errorf("jalr $t8 = %+v", one)
+	}
+	two := isa.Decode(p.word(1))
+	if two.Rd != 8 || two.Rs != 25 {
+		t.Errorf("jalr $t0,$t9 = %+v", two)
+	}
+}
+
+func TestMoreDirectives(t *testing.T) {
+	im, err := Assemble("t", `
+	.globl main
+	.ent main
+main:	nop
+	.end main
+	.data
+	.ascii "ab"
+c:	.byte 'x'
+	.align 3
+w:	.word 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, _ := im.Symbol("c"); im.Data[a-isa.DataBase] != 'x' {
+		t.Error("char literal byte wrong")
+	}
+	if a, _ := im.Symbol("w"); a%8 != 0 {
+		t.Errorf(".align 3 not honoured: %#x", a)
+	}
+	if im.Data[0] != 'a' || im.Data[1] != 'b' {
+		t.Error(".ascii content wrong")
+	}
+}
+
+func TestTextAlignEmitsNops(t *testing.T) {
+	im, err := Assemble("t", "main:\n\tnop\n\t.align 3\nf:\tjr $ra\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := im.Symbol("f")
+	if f%8 != 0 {
+		t.Fatalf("f at %#x, not 8-aligned", f)
+	}
+	if im.Text[1] != 0 {
+		t.Error("padding is not a nop")
+	}
+}
+
+func TestOperandErrorPaths(t *testing.T) {
+	bad := []string{
+		"main:\n\taddu $t0, $t1\n",           // missing operand
+		"main:\n\tlw $t0, 4($t1\n",           // unterminated mem operand
+		"main:\n\tsll $t0, $t1, $t2\n",       // shamt must be immediate
+		"main:\n\tli $t0\n",                  // missing immediate
+		"main:\n\tlwc1 $t0, 0($gp)\n",        // fp op needs $f register
+		"main:\n\tadd.d $f1, $t0, $f2\n",     // int reg in fp slot
+		"main:\n\tjalr\n",                    // no operands
+		"main:\n\t.word zzz\n",               // undefined symbol in .word
+		"main:\n\t.space -1\n",               // negative space
+		"main:\n\t.align 99\n",               // absurd alignment
+		"main:\n\t.asciiz nope\n",            // unquoted string
+		"main:\n\tbeq $t0, $t1, 99999999#\n", // garbage target
+	}
+	for _, src := range bad {
+		if _, err := Assemble("t", src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestBranchRangeCheck(t *testing.T) {
+	// A branch target >32767 words away must be rejected in pass 2.
+	var sb strings.Builder
+	sb.WriteString("main:\n\tbeq $t0, $t1, far\n")
+	for i := 0; i < 33000; i++ {
+		sb.WriteString("\tnop\n")
+	}
+	sb.WriteString("far:\n\tnop\n")
+	if _, err := Assemble("t", sb.String()); err == nil {
+		t.Fatal("out-of-range branch accepted")
+	}
+}
+
+func TestNegativeAndHexImmediates(t *testing.T) {
+	p := assemble(t, `
+main:
+	addiu $t0, $zero, -32768
+	ori   $t1, $zero, 0xFFFF
+	lw    $t2, -4($sp)
+`)
+	if in := isa.Decode(p.word(0)); in.Imm != -32768 {
+		t.Errorf("min imm %d", in.Imm)
+	}
+	if in := isa.Decode(p.word(1)); in.UImm != 0xFFFF {
+		t.Errorf("max uimm %#x", in.UImm)
+	}
+	if in := isa.Decode(p.word(2)); in.Imm != -4 {
+		t.Errorf("negative offset %d", in.Imm)
+	}
+}
+
+func TestEmptyMemOffsetDefaultsZero(t *testing.T) {
+	p := assemble(t, "main:\n\tlw $t0, ($sp)\n")
+	if in := isa.Decode(p.word(0)); in.Imm != 0 {
+		t.Errorf("empty offset = %d", in.Imm)
+	}
+}

@@ -1,0 +1,44 @@
+package asm
+
+import (
+	"testing"
+
+	"codepack/internal/isa"
+	"codepack/internal/vm"
+)
+
+// FuzzAssemble throws arbitrary source at the assembler: it must return an
+// error or a valid image, never panic; valid images must disassemble.
+func FuzzAssemble(f *testing.F) {
+	f.Add("main:\n\taddu $t0, $t1, $t2\n")
+	f.Add("main:\n\tlw $t0, 8($sp)\n\tj main\n")
+	f.Add(".data\nx: .word 1\n")
+	f.Add("main:\n\tli $t0, 0x12345678\n\tbeq $t0, $zero, main\n")
+	f.Add("a:b:c:\tnop # x\n")
+	f.Add("main:\n\t.asciiz \"x\"\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		im, err := Assemble("fuzz", src)
+		if err != nil {
+			return
+		}
+		for i, w := range im.Text {
+			_ = isa.Disasm(im.TextBase+uint32(4*i), w)
+		}
+	})
+}
+
+// FuzzExecute runs arbitrary assembled programs briefly: the VM must stop
+// with a clean error or keep executing, never panic.
+func FuzzExecute(f *testing.F) {
+	f.Add("main:\n\tli $v0, 10\n\tsyscall\n")
+	f.Add("main:\n\tlw $t0, 0($gp)\n\tsw $t0, 4($gp)\n\tli $v0, 10\n\tsyscall\n")
+	f.Add("main:\n\tjr $zero\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		im, err := Assemble("fuzz", src)
+		if err != nil {
+			return
+		}
+		m := vm.New(im)
+		_, _ = m.Run(10_000)
+	})
+}

@@ -1,0 +1,367 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"codepack/internal/isa"
+)
+
+func (a *assembler) instruction(m, rest string) error {
+	ops := splitOperands(rest)
+	switch m {
+	// Pseudo-instructions first.
+	case "nop":
+		a.emitWord(0)
+		return nil
+	case "li":
+		rt, err := reg(ops, 0)
+		if err != nil {
+			return err
+		}
+		v, err := a.value(op(ops, 1))
+		if err != nil {
+			return err
+		}
+		return a.loadImm(rt, uint32(v))
+	case "la":
+		rt, err := reg(ops, 0)
+		if err != nil {
+			return err
+		}
+		v, err := a.value(op(ops, 1))
+		if err != nil {
+			return err
+		}
+		// Always two words so pass-1 sizing never depends on symbol values.
+		a.emit(isa.Inst{Op: isa.OpLUI, Rt: rt, UImm: uint32(v) >> 16})
+		a.emit(isa.Inst{Op: isa.OpORI, Rt: rt, Rs: rt, UImm: uint32(v) & 0xFFFF})
+		return nil
+	case "move":
+		rd, err1 := reg(ops, 0)
+		rs, err2 := reg(ops, 1)
+		if err := first(err1, err2); err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.OpADDU, Rd: rd, Rs: rs})
+		return nil
+	case "not":
+		rd, err1 := reg(ops, 0)
+		rs, err2 := reg(ops, 1)
+		if err := first(err1, err2); err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.OpNOR, Rd: rd, Rs: rs})
+		return nil
+	case "neg":
+		rd, err1 := reg(ops, 0)
+		rs, err2 := reg(ops, 1)
+		if err := first(err1, err2); err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.OpSUBU, Rd: rd, Rt: rs})
+		return nil
+	case "b":
+		return a.branch(isa.OpBEQ, 0, 0, op(ops, 0))
+	case "beqz":
+		rs, err := reg(ops, 0)
+		if err != nil {
+			return err
+		}
+		return a.branch(isa.OpBEQ, rs, 0, op(ops, 1))
+	case "bnez":
+		rs, err := reg(ops, 0)
+		if err != nil {
+			return err
+		}
+		return a.branch(isa.OpBNE, rs, 0, op(ops, 1))
+	case "blt", "bge", "bgt", "ble":
+		rs, err1 := reg(ops, 0)
+		rt, err2 := reg(ops, 1)
+		if err := first(err1, err2); err != nil {
+			return err
+		}
+		if m == "bgt" || m == "ble" {
+			rs, rt = rt, rs
+		}
+		a.emit(isa.Inst{Op: isa.OpSLT, Rd: isa.RegAT, Rs: rs, Rt: rt})
+		br := isa.OpBNE // blt/bgt: taken when slt set
+		if m == "bge" || m == "ble" {
+			br = isa.OpBEQ
+		}
+		return a.branch(br, isa.RegAT, 0, op(ops, 2))
+	}
+
+	ins, ok := byName[m]
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", m)
+	}
+	return a.real(ins, ops)
+}
+
+// loadImm expands "li" into the shortest correct sequence.
+func (a *assembler) loadImm(rt uint8, v uint32) error {
+	switch {
+	case int32(v) >= -32768 && int32(v) <= 32767:
+		a.emit(isa.Inst{Op: isa.OpADDIU, Rt: rt, Imm: int32(v)})
+	case v <= 0xFFFF:
+		a.emit(isa.Inst{Op: isa.OpORI, Rt: rt, UImm: v})
+	default:
+		a.emit(isa.Inst{Op: isa.OpLUI, Rt: rt, UImm: v >> 16})
+		if v&0xFFFF != 0 {
+			a.emit(isa.Inst{Op: isa.OpORI, Rt: rt, Rs: rt, UImm: v & 0xFFFF})
+		}
+	}
+	return nil
+}
+
+func (a *assembler) emit(in isa.Inst) {
+	if !a.pass2 {
+		a.emitWord(0)
+		return
+	}
+	a.emitWord(isa.MustEncode(in))
+}
+
+func (a *assembler) branch(opc isa.Op, rs, rt uint8, target string) error {
+	v, err := a.value(target)
+	if err != nil {
+		return err
+	}
+	off := (int64(v) - int64(a.textAddr) - 4) >> 2
+	if a.pass2 && (off < -32768 || off > 32767) {
+		return fmt.Errorf("branch target out of range (%d words)", off)
+	}
+	a.emit(isa.Inst{Op: opc, Rs: rs, Rt: rt, Imm: int32(off)})
+	return nil
+}
+
+// real assembles a non-pseudo instruction according to its operand pattern.
+func (a *assembler) real(opc isa.Op, ops []string) error {
+	switch opc {
+	case isa.OpSLL, isa.OpSRL, isa.OpSRA:
+		rd, e1 := reg(ops, 0)
+		rt, e2 := reg(ops, 1)
+		if err := first(e1, e2); err != nil {
+			return err
+		}
+		sh, err := a.value(op(ops, 2))
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: opc, Rd: rd, Rt: rt, Shamt: uint8(sh) & 31})
+	case isa.OpSLLV, isa.OpSRLV, isa.OpSRAV:
+		rd, e1 := reg(ops, 0)
+		rt, e2 := reg(ops, 1)
+		rs, e3 := reg(ops, 2)
+		if err := first(e1, e2, e3); err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: opc, Rd: rd, Rt: rt, Rs: rs})
+	case isa.OpADD, isa.OpADDU, isa.OpSUB, isa.OpSUBU, isa.OpAND, isa.OpOR,
+		isa.OpXOR, isa.OpNOR, isa.OpSLT, isa.OpSLTU:
+		rd, e1 := reg(ops, 0)
+		rs, e2 := reg(ops, 1)
+		rt, e3 := reg(ops, 2)
+		if err := first(e1, e2, e3); err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: opc, Rd: rd, Rs: rs, Rt: rt})
+	case isa.OpMULT, isa.OpMULTU, isa.OpDIV, isa.OpDIVU:
+		rs, e1 := reg(ops, 0)
+		rt, e2 := reg(ops, 1)
+		if err := first(e1, e2); err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: opc, Rs: rs, Rt: rt})
+	case isa.OpMFHI, isa.OpMFLO:
+		rd, err := reg(ops, 0)
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: opc, Rd: rd})
+	case isa.OpJR:
+		rs, err := reg(ops, 0)
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: opc, Rs: rs})
+	case isa.OpJALR:
+		// "jalr $rs" or "jalr $rd, $rs".
+		rd, rs := uint8(isa.RegRA), uint8(0)
+		var err error
+		if len(ops) == 1 {
+			rs, err = reg(ops, 0)
+		} else {
+			rd, err = reg(ops, 0)
+			if err == nil {
+				rs, err = reg(ops, 1)
+			}
+		}
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: opc, Rd: rd, Rs: rs})
+	case isa.OpSYSCALL:
+		a.emit(isa.Inst{Op: opc})
+	case isa.OpJ, isa.OpJAL:
+		v, err := a.value(op(ops, 0))
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: opc, Target: uint32(v)})
+	case isa.OpBEQ, isa.OpBNE:
+		rs, e1 := reg(ops, 0)
+		rt, e2 := reg(ops, 1)
+		if err := first(e1, e2); err != nil {
+			return err
+		}
+		return a.branch(opc, rs, rt, op(ops, 2))
+	case isa.OpBLEZ, isa.OpBGTZ, isa.OpBLTZ, isa.OpBGEZ:
+		rs, err := reg(ops, 0)
+		if err != nil {
+			return err
+		}
+		return a.branch(opc, rs, 0, op(ops, 1))
+	case isa.OpADDI, isa.OpADDIU, isa.OpSLTI, isa.OpSLTIU:
+		rt, e1 := reg(ops, 0)
+		rs, e2 := reg(ops, 1)
+		if err := first(e1, e2); err != nil {
+			return err
+		}
+		v, err := a.value(op(ops, 2))
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: opc, Rt: rt, Rs: rs, Imm: int32(v)})
+	case isa.OpANDI, isa.OpORI, isa.OpXORI:
+		rt, e1 := reg(ops, 0)
+		rs, e2 := reg(ops, 1)
+		if err := first(e1, e2); err != nil {
+			return err
+		}
+		v, err := a.value(op(ops, 2))
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: opc, Rt: rt, Rs: rs, UImm: uint32(v) & 0xFFFF})
+	case isa.OpLUI:
+		rt, err := reg(ops, 0)
+		if err != nil {
+			return err
+		}
+		v, err := a.value(op(ops, 1))
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: opc, Rt: rt, UImm: uint32(v) & 0xFFFF})
+	case isa.OpLB, isa.OpLH, isa.OpLW, isa.OpLBU, isa.OpLHU,
+		isa.OpSB, isa.OpSH, isa.OpSW, isa.OpLWC1, isa.OpSWC1:
+		var rt uint8
+		var err error
+		if opc == isa.OpLWC1 || opc == isa.OpSWC1 {
+			rt, err = fpReg(op(ops, 0))
+		} else {
+			rt, err = reg(ops, 0)
+		}
+		if err != nil {
+			return err
+		}
+		off, base, err := a.memOperand(op(ops, 1))
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: opc, Rt: rt, Rs: base, Imm: off})
+	case isa.OpFADD, isa.OpFSUB, isa.OpFMUL, isa.OpFDIV:
+		fd, e1 := fpReg(op(ops, 0))
+		fs, e2 := fpReg(op(ops, 1))
+		ft, e3 := fpReg(op(ops, 2))
+		if err := first(e1, e2, e3); err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: opc, Rd: fd, Rs: fs, Rt: ft})
+	case isa.OpFMOV, isa.OpFNEG:
+		fd, e1 := fpReg(op(ops, 0))
+		fs, e2 := fpReg(op(ops, 1))
+		if err := first(e1, e2); err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: opc, Rd: fd, Rs: fs})
+	default:
+		return fmt.Errorf("unhandled op %v", opc)
+	}
+	return nil
+}
+
+// memOperand parses "offset(base)" where offset may be a literal or symbol.
+func (a *assembler) memOperand(s string) (int32, uint8, error) {
+	i := strings.IndexByte(s, '(')
+	if i < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	off := int64(0)
+	if strings.TrimSpace(s[:i]) != "" {
+		var err error
+		off, err = a.value(s[:i])
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	base, err := regName(s[i+1 : len(s)-1])
+	return int32(off), base, err
+}
+
+func op(ops []string, i int) string {
+	if i >= len(ops) {
+		return ""
+	}
+	return ops[i]
+}
+
+func reg(ops []string, i int) (uint8, error) { return regName(op(ops, i)) }
+
+func regName(s string) (uint8, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "$") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	r := isa.RegNumber(s[1:])
+	if r < 0 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(r), nil
+}
+
+func fpReg(s string) (uint8, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "$f") {
+		return 0, fmt.Errorf("bad fp register %q", s)
+	}
+	r := isa.RegNumber(s[2:])
+	if r < 0 {
+		return 0, fmt.Errorf("bad fp register %q", s)
+	}
+	return uint8(r), nil
+}
+
+func first(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// byName maps mnemonics to ops for all non-pseudo instructions.
+var byName = map[string]isa.Op{}
+
+func init() {
+	for op := isa.OpSLL; op < isa.Op(255); op++ {
+		name := op.String()
+		if name == "invalid" {
+			break
+		}
+		byName[name] = op
+	}
+}

@@ -1,0 +1,189 @@
+// Package bpred implements the branch predictors of the paper's Table 2:
+// a 2048-entry bimodal predictor (1-issue), gshare with 14-bit history
+// (4-issue), and a hybrid with a 1024-entry meta chooser (8-issue), plus a
+// return-address stack and a small BTB for indirect jumps.
+package bpred
+
+// Predictor predicts conditional branch directions.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint32) bool
+	// Update trains the predictor with the resolved outcome.
+	Update(pc uint32, taken bool)
+}
+
+// counter is a 2-bit saturating counter; taken when >= 2.
+type counter uint8
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) train(taken bool) counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// Bimodal is a PC-indexed table of 2-bit counters.
+type Bimodal struct {
+	table []counter
+	mask  uint32
+}
+
+// NewBimodal creates a bimodal predictor with the given power-of-two size.
+func NewBimodal(entries int) *Bimodal {
+	t := make([]counter, entries)
+	for i := range t {
+		t[i] = 1 // weakly not-taken: cold branches are mostly guards
+	}
+	return &Bimodal{table: t, mask: uint32(entries - 1)}
+}
+
+func (b *Bimodal) index(pc uint32) uint32 { return pc >> 2 & b.mask }
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc uint32) bool { return b.table[b.index(pc)].taken() }
+
+// Update implements Predictor.
+func (b *Bimodal) Update(pc uint32, taken bool) {
+	i := b.index(pc)
+	b.table[i] = b.table[i].train(taken)
+}
+
+// Gshare XORs a global history register into the table index.
+type Gshare struct {
+	table    []counter
+	history  uint32
+	histBits uint
+	mask     uint32
+}
+
+// NewGshare creates a gshare predictor with 2^histBits counters.
+func NewGshare(histBits uint) *Gshare {
+	t := make([]counter, 1<<histBits)
+	for i := range t {
+		t[i] = 1 // weakly not-taken (see NewBimodal)
+	}
+	return &Gshare{table: t, histBits: histBits, mask: uint32(len(t) - 1)}
+}
+
+func (g *Gshare) index(pc uint32) uint32 { return (pc>>2 ^ g.history) & g.mask }
+
+// Predict implements Predictor.
+func (g *Gshare) Predict(pc uint32) bool { return g.table[g.index(pc)].taken() }
+
+// Update implements Predictor. History is updated at resolution (the
+// trace-driven models resolve branches in program order).
+func (g *Gshare) Update(pc uint32, taken bool) {
+	i := g.index(pc)
+	g.table[i] = g.table[i].train(taken)
+	g.history = g.history << 1 & g.mask
+	if taken {
+		g.history |= 1
+	}
+}
+
+// Hybrid combines two predictors with a meta chooser, as in the paper's
+// 8-issue configuration.
+type Hybrid struct {
+	meta []counter // >=2 selects p1 (gshare), else p0 (bimodal)
+	mask uint32
+	p0   Predictor
+	p1   Predictor
+}
+
+// NewHybrid builds a hybrid predictor over p0 and p1 with a metaEntries-
+// entry chooser table.
+func NewHybrid(metaEntries int, p0, p1 Predictor) *Hybrid {
+	t := make([]counter, metaEntries)
+	for i := range t {
+		t[i] = 2
+	}
+	return &Hybrid{meta: t, mask: uint32(metaEntries - 1), p0: p0, p1: p1}
+}
+
+// Predict implements Predictor.
+func (h *Hybrid) Predict(pc uint32) bool {
+	if h.meta[pc>>2&h.mask].taken() {
+		return h.p1.Predict(pc)
+	}
+	return h.p0.Predict(pc)
+}
+
+// Update implements Predictor, training both components and steering the
+// chooser toward whichever was right.
+func (h *Hybrid) Update(pc uint32, taken bool) {
+	c0 := h.p0.Predict(pc) == taken
+	c1 := h.p1.Predict(pc) == taken
+	i := pc >> 2 & h.mask
+	if c0 != c1 {
+		h.meta[i] = h.meta[i].train(c1)
+	}
+	h.p0.Update(pc, taken)
+	h.p1.Update(pc, taken)
+}
+
+// RAS is a return-address stack predicting jr-$ra targets.
+type RAS struct {
+	stack []uint32
+	top   int
+	size  int
+}
+
+// NewRAS creates a return-address stack with the given depth.
+func NewRAS(depth int) *RAS {
+	return &RAS{stack: make([]uint32, depth), size: depth}
+}
+
+// Push records a return address at a call.
+func (r *RAS) Push(addr uint32) {
+	r.stack[r.top%r.size] = addr
+	r.top++
+}
+
+// Pop predicts the target of a return.
+func (r *RAS) Pop() (uint32, bool) {
+	if r.top == 0 {
+		return 0, false
+	}
+	r.top--
+	return r.stack[r.top%r.size], true
+}
+
+// BTB is a direct-mapped branch target buffer for indirect jumps.
+type BTB struct {
+	tags    []uint32
+	targets []uint32
+	mask    uint32
+}
+
+// NewBTB creates a BTB with the given power-of-two entry count.
+func NewBTB(entries int) *BTB {
+	return &BTB{
+		tags:    make([]uint32, entries),
+		targets: make([]uint32, entries),
+		mask:    uint32(entries - 1),
+	}
+}
+
+// Lookup predicts the target for the indirect jump at pc.
+func (b *BTB) Lookup(pc uint32) (uint32, bool) {
+	i := pc >> 2 & b.mask
+	if b.tags[i] == pc {
+		return b.targets[i], true
+	}
+	return 0, false
+}
+
+// Update records the resolved target.
+func (b *BTB) Update(pc, target uint32) {
+	i := pc >> 2 & b.mask
+	b.tags[i] = pc
+	b.targets[i] = target
+}

@@ -1,0 +1,177 @@
+// Package cache models set-associative write-back caches with LRU
+// replacement, matching the L1 organizations in Table 2 of the paper.
+package cache
+
+import "fmt"
+
+// Config describes one cache.
+type Config struct {
+	SizeBytes int
+	LineBytes int
+	Assoc     int
+}
+
+// Lines returns the total number of lines.
+func (c Config) Lines() int { return c.SizeBytes / c.LineBytes }
+
+// Sets returns the number of sets.
+func (c Config) Sets() int { return c.Lines() / c.Assoc }
+
+// Validate checks that the geometry is a realizable power-of-two design.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Assoc <= 0:
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	case c.SizeBytes%(c.LineBytes*c.Assoc) != 0:
+		return fmt.Errorf("cache: size %d not divisible by line*assoc", c.SizeBytes)
+	case c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineBytes)
+	case c.Sets()&(c.Sets()-1) != 0:
+		return fmt.Errorf("cache: %d sets not a power of two", c.Sets())
+	}
+	return nil
+}
+
+// String renders the geometry like the paper ("16KB, 32B lines, 2-assoc").
+func (c Config) String() string {
+	return fmt.Sprintf("%dKB, %dB lines, %d-assoc", c.SizeBytes/1024, c.LineBytes, c.Assoc)
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Accesses   uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// MissRate returns misses per access.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a set-associative LRU cache.
+type Cache struct {
+	cfg     Config
+	shift   uint // log2(line bytes)
+	setMask uint32
+	assoc   int
+	tags    []uint32 // sets*assoc; tag = line address (addr >> shift)
+	valid   []bool
+	dirty   []bool
+	stamp   []uint64 // LRU timestamps
+	clock   uint64
+	stats   Stats
+}
+
+// New builds a cache; the config must validate.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	n := cfg.Lines()
+	return &Cache{
+		cfg:     cfg,
+		shift:   shift,
+		setMask: uint32(cfg.Sets() - 1),
+		assoc:   cfg.Assoc,
+		tags:    make([]uint32, n),
+		valid:   make([]bool, n),
+		dirty:   make([]bool, n),
+		stamp:   make([]uint64, n),
+	}, nil
+}
+
+// MustNew is New, panicking on bad config (for presets known valid).
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *Cache) LineAddr(addr uint32) uint32 { return addr &^ (uint32(c.cfg.LineBytes) - 1) }
+
+// Result reports the outcome of an access.
+type Result struct {
+	Hit            bool
+	WritebackDirty bool // a dirty victim must be written back
+}
+
+// Access looks up addr, allocating the line on a miss (write-allocate) and
+// marking it dirty on writes.
+func (c *Cache) Access(addr uint32, write bool) Result {
+	c.clock++
+	c.stats.Accesses++
+	line := addr >> c.shift
+	set := line & c.setMask
+	base := int(set) * c.assoc
+	for i := base; i < base+c.assoc; i++ {
+		if c.valid[i] && c.tags[i] == line {
+			c.stamp[i] = c.clock
+			if write {
+				c.dirty[i] = true
+			}
+			return Result{Hit: true}
+		}
+	}
+	c.stats.Misses++
+	// Choose victim: an invalid way, else LRU.
+	victim := base
+	for i := base; i < base+c.assoc; i++ {
+		if !c.valid[i] {
+			victim = i
+			break
+		}
+		if c.stamp[i] < c.stamp[victim] {
+			victim = i
+		}
+	}
+	res := Result{}
+	if c.valid[victim] && c.dirty[victim] {
+		res.WritebackDirty = true
+		c.stats.Writebacks++
+	}
+	c.tags[victim] = line
+	c.valid[victim] = true
+	c.dirty[victim] = write
+	c.stamp[victim] = c.clock
+	return res
+}
+
+// Contains reports whether addr currently hits, without updating LRU state.
+func (c *Cache) Contains(addr uint32) bool {
+	line := addr >> c.shift
+	base := int(line&c.setMask) * c.assoc
+	for i := base; i < base+c.assoc; i++ {
+		if c.valid[i] && c.tags[i] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset invalidates all lines and clears statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.dirty[i] = false
+		c.stamp[i] = 0
+	}
+	c.clock = 0
+	c.stats = Stats{}
+}

@@ -1,0 +1,210 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{SizeBytes: 16 * 1024, LineBytes: 32, Assoc: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("baseline config rejected: %v", err)
+	}
+	bad := []Config{
+		{SizeBytes: 0, LineBytes: 32, Assoc: 2},
+		{SizeBytes: 1024, LineBytes: 0, Assoc: 2},
+		{SizeBytes: 1024, LineBytes: 32, Assoc: 0},
+		{SizeBytes: 1000, LineBytes: 32, Assoc: 2},     // not divisible
+		{SizeBytes: 1024, LineBytes: 24, Assoc: 2},     // line not power of 2
+		{SizeBytes: 3 * 1024, LineBytes: 32, Assoc: 2}, // sets not power of 2
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	if good.Lines() != 512 || good.Sets() != 256 {
+		t.Errorf("geometry: %d lines %d sets", good.Lines(), good.Sets())
+	}
+	if s := good.String(); s != "16KB, 32B lines, 2-assoc" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 1024, LineBytes: 32, Assoc: 2})
+	if c.Access(0x1000, false).Hit {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0x1000, false).Hit {
+		t.Fatal("second access missed")
+	}
+	if !c.Access(0x101C, false).Hit {
+		t.Fatal("same line, different offset missed")
+	}
+	if c.Access(0x1020, false).Hit {
+		t.Fatal("adjacent line hit")
+	}
+	st := c.Stats()
+	if st.Accesses != 4 || st.Misses != 2 {
+		t.Fatalf("stats %+v, want 4 accesses 2 misses", st)
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	// 2-way: lines mapping to the same set evict in LRU order.
+	c := mustNew(t, Config{SizeBytes: 1024, LineBytes: 32, Assoc: 2})
+	setStride := uint32(1024 / 2) // sets * lineBytes
+	a, b, x := uint32(0), setStride, 2*setStride
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a is MRU
+	c.Access(x, false) // evicts b
+	if !c.Access(a, false).Hit {
+		t.Fatal("a should survive")
+	}
+	if c.Access(b, false).Hit {
+		t.Fatal("b should have been evicted")
+	}
+}
+
+func TestWritebackDirty(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 64, LineBytes: 32, Assoc: 1})
+	c.Access(0, true) // dirty
+	res := c.Access(64, false)
+	if !res.WritebackDirty {
+		t.Fatal("evicting a dirty line must write back")
+	}
+	c.Access(128, false)
+	if res := c.Access(192, false); res.WritebackDirty {
+		t.Fatal("clean eviction should not write back")
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", c.Stats().Writebacks)
+	}
+}
+
+func TestWriteAllocateMarksDirty(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 64, LineBytes: 32, Assoc: 1})
+	c.Access(0, false)
+	c.Access(0, true) // hit-write dirties the line
+	if !c.Access(64, false).WritebackDirty {
+		t.Fatal("write hit did not dirty the line")
+	}
+}
+
+func TestContainsDoesNotTouchLRU(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 64, LineBytes: 32, Assoc: 2})
+	c.Access(0, false)
+	c.Access(1024, false)
+	// Probe line 0 without promoting it; a new line must still evict it.
+	if !c.Contains(0) {
+		t.Fatal("line 0 resident")
+	}
+	if c.Contains(4096) {
+		t.Fatal("absent line reported present")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 64, LineBytes: 32, Assoc: 1})
+	c.Access(0, true)
+	c.Reset()
+	if c.Contains(0) {
+		t.Fatal("line survived reset")
+	}
+	if c.Stats() != (Stats{}) {
+		t.Fatal("stats survived reset")
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 1024, LineBytes: 32, Assoc: 2})
+	if got := c.LineAddr(0x1234567B); got != 0x12345660 {
+		t.Fatalf("LineAddr = %#x", got)
+	}
+}
+
+func TestMissRateMath(t *testing.T) {
+	s := Stats{Accesses: 200, Misses: 25}
+	if s.MissRate() != 0.125 {
+		t.Fatalf("miss rate %f", s.MissRate())
+	}
+	if (Stats{}).MissRate() != 0 {
+		t.Fatal("zero-access miss rate should be 0")
+	}
+}
+
+// TestFullyAssocMatchesReference cross-checks the cache against a simple
+// LRU-list reference model on a random trace.
+func TestFullyAssocMatchesReference(t *testing.T) {
+	const lines = 16
+	c := mustNew(t, Config{SizeBytes: lines * 32, LineBytes: 32, Assoc: lines})
+	var ref []uint32 // MRU-first list of line addresses
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		addr := uint32(rng.Intn(64)) * 32
+		hit := c.Access(addr, false).Hit
+		refHit := false
+		for j, a := range ref {
+			if a == addr {
+				refHit = true
+				ref = append(ref[:j], ref[j+1:]...)
+				break
+			}
+		}
+		ref = append([]uint32{addr}, ref...)
+		if len(ref) > lines {
+			ref = ref[:lines]
+		}
+		if hit != refHit {
+			t.Fatalf("access %d (addr %#x): cache hit=%v, reference hit=%v", i, addr, hit, refHit)
+		}
+	}
+}
+
+// TestInclusionProperty: a cache twice the size (same assoc scaled) never
+// misses more than the smaller one on the same trace.
+func TestInclusionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		small := mustNew(t, Config{SizeBytes: 2 * 1024, LineBytes: 32, Assoc: 64})
+		big := mustNew(t, Config{SizeBytes: 4 * 1024, LineBytes: 32, Assoc: 128})
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 5000; i++ {
+			addr := uint32(rng.Intn(256)) * 32
+			small.Access(addr, false)
+			big.Access(addr, false)
+		}
+		return big.Stats().Misses <= small.Stats().Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAccessHit(b *testing.B) {
+	c := MustNew(Config{SizeBytes: 16 * 1024, LineBytes: 32, Assoc: 2})
+	c.Access(0x1000, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0x1000, false)
+	}
+}
+
+func BenchmarkAccessMissStream(b *testing.B) {
+	c := MustNew(Config{SizeBytes: 16 * 1024, LineBytes: 32, Assoc: 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint32(i)*32, false)
+	}
+}

@@ -1,0 +1,286 @@
+// Package ccrp implements the Compressed Code RISC Processor scheme of
+// Wolfe and Chanin (paper section 2.2): instruction-cache lines are
+// Huffman-encoded byte by byte at compile time and decompressed on refill;
+// a Line Address Table (LAT) maps native line addresses to compressed
+// locations. It serves as a related-work baseline for comparing against
+// CodePack: byte-granularity Huffman achieves a worse ratio (the paper
+// cites 73% on MIPS) and its bit-serial decode is history-free but slow.
+package ccrp
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"codepack/internal/isa"
+)
+
+// LineBytes is the compression granularity: one 32-byte cache line.
+const LineBytes = 32
+
+// Compressed is a CCRP-compressed text section.
+type Compressed struct {
+	TextBase uint32
+	NumInstr int
+
+	// Code lengths per byte symbol (canonical Huffman).
+	Lengths [256]uint8
+	// LAT maps line index to the byte offset of its compressed form.
+	LAT    []uint32
+	Region []byte
+
+	codes  [256]uint32 // canonical codes by symbol
+	maxLen uint8
+}
+
+// Compress encodes text with a program-wide byte Huffman code, line by line.
+func Compress(textBase uint32, text []isa.Word) (*Compressed, error) {
+	if len(text) == 0 {
+		return nil, fmt.Errorf("ccrp: empty text")
+	}
+	// Pad to whole lines.
+	words := append([]isa.Word(nil), text...)
+	for len(words)%(LineBytes/4) != 0 {
+		words = append(words, 0)
+	}
+	bytes := make([]byte, 0, len(words)*4)
+	for _, w := range words {
+		bytes = append(bytes, byte(w>>24), byte(w>>16), byte(w>>8), byte(w))
+	}
+
+	var freq [256]int
+	for _, b := range bytes {
+		freq[b]++
+	}
+	c := &Compressed{TextBase: textBase, NumInstr: len(text)}
+	if err := c.buildCode(freq); err != nil {
+		return nil, err
+	}
+
+	nLines := len(bytes) / LineBytes
+	c.LAT = make([]uint32, nLines)
+	for l := 0; l < nLines; l++ {
+		c.LAT[l] = uint32(len(c.Region))
+		c.Region = append(c.Region, c.encodeLine(bytes[l*LineBytes:(l+1)*LineBytes])...)
+	}
+	return c, nil
+}
+
+// buildCode constructs a canonical Huffman code from byte frequencies,
+// capping code length at 16 bits (rebalancing if necessary).
+func (c *Compressed) buildCode(freq [256]int) error {
+	var nodes []huffNode
+	var live []int
+	for s, f := range freq {
+		if f > 0 {
+			nodes = append(nodes, huffNode{weight: f, sym: s, left: -1, right: -1})
+			live = append(live, len(nodes)-1)
+		}
+	}
+	if len(live) == 0 {
+		return fmt.Errorf("ccrp: no symbols")
+	}
+	if len(live) == 1 {
+		c.Lengths[nodes[live[0]].sym] = 1
+	} else {
+		h := &nodeHeap{nodes: &nodes, idx: live}
+		heap.Init(h)
+		for h.Len() > 1 {
+			a := heap.Pop(h).(int)
+			b := heap.Pop(h).(int)
+			nodes = append(nodes, huffNode{
+				weight: nodes[a].weight + nodes[b].weight,
+				sym:    -1, left: a, right: b,
+			})
+			heap.Push(h, len(nodes)-1)
+		}
+		root := h.idx[0]
+		var walk func(n int, depth uint8)
+		walk = func(n int, depth uint8) {
+			if nodes[n].sym >= 0 {
+				if depth == 0 {
+					depth = 1
+				}
+				c.Lengths[nodes[n].sym] = depth
+				return
+			}
+			walk(nodes[n].left, depth+1)
+			walk(nodes[n].right, depth+1)
+		}
+		walk(root, 0)
+	}
+	// Cap at 16 bits by flattening overlong codes (rare; keeps the
+	// decoder table small). Kraft repair: push overflow to length 16.
+	for {
+		var kraft float64
+		over := false
+		for s := 0; s < 256; s++ {
+			if c.Lengths[s] > 16 {
+				c.Lengths[s] = 16
+				over = true
+			}
+			if c.Lengths[s] > 0 {
+				kraft += 1 / float64(uint32(1)<<c.Lengths[s])
+			}
+		}
+		if kraft <= 1.0 {
+			break
+		}
+		if !over {
+			// Lengthen the shortest longest code.
+			best := -1
+			for s := 0; s < 256; s++ {
+				if l := c.Lengths[s]; l > 0 && l < 16 && (best < 0 || l > c.Lengths[best]) {
+					best = s
+				}
+			}
+			if best < 0 {
+				return fmt.Errorf("ccrp: cannot satisfy Kraft inequality")
+			}
+			c.Lengths[best]++
+		}
+	}
+	c.assignCanonical()
+	return nil
+}
+
+// assignCanonical derives canonical codes from the length table.
+func (c *Compressed) assignCanonical() {
+	type sl struct {
+		sym int
+		l   uint8
+	}
+	var syms []sl
+	for s := 0; s < 256; s++ {
+		if c.Lengths[s] > 0 {
+			syms = append(syms, sl{s, c.Lengths[s]})
+			if c.Lengths[s] > c.maxLen {
+				c.maxLen = c.Lengths[s]
+			}
+		}
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].l != syms[j].l {
+			return syms[i].l < syms[j].l
+		}
+		return syms[i].sym < syms[j].sym
+	})
+	code := uint32(0)
+	prev := uint8(0)
+	for _, e := range syms {
+		code <<= e.l - prev
+		c.codes[e.sym] = code
+		prev = e.l
+		code++
+	}
+}
+
+func (c *Compressed) encodeLine(line []byte) []byte {
+	var out []byte
+	var acc uint64
+	var nbits uint
+	for _, b := range line {
+		l := uint(c.Lengths[b])
+		acc = acc<<l | uint64(c.codes[b])
+		nbits += l
+		for nbits >= 8 {
+			out = append(out, byte(acc>>(nbits-8)))
+			nbits -= 8
+		}
+	}
+	if nbits > 0 {
+		out = append(out, byte(acc<<(8-nbits)))
+	}
+	return out
+}
+
+// DecompressLine decodes the line containing addr back to native bytes.
+func (c *Compressed) DecompressLine(addr uint32) ([]byte, error) {
+	l := int(addr-c.TextBase) / LineBytes
+	if addr < c.TextBase || l >= len(c.LAT) {
+		return nil, fmt.Errorf("ccrp: address %#x out of range", addr)
+	}
+	start := int(c.LAT[l])
+	end := len(c.Region)
+	if l+1 < len(c.LAT) {
+		end = int(c.LAT[l+1])
+	}
+	stream := c.Region[start:end]
+	out := make([]byte, 0, LineBytes)
+	var code uint32
+	var codeLen uint8
+	bit := 0
+	for len(out) < LineBytes {
+		if bit >= len(stream)*8 {
+			return nil, fmt.Errorf("ccrp: truncated line %d", l)
+		}
+		code = code<<1 | uint32(stream[bit/8]>>(7-bit%8)&1)
+		codeLen++
+		bit++
+		if sym, ok := c.lookup(code, codeLen); ok {
+			out = append(out, sym)
+			code, codeLen = 0, 0
+		}
+		if codeLen > c.maxLen {
+			return nil, fmt.Errorf("ccrp: invalid codeword in line %d", l)
+		}
+	}
+	return out, nil
+}
+
+func (c *Compressed) lookup(code uint32, l uint8) (byte, bool) {
+	for s := 0; s < 256; s++ {
+		if c.Lengths[s] == l && c.codes[s] == code {
+			return byte(s), true
+		}
+	}
+	return 0, false
+}
+
+// Decompress reconstructs the entire text section.
+func (c *Compressed) Decompress() ([]isa.Word, error) {
+	var out []isa.Word
+	for l := 0; l < len(c.LAT); l++ {
+		line, err := c.DecompressLine(c.TextBase + uint32(l*LineBytes))
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < LineBytes; i += 4 {
+			out = append(out, uint32(line[i])<<24|uint32(line[i+1])<<16|
+				uint32(line[i+2])<<8|uint32(line[i+3]))
+		}
+	}
+	return out[:c.NumInstr], nil
+}
+
+// Ratio returns compressed size (region + LAT + code-length table) over
+// the original text size.
+func (c *Compressed) Ratio() float64 {
+	compressed := len(c.Region) + 4*len(c.LAT) + 256
+	return float64(compressed) / float64(c.NumInstr*4)
+}
+
+// huffNode is one Huffman-tree node; sym is -1 for internal nodes.
+type huffNode struct {
+	weight      int
+	sym         int
+	left, right int
+}
+
+// nodeHeap is a min-heap over node indices by weight.
+type nodeHeap struct {
+	nodes *[]huffNode
+	idx   []int
+}
+
+func (h *nodeHeap) Len() int { return len(h.idx) }
+func (h *nodeHeap) Less(i, j int) bool {
+	return (*h.nodes)[h.idx[i]].weight < (*h.nodes)[h.idx[j]].weight
+}
+func (h *nodeHeap) Swap(i, j int)      { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *nodeHeap) Push(x interface{}) { h.idx = append(h.idx, x.(int)) }
+func (h *nodeHeap) Pop() interface{} {
+	x := h.idx[len(h.idx)-1]
+	h.idx = h.idx[:len(h.idx)-1]
+	return x
+}

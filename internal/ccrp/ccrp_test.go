@@ -1,0 +1,167 @@
+package ccrp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"codepack/internal/isa"
+)
+
+func synth(rng *rand.Rand, n int) []isa.Word {
+	common := []isa.Word{0x24420004, 0x8FBF001C, 0x00851021, 0xAFBF001C}
+	text := make([]isa.Word, n)
+	for i := range text {
+		if rng.Intn(4) == 0 {
+			text[i] = isa.Word(rng.Uint32())
+		} else {
+			text[i] = common[rng.Intn(len(common))]
+		}
+	}
+	return text
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 7, 8, 9, 64, 1000} {
+		text := synth(rng, n)
+		c, err := Compress(isa.TextBase, text)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		out, err := c.Decompress()
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(out) != n {
+			t.Fatalf("n=%d: got %d words", n, len(out))
+		}
+		for i := range out {
+			if out[i] != text[i] {
+				t.Fatalf("n=%d: word %d corrupted", n, i)
+			}
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%500 + 1
+		text := synth(rand.New(rand.NewSource(seed)), n)
+		c, err := Compress(isa.TextBase, text)
+		if err != nil {
+			return false
+		}
+		out, err := c.Decompress()
+		if err != nil || len(out) != n {
+			return false
+		}
+		for i := range out {
+			if out[i] != text[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineRandomAccess(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	text := synth(rng, 256)
+	c, err := Compress(isa.TextBase, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line, err := c.DecompressLine(isa.TextBase + 3*LineBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < LineBytes/4; i++ {
+		w := uint32(line[i*4])<<24 | uint32(line[i*4+1])<<16 |
+			uint32(line[i*4+2])<<8 | uint32(line[i*4+3])
+		if w != text[24+i] {
+			t.Fatalf("line word %d = %#x, want %#x", i, w, text[24+i])
+		}
+	}
+	if _, err := c.DecompressLine(isa.TextBase + 1<<20); err == nil {
+		t.Error("out-of-range line accepted")
+	}
+}
+
+func TestSkewedTextCompresses(t *testing.T) {
+	text := make([]isa.Word, 4096)
+	for i := range text {
+		text[i] = 0x24420004
+	}
+	c, err := Compress(isa.TextBase, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Huffman gets ~2 bits/byte here, but the per-line LAT adds a fixed
+	// 12.5%, so the floor is about 0.38.
+	if r := c.Ratio(); r > 0.45 {
+		t.Fatalf("uniform text ratio %.2f, want < 0.45", r)
+	}
+}
+
+func TestUniformBytesBarelyCompress(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	text := make([]isa.Word, 2048)
+	for i := range text {
+		text[i] = isa.Word(rng.Uint32())
+	}
+	c, err := Compress(isa.TextBase, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := c.Ratio(); r < 0.95 {
+		t.Fatalf("random text ratio %.2f, expected near 1", r)
+	}
+	out, err := c.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i] != text[i] {
+			t.Fatalf("word %d corrupted", i)
+		}
+	}
+}
+
+func TestCodeIsPrefixFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c, err := Compress(isa.TextBase, synth(rng, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type cw struct {
+		code uint32
+		l    uint8
+	}
+	var codes []cw
+	for s := 0; s < 256; s++ {
+		if c.Lengths[s] > 0 {
+			codes = append(codes, cw{c.codes[s], c.Lengths[s]})
+		}
+	}
+	for i := range codes {
+		for j := range codes {
+			if i == j {
+				continue
+			}
+			a, b := codes[i], codes[j]
+			if a.l <= b.l && b.code>>(b.l-a.l) == a.code {
+				t.Fatalf("code %b/%d is a prefix of %b/%d", a.code, a.l, b.code, b.l)
+			}
+		}
+	}
+}
+
+func TestEmptyRejected(t *testing.T) {
+	if _, err := Compress(isa.TextBase, nil); err == nil {
+		t.Fatal("empty text accepted")
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dict is one CodePack dictionary: an ordered table of 16-bit halfword
+// values where slot position determines codeword class (slot 0 is the 2-bit
+// class, slots 1-8 the 5-bit class, and so on).
+type Dict struct {
+	entries []uint16
+	slot    map[uint16]int // value -> slot
+}
+
+// NewDict builds a dictionary from explicit entries (slot order). Used when
+// loading a serialized dictionary; BuildDict constructs one from a program.
+func NewDict(entries []uint16) (*Dict, error) {
+	if len(entries) > DictCapacity {
+		return nil, fmt.Errorf("core: dictionary has %d entries, capacity %d",
+			len(entries), DictCapacity)
+	}
+	d := &Dict{
+		entries: append([]uint16(nil), entries...),
+		slot:    make(map[uint16]int, len(entries)),
+	}
+	for i, v := range entries {
+		if _, dup := d.slot[v]; dup {
+			return nil, fmt.Errorf("core: duplicate dictionary entry %#04x", v)
+		}
+		d.slot[v] = i
+	}
+	return d, nil
+}
+
+// Len returns the number of populated entries.
+func (d *Dict) Len() int { return len(d.entries) }
+
+// Entries returns the dictionary contents in slot order.
+func (d *Dict) Entries() []uint16 { return append([]uint16(nil), d.entries...) }
+
+// Lookup returns the slot for value v, or -1 when v is not in the
+// dictionary (and must be escaped as raw bits).
+func (d *Dict) Lookup(v uint16) int {
+	if s, ok := d.slot[v]; ok {
+		return s
+	}
+	return -1
+}
+
+// Value returns the halfword stored at slot s.
+func (d *Dict) Value(s int) (uint16, error) {
+	if s < 0 || s >= len(d.entries) {
+		return 0, fmt.Errorf("core: dictionary slot %d out of range (%d entries)",
+			s, len(d.entries))
+	}
+	return d.entries[s], nil
+}
+
+// Bytes returns the storage footprint of the dictionary contents: two bytes
+// per entry (this is the "Dictionary" column of the paper's Table 4).
+func (d *Dict) Bytes() int { return 2 * len(d.entries) }
+
+// BuildDictOptions tunes dictionary construction.
+type BuildDictOptions struct {
+	// ForceZeroSlot0 pins the value 0x0000 to the 2-bit class. CodePack
+	// does this for the low-halfword dictionary because zero is by far
+	// the most common immediate.
+	ForceZeroSlot0 bool
+	// MinClass3Count excludes halfwords from the largest (11-bit) class
+	// unless they occur at least this often: a singleton entry saves
+	// 19-11=8 bits of stream but costs 16 bits of dictionary storage.
+	// Zero means 2 (the break-even point).
+	MinClass3Count int
+}
+
+// BuildDict constructs a frequency-ranked dictionary from halfword counts.
+// The most frequent values take the shortest codewords, per the paper.
+func BuildDict(counts map[uint16]int, opts BuildDictOptions) *Dict {
+	minC3 := opts.MinClass3Count
+	if minC3 == 0 {
+		minC3 = 2
+	}
+	type hw struct {
+		v uint16
+		n int
+	}
+	ranked := make([]hw, 0, len(counts))
+	for v, n := range counts {
+		if n <= 0 {
+			continue
+		}
+		if opts.ForceZeroSlot0 && v == 0 {
+			continue
+		}
+		ranked = append(ranked, hw{v, n})
+	}
+	// Rank by frequency, ties broken by value for determinism.
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].n != ranked[j].n {
+			return ranked[i].n > ranked[j].n
+		}
+		return ranked[i].v < ranked[j].v
+	})
+	d := &Dict{slot: make(map[uint16]int)}
+	add := func(v uint16) {
+		d.slot[v] = len(d.entries)
+		d.entries = append(d.entries, v)
+	}
+	if opts.ForceZeroSlot0 {
+		add(0) // reserved even if zero never appears, keeping the encoding uniform
+	}
+	for _, e := range ranked {
+		if len(d.entries) >= DictCapacity {
+			break
+		}
+		c, _ := classOfSlot(len(d.entries))
+		if c == class3 && e.n < minC3 {
+			continue // not worth a dictionary slot
+		}
+		add(e.v)
+	}
+	return d
+}
+
+// CountHalfwords tallies high and low halfword frequencies over text.
+func CountHalfwords(text []uint32) (high, low map[uint16]int) {
+	high = make(map[uint16]int)
+	low = make(map[uint16]int)
+	for _, w := range text {
+		high[uint16(w>>16)]++
+		low[uint16(w)]++
+	}
+	return high, low
+}

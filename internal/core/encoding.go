@@ -1,0 +1,130 @@
+package core
+
+// CodePack-style codeword encoding.
+//
+// Each 32-bit instruction splits into a high and a low 16-bit halfword, each
+// encoded independently against its own dictionary. A codeword is a 2- or
+// 3-bit tag followed by a dictionary index (or 16 raw bits):
+//
+//	tag 00  + 0-bit index  ->  2 bits  (1 entry: low half = the value zero,
+//	                                    high half = most frequent halfword)
+//	tag 01  + 3-bit index  ->  5 bits  (8 entries)
+//	tag 10  + 6-bit index  ->  8 bits  (64 entries)
+//	tag 110 + 8-bit index  -> 11 bits  (256 entries)
+//	tag 111 + 16 raw bits  -> 19 bits  (halfword not in the dictionary)
+//
+// This matches every property the paper states for CodePack: codewords of
+// 2..11 bits, 2-or-3-bit size tags, two dictionaries of fewer than 512
+// entries (329 here), the low halfword zero in 2 bits, and a 3-bit tag
+// marking raw halfwords. IBM's exact bit numbering is not public in the
+// paper; this file is the single place where the concrete geometry lives.
+//
+// Sixteen instructions form a compression block, padded to a byte boundary.
+// A block whose encoding would reach the native 64 bytes is stored raw.
+// Two blocks form a compression group (32 instructions = four 8-instruction
+// cache lines); one 32-bit index-table entry per group locates both blocks:
+//
+//	bit 31     block 0 stored raw
+//	bit 30     block 1 stored raw
+//	bits 29..7 byte offset of block 0 within the compressed region (23 bits)
+//	bits 6..0  byte length of block 0, i.e. the delta to block 1 (7 bits)
+
+// Geometry constants.
+const (
+	// BlockInstrs is the number of instructions per compression block.
+	BlockInstrs = 16
+	// GroupBlocks is the number of blocks per compression group.
+	GroupBlocks = 2
+	// GroupInstrs is the number of instructions per compression group.
+	GroupInstrs = BlockInstrs * GroupBlocks
+	// BlockNativeBytes is the size of an uncompressed block.
+	BlockNativeBytes = BlockInstrs * 4
+	// IndexEntryBytes is the size of one index-table entry.
+	IndexEntryBytes = 4
+	// MaxCodewordBits is the longest non-raw codeword.
+	MaxCodewordBits = 11
+	// RawCodewordBits is the encoded size of an escaped halfword.
+	RawCodewordBits = 3 + 16
+)
+
+// Tag classes. class 0..3 are dictionary classes; classRaw escapes.
+const (
+	class0   = iota // tag 00, 0 index bits
+	class1          // tag 01, 3 index bits
+	class2          // tag 10, 6 index bits
+	class3          // tag 110, 8 index bits
+	classRaw        // tag 111, 16 raw bits
+	numClasses
+)
+
+// classSize[c] is the number of dictionary entries in class c.
+var classSize = [numClasses]int{1, 8, 64, 256, 0}
+
+// classIndexBits[c] is the number of index bits following the tag.
+var classIndexBits = [numClasses]uint{0, 3, 6, 8, 16}
+
+// classTagBits[c] is the tag length in bits.
+var classTagBits = [numClasses]uint{2, 2, 2, 3, 3}
+
+// classTag[c] is the tag value (in classTagBits[c] bits).
+var classTag = [numClasses]uint32{0b00, 0b01, 0b10, 0b110, 0b111}
+
+// DictCapacity is the total number of entries a dictionary can hold.
+const DictCapacity = 1 + 8 + 64 + 256
+
+// classBase[c] is the dictionary slot at which class c starts.
+var classBase = [numClasses]int{0, 1, 9, 73, 0}
+
+// codewordBits returns the total encoded size for class c.
+func codewordBits(c int) uint { return classTagBits[c] + classIndexBits[c] }
+
+// classOfSlot returns the class holding dictionary slot s and the index
+// within that class.
+func classOfSlot(s int) (class, index int) {
+	switch {
+	case s < 1:
+		return class0, s
+	case s < 9:
+		return class1, s - 1
+	case s < 73:
+		return class2, s - 9
+	default:
+		return class3, s - 73
+	}
+}
+
+// IndexEntry is a decoded index-table entry for one compression group.
+type IndexEntry struct {
+	Block0Start uint32 // byte offset of block 0 in the compressed region
+	Block0Len   uint32 // byte length of block 0 (delta to block 1)
+	Raw0        bool   // block 0 stored as 64 raw bytes
+	Raw1        bool   // block 1 stored as 64 raw bytes
+}
+
+// Limits imposed by the packed 32-bit entry format.
+const (
+	maxBlock0Start = 1<<23 - 1
+	maxBlock0Len   = 1<<7 - 1
+)
+
+// Pack encodes the entry into its 32-bit table format.
+func (e IndexEntry) Pack() uint32 {
+	v := e.Block0Start<<7 | e.Block0Len&maxBlock0Len
+	if e.Raw0 {
+		v |= 1 << 31
+	}
+	if e.Raw1 {
+		v |= 1 << 30
+	}
+	return v
+}
+
+// UnpackIndexEntry decodes a 32-bit index-table entry.
+func UnpackIndexEntry(v uint32) IndexEntry {
+	return IndexEntry{
+		Block0Start: v >> 7 & maxBlock0Start,
+		Block0Len:   v & maxBlock0Len,
+		Raw0:        v&(1<<31) != 0,
+		Raw1:        v&(1<<30) != 0,
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"codepack/internal/isa"
+)
+
+// FuzzUnmarshalCompressed feeds arbitrary bytes to the compressed-image
+// parser: it must reject or accept them without panicking, and anything it
+// accepts must decompress without panicking.
+func FuzzUnmarshalCompressed(f *testing.F) {
+	rng := rand.New(rand.NewSource(5))
+	good, err := CompressWords("seed", isa.TextBase, synthText(rng, 128))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Marshal())
+	f.Add([]byte{})
+	f.Add(make([]byte, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := UnmarshalCompressed("fuzz", data)
+		if err != nil {
+			return
+		}
+		_, _ = c.Decompress()
+	})
+}
+
+// FuzzDecodeCorruptRegion corrupts the compressed region of a valid image:
+// the decoder must fail cleanly or produce bounded output, never panic or
+// loop.
+func FuzzDecodeCorruptRegion(f *testing.F) {
+	rng := rand.New(rand.NewSource(6))
+	base, err := CompressWords("seed", isa.TextBase, synthText(rng, 256))
+	if err != nil {
+		f.Fatal(err)
+	}
+	blob := base.Marshal()
+	f.Add(uint16(0), byte(0xFF))
+	f.Add(uint16(100), byte(0x01))
+	f.Fuzz(func(t *testing.T, pos uint16, xor byte) {
+		mut := append([]byte(nil), blob...)
+		if len(mut) == 0 || xor == 0 {
+			return
+		}
+		mut[int(pos)%len(mut)] ^= xor
+		c, err := UnmarshalCompressed("fuzz", mut)
+		if err != nil {
+			return
+		}
+		var out [BlockInstrs]isa.Word
+		for b := 0; b < c.NumBlocks(); b++ {
+			_ = c.DecodeBlock(b, &out)
+		}
+	})
+}
+
+// FuzzBitStream checks writer/reader agreement on arbitrary field layouts.
+func FuzzBitStream(f *testing.F) {
+	f.Add(uint32(0xDEADBEEF), uint8(7), uint32(0x1234), uint8(13))
+	f.Fuzz(func(t *testing.T, v1 uint32, n1 uint8, v2 uint32, n2 uint8) {
+		a, b := uint(n1)%32+1, uint(n2)%32+1
+		var w bitWriter
+		w.writeBits(v1, a)
+		w.writeBits(v2, b)
+		w.align()
+		r := bitReader{buf: w.bytes()}
+		m1 := uint32(1)<<a - 1
+		if a == 32 {
+			m1 = ^uint32(0)
+		}
+		m2 := uint32(1)<<b - 1
+		if b == 32 {
+			m2 = ^uint32(0)
+		}
+		if got := r.readBits(a); got != v1&m1 {
+			t.Fatalf("field1 %#x, want %#x", got, v1&m1)
+		}
+		if got := r.readBits(b); got != v2&m2 {
+			t.Fatalf("field2 %#x, want %#x", got, v2&m2)
+		}
+	})
+}

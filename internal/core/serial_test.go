@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"codepack/internal/isa"
+)
+
+func TestCompressedMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	text := synthText(rng, 2048)
+	c, err := CompressWords("m", isa.TextBase, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := UnmarshalCompressed("m", c.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TextBase != c.TextBase || out.NumInstr != c.NumInstr {
+		t.Fatal("header lost")
+	}
+	dec, err := out.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dec {
+		if dec[i] != text[i] {
+			t.Fatalf("word %d corrupted after marshal round trip", i)
+		}
+	}
+	// The rebuilt block metadata must match the original exactly: the
+	// timing model depends on it.
+	for b := 0; b < c.NumBlocks(); b++ {
+		s1, z1, r1, _ := c.BlockExtent(b)
+		s2, z2, r2, _ := out.BlockExtent(b)
+		if s1 != s2 || z1 != z2 || r1 != r2 {
+			t.Fatalf("block %d extent differs: (%d,%d,%v) vs (%d,%d,%v)",
+				b, s1, z1, r1, s2, z2, r2)
+		}
+		for i := 0; i < BlockInstrs; i++ {
+			if c.InstrReadyBytes(b, i) != out.InstrReadyBytes(b, i) {
+				t.Fatalf("block %d instr %d ready bytes differ", b, i)
+			}
+		}
+	}
+	// Size statistics needed for the ratio survive the round trip.
+	if out.Stats().CompressedBytes() != c.Stats().CompressedBytes() {
+		t.Fatalf("compressed size %d vs %d",
+			out.Stats().CompressedBytes(), c.Stats().CompressedBytes())
+	}
+}
+
+func TestCompressedMarshalWithRawBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	text := make([]isa.Word, 512)
+	for i := range text {
+		text[i] = isa.Word(rng.Uint32()) // incompressible -> raw blocks
+	}
+	c, err := CompressWords("raw", isa.TextBase, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().RawBlockInstrs == 0 {
+		t.Skip("no raw blocks generated")
+	}
+	out, err := UnmarshalCompressed("raw", c.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := out.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dec {
+		if dec[i] != text[i] {
+			t.Fatalf("raw word %d corrupted", i)
+		}
+	}
+}
+
+func TestUnmarshalCompressedRejectsGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	good, err := CompressWords("g", isa.TextBase, synthText(rng, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := good.Marshal()
+	cases := [][]byte{
+		nil,
+		blob[:20],
+		blob[:len(blob)-3],
+		append(append([]byte(nil), blob...), 1, 2, 3),
+	}
+	for i, b := range cases {
+		if _, err := UnmarshalCompressed("bad", b); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+	// Corrupt the magic.
+	bad := append([]byte(nil), blob...)
+	bad[0] ^= 0xFF
+	if _, err := UnmarshalCompressed("bad", bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+}

@@ -1,0 +1,171 @@
+// Package cpu contains the trace-driven timing simulators that stand in for
+// the paper's SimpleScalar models: a 1-issue in-order 5-stage pipeline and
+// RUU-style out-of-order 4- and 8-issue machines (Table 2).
+package cpu
+
+import (
+	"fmt"
+
+	"codepack/internal/bpred"
+	"codepack/internal/cache"
+	"codepack/internal/mem"
+)
+
+// PredKind selects the branch predictor of Table 2.
+type PredKind int
+
+// Predictor kinds.
+const (
+	PredBimodal PredKind = iota // bimode, 2048 entries (1-issue)
+	PredGshare                  // gshare, 14-bit history (4-issue)
+	PredHybrid                  // hybrid with 1024-entry meta table (8-issue)
+)
+
+func (k PredKind) String() string {
+	switch k {
+	case PredBimodal:
+		return "bimodal-2048"
+	case PredGshare:
+		return "gshare-14"
+	case PredHybrid:
+		return "hybrid-1024"
+	}
+	return "unknown"
+}
+
+func (k PredKind) build() bpred.Predictor {
+	switch k {
+	case PredGshare:
+		return bpred.NewGshare(14)
+	case PredHybrid:
+		return bpred.NewHybrid(1024, bpred.NewBimodal(4096), bpred.NewGshare(14))
+	default:
+		return bpred.NewBimodal(2048)
+	}
+}
+
+// Config describes one simulated architecture (a row of Table 2).
+type Config struct {
+	Name        string
+	InOrder     bool
+	FetchQueue  int // fetch-queue entries decoupling fetch from dispatch
+	DecodeWidth int // fetch/dispatch bandwidth per cycle
+	IssueWidth  int
+	CommitWidth int
+	RUUSize     int // register update unit (instruction window)
+	LSQSize     int // load/store queue
+
+	IntALU   int // function unit counts
+	IntMult  int
+	MemPorts int
+	FPALU    int
+	FPMult   int
+
+	Pred PredKind
+
+	ICache cache.Config
+	DCache cache.Config
+	Mem    mem.Config
+
+	// FrontLatency is the fetch-to-dispatch depth in cycles;
+	// RedirectPenalty is added after a mispredicted branch resolves
+	// before fetch restarts.
+	FrontLatency    int
+	RedirectPenalty int
+
+	// ModelWrongPath simulates speculative fetch down the mispredicted
+	// direction of conditional branches while the branch resolves:
+	// wrong-path lines pollute the I-cache, occupy the bus, and clobber
+	// the decompressor's output buffer. Off by default (the calibrated
+	// configuration); enable to bound the trace-driven simplification.
+	ModelWrongPath bool
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.DecodeWidth < 1 || c.IssueWidth < 1 || c.CommitWidth < 1 {
+		return fmt.Errorf("cpu: non-positive width in %q", c.Name)
+	}
+	if c.RUUSize < 1 || c.LSQSize < 1 || c.FetchQueue < 1 {
+		return fmt.Errorf("cpu: non-positive queue size in %q", c.Name)
+	}
+	if c.IntALU < 1 || c.MemPorts < 1 {
+		return fmt.Errorf("cpu: missing function units in %q", c.Name)
+	}
+	if err := c.ICache.Validate(); err != nil {
+		return err
+	}
+	if err := c.DCache.Validate(); err != nil {
+		return err
+	}
+	return c.Mem.Validate()
+}
+
+// OneIssue is the paper's low-end embedded model: single-issue, in-order,
+// 5-stage, 8KB caches, bimodal predictor.
+func OneIssue() Config {
+	return Config{
+		Name:        "1-issue",
+		InOrder:     true,
+		FetchQueue:  4,
+		DecodeWidth: 1,
+		IssueWidth:  1,
+		CommitWidth: 1,
+		RUUSize:     8,
+		LSQSize:     4,
+		IntALU:      1, IntMult: 1, MemPorts: 1, FPALU: 1, FPMult: 1,
+		Pred:            PredBimodal,
+		ICache:          cache.Config{SizeBytes: 8 * 1024, LineBytes: 32, Assoc: 2},
+		DCache:          cache.Config{SizeBytes: 8 * 1024, LineBytes: 16, Assoc: 2},
+		Mem:             mem.Baseline(),
+		FrontLatency:    1,
+		RedirectPenalty: 1,
+	}
+}
+
+// FourIssue is the paper's baseline for most experiments: 4-wide
+// out-of-order, 16KB caches, gshare.
+func FourIssue() Config {
+	return Config{
+		Name:        "4-issue",
+		FetchQueue:  16,
+		DecodeWidth: 4,
+		IssueWidth:  4,
+		CommitWidth: 4,
+		RUUSize:     64,
+		LSQSize:     32,
+		IntALU:      4, IntMult: 1, MemPorts: 2, FPALU: 4, FPMult: 1,
+		Pred:            PredGshare,
+		ICache:          cache.Config{SizeBytes: 16 * 1024, LineBytes: 32, Assoc: 2},
+		DCache:          cache.Config{SizeBytes: 16 * 1024, LineBytes: 16, Assoc: 2},
+		Mem:             mem.Baseline(),
+		FrontLatency:    2,
+		RedirectPenalty: 2,
+	}
+}
+
+// EightIssue is the paper's high-performance model: 8-wide out-of-order,
+// 32KB caches, hybrid predictor.
+func EightIssue() Config {
+	return Config{
+		Name:        "8-issue",
+		FetchQueue:  32,
+		DecodeWidth: 8,
+		IssueWidth:  8,
+		CommitWidth: 8,
+		RUUSize:     128,
+		LSQSize:     64,
+		IntALU:      8, IntMult: 1, MemPorts: 2, FPALU: 8, FPMult: 1,
+		Pred:            PredHybrid,
+		ICache:          cache.Config{SizeBytes: 32 * 1024, LineBytes: 32, Assoc: 2},
+		DCache:          cache.Config{SizeBytes: 32 * 1024, LineBytes: 16, Assoc: 2},
+		Mem:             mem.Baseline(),
+		FrontLatency:    2,
+		RedirectPenalty: 2,
+	}
+}
+
+// Presets returns the three Table 2 architectures in paper order.
+func Presets() []Config {
+	return []Config{OneIssue(), FourIssue(), EightIssue()}
+}

@@ -1,0 +1,123 @@
+package cpu
+
+import (
+	"testing"
+
+	"codepack/internal/isa"
+)
+
+// TestPipelineInvariants checks, for every committed instruction under all
+// three fetch models, that the pipeline milestones are ordered:
+// fetch <= dispatch < issue < complete <= commit, commits are monotone and
+// respect the commit width, and the issue stage never exceeds its width.
+func TestPipelineInvariants(t *testing.T) {
+	im := loopProgram(t, 3000, `
+	lw $t0, 0($gp)
+	addu $t1, $t0, $s0
+	andi $t2, $t1, 3
+	beqz $t2, skipx
+	sw $t1, 4($gp)
+skipx:
+	mult $t1, $s0
+	mflo $t3
+`)
+	for _, model := range []FetchModel{NativeModel(), BaselineModel(), OptimizedModel(), SoftwareModel()} {
+		for _, cfg := range Presets() {
+			var prevCommit uint64
+			commitInCycle := map[uint64]int{}
+			issueInCycle := map[uint64]int{}
+			n := 0
+			_, err := SimulateObserved(im, cfg, model, 0, func(ts Timestamps) {
+				n++
+				if ts.Dispatch < ts.Fetch {
+					t.Fatalf("%s: dispatch %d before fetch %d at pc %#x",
+						cfg.Name, ts.Dispatch, ts.Fetch, ts.PC)
+				}
+				if ts.Issue <= ts.Dispatch {
+					t.Fatalf("%s: issue %d not after dispatch %d", cfg.Name, ts.Issue, ts.Dispatch)
+				}
+				if ts.Complete <= ts.Issue {
+					t.Fatalf("%s: complete %d not after issue %d", cfg.Name, ts.Complete, ts.Issue)
+				}
+				if ts.Commit <= ts.Complete {
+					t.Fatalf("%s: commit %d not after complete %d", cfg.Name, ts.Commit, ts.Complete)
+				}
+				if ts.Commit < prevCommit {
+					t.Fatalf("%s: commit went backwards (%d after %d)", cfg.Name, ts.Commit, prevCommit)
+				}
+				prevCommit = ts.Commit
+				commitInCycle[ts.Commit]++
+				issueInCycle[ts.Issue]++
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", cfg.Name, err)
+			}
+			if n == 0 {
+				t.Fatalf("%s: observer never called", cfg.Name)
+			}
+			for cyc, c := range commitInCycle {
+				if c > cfg.CommitWidth {
+					t.Fatalf("%s: %d commits in cycle %d (width %d)", cfg.Name, c, cyc, cfg.CommitWidth)
+				}
+			}
+			for cyc, c := range issueInCycle {
+				if c > cfg.IssueWidth {
+					t.Fatalf("%s: %d issues in cycle %d (width %d)", cfg.Name, c, cyc, cfg.IssueWidth)
+				}
+			}
+		}
+	}
+}
+
+// TestInOrderIssueIsProgramOrder: the 1-issue model must issue strictly in
+// program order.
+func TestInOrderIssueIsProgramOrder(t *testing.T) {
+	im := loopProgram(t, 500, "\tlw $t0, 0($gp)\n\taddu $t1, $t0, $s0\n\taddu $t2, $t2, $s0")
+	var last uint64
+	_, err := SimulateObserved(im, OneIssue(), NativeModel(), 0, func(ts Timestamps) {
+		if ts.Issue <= last {
+			t.Fatalf("issue %d not after previous %d at pc %#x", ts.Issue, last, ts.PC)
+		}
+		last = ts.Issue
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadLatencyVisible: a dependent consumer issues at least two cycles
+// after the load issues (address generation + cache access).
+func TestLoadLatencyVisible(t *testing.T) {
+	im := loopProgram(t, 200, "\tlw $t0, 0($gp)\n\taddu $t1, $t0, $s0")
+	var loadComplete uint64
+	_, err := SimulateObserved(im, FourIssue(), NativeModel(), 0, func(ts Timestamps) {
+		switch ts.Op {
+		case isa.OpLW:
+			loadComplete = ts.Complete
+		case isa.OpADDU:
+			if loadComplete > 0 && ts.Issue < loadComplete {
+				t.Fatalf("consumer issued at %d before load completed at %d", ts.Issue, loadComplete)
+			}
+			loadComplete = 0
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCommitCyclesMatchResult: the last observed commit equals the
+// reported cycle count.
+func TestCommitCyclesMatchResult(t *testing.T) {
+	im := loopProgram(t, 1000, "\taddu $t0, $t0, $s0")
+	var last uint64
+	r, err := SimulateObserved(im, FourIssue(), OptimizedModel(), 0, func(ts Timestamps) {
+		last = ts.Commit
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles != last {
+		t.Fatalf("result cycles %d, last commit %d", r.Cycles, last)
+	}
+}

@@ -1,0 +1,534 @@
+package cpu
+
+import (
+	"fmt"
+
+	"codepack/internal/bpred"
+	"codepack/internal/cache"
+	"codepack/internal/core"
+	"codepack/internal/decomp"
+	"codepack/internal/isa"
+	"codepack/internal/mem"
+	"codepack/internal/program"
+	"codepack/internal/vm"
+)
+
+// FetchKind selects how instruction-cache misses are serviced.
+type FetchKind int
+
+// Fetch models.
+const (
+	// FetchNative fills lines from uncompressed memory with
+	// critical-word-first, the paper's native-code baseline.
+	FetchNative FetchKind = iota
+	// FetchCodePack decompresses lines through the CodePack engine.
+	FetchCodePack
+	// FetchSoftware decompresses lines with a software miss handler
+	// (the paper's future-work suggestion).
+	FetchSoftware
+)
+
+// FetchModel describes the instruction-miss path for one simulation.
+type FetchModel struct {
+	Kind     FetchKind
+	CodePack decomp.CodePackConfig
+	Software decomp.SoftwareConfig
+	// Comp supplies a pre-compressed image so sweeps don't recompress;
+	// nil means Simulate compresses the program itself.
+	Comp *core.Compressed
+	// NoCriticalWordFirst disables the native wrap-around fill (ablation).
+	NoCriticalWordFirst bool
+}
+
+// NativeModel returns the native-code fetch model.
+func NativeModel() FetchModel { return FetchModel{Kind: FetchNative} }
+
+// BaselineModel returns the unoptimized CodePack fetch model.
+func BaselineModel() FetchModel {
+	return FetchModel{Kind: FetchCodePack, CodePack: decomp.BaselineCodePack()}
+}
+
+// OptimizedModel returns the paper's optimized CodePack fetch model
+// (64x4 index cache, 2 decompressors per cycle).
+func OptimizedModel() FetchModel {
+	return FetchModel{Kind: FetchCodePack, CodePack: decomp.OptimizedCodePack()}
+}
+
+// SoftwareModel returns the software-managed decompression model from the
+// paper's future-work discussion.
+func SoftwareModel() FetchModel {
+	return FetchModel{Kind: FetchSoftware, Software: decomp.DefaultSoftware()}
+}
+
+// Result holds the metrics of one simulation run.
+type Result struct {
+	Arch         string
+	Program      string
+	Instructions uint64
+	Cycles       uint64
+	ICache       cache.Stats
+	DCache       cache.Stats
+	Bus          mem.Stats
+	Branches     uint64
+	Mispredicts  uint64
+	Loads        uint64
+	Stores       uint64
+	// CodePack is non-nil for compressed runs.
+	CodePack *decomp.CodePackStats
+	// Ratio is the compression ratio for compressed runs (0 for native).
+	Ratio float64
+}
+
+// IPC returns committed instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// IMissRate returns I-cache misses per committed instruction, the paper's
+// Table 1 metric (the timing model looks the cache up once per line, so
+// per-access rates would overstate misses).
+func (r Result) IMissRate() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.ICache.Misses) / float64(r.Instructions)
+}
+
+// SpeedupOver returns this run's speedup relative to base (>1 is faster),
+// comparing cycles for the same committed instruction count.
+func (r Result) SpeedupOver(base Result) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(r.Cycles)
+}
+
+// Timestamps records when one instruction passed each pipeline milestone;
+// see SimulateObserved.
+type Timestamps struct {
+	PC       uint32
+	Op       isa.Op
+	Fetch    uint64
+	Dispatch uint64
+	Issue    uint64
+	Complete uint64
+	Commit   uint64
+}
+
+// Observer receives per-instruction pipeline timestamps.
+type Observer func(Timestamps)
+
+// Simulate runs im on the architecture cfg with the given fetch model,
+// committing at most maxInstr instructions (0 = run to completion).
+func Simulate(im *program.Image, cfg Config, model FetchModel, maxInstr uint64) (Result, error) {
+	return SimulateObserved(im, cfg, model, maxInstr, nil)
+}
+
+// SimulateObserved is Simulate with a per-instruction observer for
+// pipeline-level inspection (nil behaves like Simulate).
+func SimulateObserved(im *program.Image, cfg Config, model FetchModel, maxInstr uint64, obs Observer) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	bus, err := mem.NewBus(cfg.Mem)
+	if err != nil {
+		return Result{}, err
+	}
+	icache, err := cache.New(cfg.ICache)
+	if err != nil {
+		return Result{}, err
+	}
+	dcache, err := cache.New(cfg.DCache)
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.ICache.LineBytes != decomp.LineBytes {
+		return Result{}, fmt.Errorf("cpu: I-cache line must be %d bytes", decomp.LineBytes)
+	}
+
+	var engine decomp.Engine
+	var cp *decomp.CodePack
+	var sw *decomp.Software
+	res := Result{Arch: cfg.Name, Program: im.Name}
+	switch model.Kind {
+	case FetchNative:
+		engine = &decomp.Native{Bus: bus, CriticalWordFirst: !model.NoCriticalWordFirst}
+	case FetchCodePack, FetchSoftware:
+		comp := model.Comp
+		if comp == nil {
+			comp, err = core.Compress(im)
+			if err != nil {
+				return Result{}, err
+			}
+		}
+		if model.Kind == FetchCodePack {
+			cp, err = decomp.NewCodePack(comp, bus, model.CodePack)
+			engine = cp
+		} else {
+			sw, err = decomp.NewSoftware(comp, bus, model.Software)
+			engine = sw
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		res.Ratio = comp.Stats().Ratio()
+	default:
+		return Result{}, fmt.Errorf("cpu: unknown fetch kind %d", model.Kind)
+	}
+
+	t := newTiming(cfg, engine, icache, dcache, bus)
+	t.obs = obs
+	machine := vm.New(im)
+	var rec vm.Rec
+	for !machine.Halted() && (maxInstr == 0 || machine.Executed() < maxInstr) {
+		if err := machine.Step(&rec); err != nil {
+			return Result{}, err
+		}
+		t.instruction(&rec)
+	}
+
+	if cp != nil {
+		s := cp.Stats()
+		res.CodePack = &s
+	}
+	if sw != nil {
+		s := sw.Stats()
+		res.CodePack = &s
+	}
+	res.Instructions = machine.Executed()
+	res.Cycles = t.lastCommit
+	res.ICache = icache.Stats()
+	res.DCache = dcache.Stats()
+	res.Bus = bus.Stats()
+	res.Branches = t.branches
+	res.Mispredicts = t.mispredicts
+	res.Loads = t.loads
+	res.Stores = t.stores
+	return res, nil
+}
+
+// timing is the one-pass trace-driven machine model. For every committed
+// instruction it computes fetch, dispatch, issue, completion and commit
+// cycles under the configured widths, queues, function units and memory
+// hierarchy, in a single pass with no allocation.
+type timing struct {
+	cfg    Config
+	engine decomp.Engine
+	icache *cache.Cache
+	dcache *cache.Cache
+	bus    *mem.Bus
+	pred   bpred.Predictor
+	ras    *bpred.RAS
+	btb    *bpred.BTB
+
+	i uint64 // instruction index
+	m uint64 // memory-op index
+
+	fetchCycle uint64
+	fetchedNow int
+	curLine    uint32
+	haveLine   bool
+	fill       decomp.LineFill
+	fillAddr   uint32
+	fillValid  bool
+	redirect   uint64
+
+	regReady [66]uint64
+	dispRing []uint64 // dispatch time of i-FetchQueue (frees a queue slot)
+	winRing  []uint64 // commit time of i-RUUSize (frees a window slot)
+	lsqRing  []uint64 // completion of m-LSQSize (frees an LSQ slot)
+	issueBW  []uint64
+	commitBW []uint64
+
+	fuIntALU []uint64 // per-unit busy-until
+	fuIntMul []uint64
+	fuMem    []uint64
+	fuFPALU  []uint64
+	fuFPMul  []uint64
+
+	lastCommit  uint64
+	branches    uint64
+	mispredicts uint64
+	loads       uint64
+	stores      uint64
+	// stallUntil blocks issue on the in-order core while a D-miss is
+	// outstanding (a 5-stage pipeline has blocking loads).
+	stallUntil uint64
+	obs        Observer
+}
+
+func newTiming(cfg Config, e decomp.Engine, ic, dc *cache.Cache, bus *mem.Bus) *timing {
+	return &timing{
+		cfg:      cfg,
+		engine:   e,
+		icache:   ic,
+		dcache:   dc,
+		bus:      bus,
+		pred:     cfg.Pred.build(),
+		ras:      bpred.NewRAS(16),
+		btb:      bpred.NewBTB(512),
+		dispRing: make([]uint64, cfg.FetchQueue),
+		winRing:  make([]uint64, cfg.RUUSize),
+		lsqRing:  make([]uint64, cfg.LSQSize),
+		issueBW:  make([]uint64, cfg.IssueWidth),
+		commitBW: make([]uint64, cfg.CommitWidth),
+		fuIntALU: make([]uint64, cfg.IntALU),
+		fuIntMul: make([]uint64, cfg.IntMult),
+		fuMem:    make([]uint64, cfg.MemPorts),
+		fuFPALU:  make([]uint64, cfg.FPALU),
+		fuFPMul:  make([]uint64, cfg.FPMult),
+	}
+}
+
+func (t *timing) instruction(r *vm.Rec) {
+	// ---- Fetch ----
+	if t.redirect > 0 {
+		if t.redirect > t.fetchCycle {
+			t.fetchCycle = t.redirect
+			t.fetchedNow = 0
+		}
+		t.haveLine = false
+		t.redirect = 0
+	}
+	line := r.PC &^ (decomp.LineBytes - 1)
+	idx := int(r.PC>>2) & (decomp.LineInstrs - 1)
+	if !t.haveLine || line != t.curLine {
+		if t.fetchedNow > 0 {
+			t.fetchCycle++
+			t.fetchedNow = 0
+		}
+		t.curLine = line
+		t.haveLine = true
+		t.fillValid = false
+		if !t.icache.Access(line, false).Hit {
+			t.fill = t.engine.FetchLine(t.fetchCycle, line, idx)
+			t.fillAddr = line
+			t.fillValid = true
+		}
+	}
+	ft := t.fetchCycle
+	if t.fillValid && line == t.fillAddr {
+		// Instruction forwarding: each word of the missed line becomes
+		// fetchable as it arrives from the fill engine.
+		if rdy := t.fill.Ready[idx]; rdy > ft {
+			ft = rdy
+		}
+	}
+	// The fetch queue blocks fetch until instruction i-FQ has dispatched.
+	if q := t.dispRing[t.i%uint64(t.cfg.FetchQueue)]; q > ft {
+		ft = q
+	}
+	if ft > t.fetchCycle {
+		t.fetchCycle = ft
+		t.fetchedNow = 0
+	}
+	t.fetchedNow++
+	if t.fetchedNow >= t.cfg.DecodeWidth {
+		t.fetchCycle++
+		t.fetchedNow = 0
+	}
+
+	// ---- Dispatch (decode/rename into the window) ----
+	dt := ft + uint64(t.cfg.FrontLatency)
+	if w := t.winRing[t.i%uint64(t.cfg.RUUSize)]; w > dt {
+		dt = w
+	}
+	t.dispRing[t.i%uint64(t.cfg.FetchQueue)] = dt
+
+	// ---- Issue ----
+	rt := dt + 1
+	if r.Src1 != vm.NoReg && t.regReady[r.Src1] > rt {
+		rt = t.regReady[r.Src1]
+	}
+	if r.Src2 != vm.NoReg && t.regReady[r.Src2] > rt {
+		rt = t.regReady[r.Src2]
+	}
+	it := rt
+	if bw := t.issueBW[t.i%uint64(t.cfg.IssueWidth)] + 1; bw > it {
+		it = bw
+	}
+	if t.cfg.InOrder && t.stallUntil > it {
+		it = t.stallUntil
+	}
+	isMem := r.Class == isa.ClassLoad || r.Class == isa.ClassStore
+	if isMem {
+		if l := t.lsqRing[t.m%uint64(t.cfg.LSQSize)]; l > it {
+			it = l
+		}
+	}
+	fu, occ := t.unitFor(r)
+	best := 0
+	for u := 1; u < len(fu); u++ {
+		if fu[u] < fu[best] {
+			best = u
+		}
+	}
+	if fu[best] > it {
+		it = fu[best]
+	}
+	fu[best] = it + occ
+	t.issueBW[t.i%uint64(t.cfg.IssueWidth)] = it
+
+	// ---- Execute / complete ----
+	var ct uint64
+	switch r.Class {
+	case isa.ClassLoad:
+		t.loads++
+		res := t.dcache.Access(r.MemAddr, false)
+		if res.Hit {
+			ct = it + 2 // address generation + cache access
+		} else {
+			lineAddr := t.dcache.LineAddr(r.MemAddr)
+			burst := t.bus.Request(it+1, lineAddr, t.cfg.DCache.LineBytes)
+			ct = burst.Done() + 1
+			if res.WritebackDirty {
+				t.bus.Request(burst.Done(), lineAddr, t.cfg.DCache.LineBytes)
+			}
+			if t.cfg.InOrder {
+				t.stallUntil = ct // blocking load on the 5-stage core
+			}
+		}
+	case isa.ClassStore:
+		t.stores++
+		res := t.dcache.Access(r.MemAddr, true)
+		if !res.Hit {
+			lineAddr := t.dcache.LineAddr(r.MemAddr)
+			burst := t.bus.Request(it+1, lineAddr, t.cfg.DCache.LineBytes)
+			if res.WritebackDirty {
+				t.bus.Request(burst.Done(), lineAddr, t.cfg.DCache.LineBytes)
+			}
+		}
+		ct = it + 1 // retires through the store buffer
+	default:
+		ct = it + uint64(isa.Latency(r.Op))
+	}
+	if isMem {
+		t.lsqRing[t.m%uint64(t.cfg.LSQSize)] = ct
+		t.m++
+	}
+	if r.Dest != vm.NoReg {
+		t.regReady[r.Dest] = ct
+	}
+
+	// ---- Control flow ----
+	switch r.Class {
+	case isa.ClassBranch:
+		t.branches++
+		pred := t.pred.Predict(r.PC)
+		t.pred.Update(r.PC, r.Taken)
+		if pred != r.Taken {
+			t.mispredicts++
+			t.redirect = ct + uint64(t.cfg.RedirectPenalty)
+			if t.cfg.ModelWrongPath && r.AltPC != 0 {
+				t.fetchWrongPath(r.AltPC, ft+1, t.redirect)
+			}
+		} else if r.Taken {
+			t.endFetchGroup()
+		}
+	case isa.ClassJump:
+		switch r.Op {
+		case isa.OpJAL:
+			t.ras.Push(r.PC + 4)
+			t.endFetchGroup()
+		case isa.OpJ:
+			t.endFetchGroup()
+		case isa.OpJR:
+			tgt, ok := t.ras.Pop()
+			if ok && tgt == r.NextPC {
+				t.endFetchGroup()
+			} else {
+				t.mispredicts++
+				t.redirect = ct + uint64(t.cfg.RedirectPenalty)
+			}
+		case isa.OpJALR:
+			t.ras.Push(r.PC + 4)
+			tgt, ok := t.btb.Lookup(r.PC)
+			t.btb.Update(r.PC, r.NextPC)
+			if ok && tgt == r.NextPC {
+				t.endFetchGroup()
+			} else {
+				t.mispredicts++
+				t.redirect = ct + uint64(t.cfg.RedirectPenalty)
+			}
+		}
+	case isa.ClassSyscall:
+		// Serializing: later instructions refetch after it completes.
+		t.redirect = ct + 1
+	}
+
+	// ---- Commit ----
+	cm := ct + 1
+	if cm < t.lastCommit {
+		cm = t.lastCommit
+	}
+	if bw := t.commitBW[t.i%uint64(t.cfg.CommitWidth)] + 1; bw > cm {
+		cm = bw
+	}
+	t.commitBW[t.i%uint64(t.cfg.CommitWidth)] = cm
+	t.winRing[t.i%uint64(t.cfg.RUUSize)] = cm
+	t.lastCommit = cm
+	t.i++
+
+	if t.obs != nil {
+		t.obs(Timestamps{
+			PC: r.PC, Op: r.Op,
+			Fetch: ft, Dispatch: dt, Issue: it, Complete: ct, Commit: cm,
+		})
+	}
+}
+
+func (t *timing) endFetchGroup() {
+	t.fetchCycle++
+	t.fetchedNow = 0
+}
+
+// fetchWrongPath models speculative fetch down the wrong direction of a
+// mispredicted branch: sequential lines from alt are pulled through the
+// I-cache and miss engine until the branch resolves at deadline. The side
+// effects — cache pollution, bus occupancy, output-buffer clobbering — are
+// what an execution-driven simulator would see.
+func (t *timing) fetchWrongPath(alt uint32, start, deadline uint64) {
+	now := start
+	line := alt &^ (decomp.LineBytes - 1)
+	for i := 0; i < 8 && now < deadline; i++ {
+		if !t.icache.Access(line, false).Hit {
+			fill := t.engine.FetchLine(now, line, int(alt>>2)&(decomp.LineInstrs-1))
+			now = fill.Done
+		} else {
+			// A resident line feeds the wrong-path fetch for a couple
+			// of cycles before the next line is needed.
+			now += uint64(decomp.LineInstrs / t.cfg.DecodeWidth)
+			if t.cfg.DecodeWidth >= decomp.LineInstrs {
+				now++
+			}
+		}
+		line += decomp.LineBytes
+		alt = line
+	}
+	// The fetch engine state (current line) is stale after speculation.
+	t.haveLine = false
+}
+
+// unitFor returns the function-unit pool and occupancy for r.
+func (t *timing) unitFor(r *vm.Rec) ([]uint64, uint64) {
+	switch r.Class {
+	case isa.ClassIntMult:
+		return t.fuIntMul, 1
+	case isa.ClassIntDiv:
+		return t.fuIntMul, 20 // unpipelined divider shares the multiplier
+	case isa.ClassLoad, isa.ClassStore:
+		return t.fuMem, 1
+	case isa.ClassFPALU:
+		return t.fuFPALU, 1
+	case isa.ClassFPMult:
+		if r.Op == isa.OpFDIV {
+			return t.fuFPMul, 12
+		}
+		return t.fuFPMul, 1
+	default:
+		return t.fuIntALU, 1
+	}
+}

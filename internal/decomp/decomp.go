@@ -1,0 +1,264 @@
+// Package decomp models the L1 instruction-miss path: the native fill with
+// critical-word-first, and the CodePack decompression pipeline of Figure 1
+// of the paper (index-table fetch, compressed-block burst, N-wide
+// decompressor, 16-instruction output buffer with prefetch, instruction
+// forwarding). The timing reproduces the paper's Figure 2 worked example
+// exactly: the critical instruction is ready at t=10 for native code, t=25
+// for baseline CodePack, and t=14 for the optimized decompressor.
+package decomp
+
+import (
+	"fmt"
+
+	"codepack/internal/core"
+	"codepack/internal/mem"
+)
+
+// LineInstrs is the number of instructions per L1 I-cache line (32-byte
+// lines throughout the paper).
+const LineInstrs = 8
+
+// LineBytes is the I-cache line size in bytes.
+const LineBytes = LineInstrs * 4
+
+// LineFill reports when each instruction of a missed line becomes available
+// to the core (instruction forwarding) and when the fill completes.
+type LineFill struct {
+	Ready [LineInstrs]uint64
+	Done  uint64
+}
+
+// Engine services L1 instruction-cache misses.
+type Engine interface {
+	// FetchLine handles a miss at cycle now for the line at lineAddr;
+	// critical is the index within the line of the instruction that
+	// caused the miss.
+	FetchLine(now uint64, lineAddr uint32, critical int) LineFill
+}
+
+// Native fills lines from uncompressed memory, optionally returning the
+// critical word first (the paper's modified SimpleScalar behaviour).
+type Native struct {
+	Bus *mem.Bus
+	// CriticalWordFirst enables the wrap-around fill order. The paper
+	// calls this "a significant advantage for native code"; disabling it
+	// is an ablation.
+	CriticalWordFirst bool
+}
+
+// FetchLine implements Engine.
+func (n *Native) FetchLine(now uint64, lineAddr uint32, critical int) LineFill {
+	burst := n.Bus.Request(now, lineAddr, LineBytes)
+	w := n.Bus.Config().WidthBytes
+	var fill LineFill
+	for pos := 0; pos < LineInstrs; pos++ {
+		word := pos
+		if n.CriticalWordFirst {
+			word = (critical + pos) % LineInstrs
+		}
+		// Cumulative bytes needed for the pos-th transferred word.
+		need := (pos + 1) * 4
+		beat := (need + w - 1) / w
+		fill.Ready[word] = burst.BeatTime(beat - 1)
+	}
+	fill.Done = burst.Done()
+	return fill
+}
+
+// CodePackConfig selects the decompressor variant.
+type CodePackConfig struct {
+	// DecodeRate is the number of instructions decompressed per cycle
+	// (1 in the baseline; 2 and 16 in the paper's optimization study).
+	DecodeRate int
+	// IndexCacheLines and IndexEntriesPerLine configure the fully
+	// associative index cache. 1x1 is the baseline ("the last used index
+	// table entry is cached"); the optimized model uses 64x4.
+	IndexCacheLines     int
+	IndexEntriesPerLine int
+	// IndexCacheAssoc restricts the index cache to N-way set-associative
+	// lookup; 0 keeps the paper's fully associative organization.
+	IndexCacheAssoc int
+	// PerfectIndex makes every index lookup hit (the Table 7 "Perfect"
+	// column: an on-chip ROM for the whole table).
+	PerfectIndex bool
+	// DisablePrefetch turns off the 16-instruction output buffer reuse
+	// (ablation; real CodePack always fills the whole buffer).
+	DisablePrefetch bool
+}
+
+// BaselineCodePack is the unoptimized decompressor of the paper.
+func BaselineCodePack() CodePackConfig {
+	return CodePackConfig{DecodeRate: 1, IndexCacheLines: 1, IndexEntriesPerLine: 1}
+}
+
+// OptimizedCodePack is the paper's optimized model: a 64-line, 4-entry
+// index cache plus two decompressors per cycle.
+func OptimizedCodePack() CodePackConfig {
+	return CodePackConfig{DecodeRate: 2, IndexCacheLines: 64, IndexEntriesPerLine: 4}
+}
+
+// Validate checks the configuration.
+func (c CodePackConfig) Validate() error {
+	if c.DecodeRate < 1 || c.DecodeRate > core.BlockInstrs {
+		return fmt.Errorf("decomp: decode rate %d out of range", c.DecodeRate)
+	}
+	if !c.PerfectIndex && (c.IndexCacheLines < 1 || c.IndexEntriesPerLine < 1) {
+		return fmt.Errorf("decomp: bad index cache geometry %dx%d",
+			c.IndexCacheLines, c.IndexEntriesPerLine)
+	}
+	return nil
+}
+
+// CodePackStats counts decompressor events.
+type CodePackStats struct {
+	Misses       uint64 // line misses handled
+	BufferHits   uint64 // satisfied by the 16-instruction output buffer
+	BlockReads   uint64 // compressed blocks fetched from memory
+	IndexLookups uint64
+	IndexMisses  uint64 // index fetches that went to main memory
+}
+
+// IndexMissRate is the Table 6 metric: index-cache misses per L1 miss that
+// consulted the index.
+func (s CodePackStats) IndexMissRate() float64 {
+	if s.IndexLookups == 0 {
+		return 0
+	}
+	return float64(s.IndexMisses) / float64(s.IndexLookups)
+}
+
+// CodePack is the decompression engine.
+type CodePack struct {
+	comp *core.Compressed
+	bus  *mem.Bus
+	cfg  CodePackConfig
+
+	indexBase  uint32 // memory address of the index table
+	regionBase uint32 // memory address of the compressed region
+
+	idx   *indexCache
+	stats CodePackStats
+
+	// Output buffer: the last decompressed block and the cycle each of
+	// its instructions became available.
+	bufBlock int
+	bufReady [core.BlockInstrs]uint64
+	bufValid bool
+	// decoderFree is when the decompressor finishes the current block;
+	// it always fills the whole output buffer, so a new miss cannot
+	// start decoding before then.
+	decoderFree uint64
+}
+
+// NewCodePack builds a decompression engine for comp over bus.
+func NewCodePack(comp *core.Compressed, bus *mem.Bus, cfg CodePackConfig) (*CodePack, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &CodePack{
+		comp: comp,
+		bus:  bus,
+		cfg:  cfg,
+		// The compressed image lives in main memory after the native
+		// text region: index table first, then compressed bytes.
+		indexBase: comp.TextBase + 0x0100_0000,
+		bufBlock:  -1,
+	}
+	e.regionBase = e.indexBase + uint32(len(comp.Index)*core.IndexEntryBytes)
+	if !cfg.PerfectIndex {
+		e.idx = newIndexCacheAssoc(cfg.IndexCacheLines, cfg.IndexEntriesPerLine,
+			cfg.IndexCacheAssoc)
+	}
+	return e, nil
+}
+
+// Stats returns the event counters.
+func (e *CodePack) Stats() CodePackStats { return e.stats }
+
+// FetchLine implements Engine.
+func (e *CodePack) FetchLine(now uint64, lineAddr uint32, critical int) LineFill {
+	e.stats.Misses++
+	instr := int(lineAddr-e.comp.TextBase) / 4
+	block := instr / core.BlockInstrs
+	lineOff := instr % core.BlockInstrs // 0 or 8: which half of the block
+
+	var fill LineFill
+	if e.bufValid && e.bufBlock == block {
+		// The whole block was decompressed on an earlier miss; this is
+		// the prefetch behaviour that lets CodePack beat native code.
+		e.stats.BufferHits++
+		for i := 0; i < LineInstrs; i++ {
+			fill.Ready[i] = maxU64(now+1, e.bufReady[lineOff+i])
+			fill.Done = maxU64(fill.Done, fill.Ready[i])
+		}
+		return fill
+	}
+
+	// Step A of Figure 1: map the native address through the index table.
+	t := now
+	group := block / core.GroupBlocks
+	if !e.cfg.PerfectIndex {
+		e.stats.IndexLookups++
+		if !e.idx.access(group) {
+			e.stats.IndexMisses++
+			// Burst-fill one index-cache line worth of entries.
+			firstEntry := group / e.idx.entriesPerLine * e.idx.entriesPerLine
+			addr := e.indexBase + uint32(firstEntry*core.IndexEntryBytes)
+			burst := e.bus.Request(t, addr, e.idx.entriesPerLine*core.IndexEntryBytes)
+			// The needed entry may arrive before the burst completes.
+			off := (group-firstEntry)*core.IndexEntryBytes + core.IndexEntryBytes
+			beat := (int(addr%uint32(e.bus.Config().WidthBytes)) + off +
+				e.bus.Config().WidthBytes - 1) / e.bus.Config().WidthBytes
+			t = burst.BeatTime(beat - 1)
+		}
+	}
+
+	// Step B: fetch the compressed block. Step C: decompress as the bytes
+	// stream in, DecodeRate instructions per cycle.
+	start, size, _, err := e.comp.BlockExtent(block)
+	if err != nil {
+		// Out-of-range fetch (e.g. speculative); treat as an empty fill.
+		fill.Done = t
+		return fill
+	}
+	e.stats.BlockReads++
+	addr := e.regionBase + start
+	burst := e.bus.Request(t, addr, int(size))
+	w := e.bus.Config().WidthBytes
+	slack := int(addr % uint32(w))
+
+	var done [core.BlockInstrs]uint64
+	for i := 0; i < core.BlockInstrs; i++ {
+		need := e.comp.InstrReadyBytes(block, i)
+		beat := (slack + need + w - 1) / w
+		arrive := burst.BeatTime(beat - 1)
+		c := arrive + 1
+		if j := i - e.cfg.DecodeRate; j >= 0 {
+			if done[j]+1 > c {
+				c = done[j] + 1
+			}
+		} else if e.decoderFree+1 > c {
+			c = e.decoderFree + 1
+		}
+		done[i] = c
+	}
+	e.decoderFree = done[core.BlockInstrs-1]
+
+	if !e.cfg.DisablePrefetch {
+		e.bufBlock = block
+		e.bufReady = done
+		e.bufValid = true
+	}
+	for i := 0; i < LineInstrs; i++ {
+		fill.Ready[i] = done[lineOff+i]
+		fill.Done = maxU64(fill.Done, fill.Ready[i])
+	}
+	return fill
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,162 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+
+	"codepack/internal/core"
+	"codepack/internal/isa"
+	"codepack/internal/mem"
+)
+
+// randComp builds a compressed image with mixed compressible and raw
+// content for engine stress tests.
+func randComp(t *testing.T, seed int64, n int) *core.Compressed {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	common := []isa.Word{0x24420004, 0x8FBF001C, 0x00851021}
+	text := make([]isa.Word, n)
+	for i := range text {
+		if rng.Intn(3) == 0 {
+			text[i] = isa.Word(rng.Uint32())
+		} else {
+			text[i] = common[rng.Intn(len(common))]
+		}
+	}
+	c, err := core.CompressWords("rand", isa.TextBase, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestCodePackNarrowBus: the engine must work on a 16-bit bus, and the
+// critical path must be slower than on the 64-bit bus.
+func TestCodePackNarrowBus(t *testing.T) {
+	c := paperComp(t)
+	wide, err := NewCodePack(c, newBus(t, mem.Baseline()), BaselineCodePack())
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrowBus := newBus(t, mem.Config{WidthBytes: 2, FirstLatency: 10, BeatLatency: 2})
+	narrow, err := NewCodePack(c, narrowBus, BaselineCodePack())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf := wide.FetchLine(0, isa.TextBase, 4)
+	nf := narrow.FetchLine(0, isa.TextBase, 4)
+	if nf.Ready[4] <= wf.Ready[4] {
+		t.Fatalf("narrow bus critical %d not slower than wide %d", nf.Ready[4], wf.Ready[4])
+	}
+	// On a 2-byte bus, a 3-byte instruction needs 2 beats; decode still
+	// keeps up at 1/cycle, so the stream is arrival-bound.
+	for i := 1; i < LineInstrs; i++ {
+		if nf.Ready[i] < nf.Ready[i-1] {
+			t.Fatal("per-instruction readiness must be monotone in block order")
+		}
+	}
+}
+
+// TestRawBlockTiming: raw blocks carry 4 bytes/instruction and skip
+// dictionary decode but still flow through the same engine path.
+func TestRawBlockTiming(t *testing.T) {
+	// All-random text: every block stored raw.
+	rng := rand.New(rand.NewSource(9))
+	text := make([]isa.Word, 64)
+	for i := range text {
+		text[i] = isa.Word(rng.Uint32())
+	}
+	c, err := core.CompressWords("raw", isa.TextBase, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, raw, _ := c.BlockExtent(0); !raw {
+		t.Skip("block 0 unexpectedly compressed")
+	}
+	eng, err := NewCodePack(c, newBus(t, mem.Baseline()), BaselineCodePack())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill := eng.FetchLine(0, isa.TextBase, 0)
+	// 64-byte raw block on an 8-byte bus: beats at 20..34 (after the
+	// 10-cycle index fetch); instr 0 needs 4 bytes -> beat 0 -> decode 21.
+	if fill.Ready[0] != 21 {
+		t.Fatalf("raw block first instruction at %d, want 21", fill.Ready[0])
+	}
+	if fill.Done < fill.Ready[0] {
+		t.Fatal("done before first ready")
+	}
+}
+
+// TestEngineManyMissesConsistent drives thousands of random misses and
+// checks global invariants: readiness monotone per fill, never before the
+// request cycle, and stats that add up.
+func TestEngineManyMissesConsistent(t *testing.T) {
+	c := randComp(t, 10, 4096)
+	for _, cfg := range []CodePackConfig{
+		BaselineCodePack(), OptimizedCodePack(),
+		{DecodeRate: 16, PerfectIndex: true},
+		{DecodeRate: 4, IndexCacheLines: 16, IndexEntriesPerLine: 2},
+	} {
+		eng, err := NewCodePack(c, newBus(t, mem.Baseline()), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(11))
+		now := uint64(0)
+		nLines := 4096 / LineInstrs
+		for i := 0; i < 3000; i++ {
+			line := uint32(rng.Intn(nLines)) * LineBytes
+			fill := eng.FetchLine(now, isa.TextBase+line, rng.Intn(LineInstrs))
+			for j, r := range fill.Ready {
+				if r <= now {
+					t.Fatalf("cfg %+v: instr %d ready at %d, miss at %d", cfg, j, r, now)
+				}
+				if r > fill.Done {
+					t.Fatalf("cfg %+v: ready %d after done %d", cfg, r, fill.Done)
+				}
+			}
+			now = fill.Done + uint64(rng.Intn(20))
+		}
+		s := eng.Stats()
+		if s.Misses != 3000 {
+			t.Fatalf("misses %d, want 3000", s.Misses)
+		}
+		if s.BufferHits+s.BlockReads != s.Misses {
+			t.Fatalf("buffer hits %d + block reads %d != misses %d",
+				s.BufferHits, s.BlockReads, s.Misses)
+		}
+		if !cfg.PerfectIndex && s.IndexLookups != s.BlockReads {
+			t.Fatalf("index lookups %d != block reads %d", s.IndexLookups, s.BlockReads)
+		}
+	}
+}
+
+// TestWiderDecodeNeverSlowerAcrossBlocks: property over many random blocks
+// and critical offsets.
+func TestWiderDecodeNeverSlowerAcrossBlocks(t *testing.T) {
+	c := randComp(t, 12, 2048)
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		line := uint32(rng.Intn(2048/LineInstrs)) * LineBytes
+		crit := rng.Intn(LineInstrs)
+		var prev LineFill
+		for i, rate := range []int{1, 2, 4, 16} {
+			cfg := CodePackConfig{DecodeRate: rate, PerfectIndex: true}
+			eng, err := NewCodePack(c, newBus(t, mem.Baseline()), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fill := eng.FetchLine(0, isa.TextBase+line, crit)
+			if i > 0 {
+				for j := range fill.Ready {
+					if fill.Ready[j] > prev.Ready[j] {
+						t.Fatalf("rate %d slower at instr %d (%d > %d)",
+							rate, j, fill.Ready[j], prev.Ready[j])
+					}
+				}
+			}
+			prev = fill
+		}
+	}
+}

@@ -1,0 +1,374 @@
+package decomp
+
+import (
+	"testing"
+
+	"codepack/internal/core"
+	"codepack/internal/isa"
+	"codepack/internal/mem"
+)
+
+func newBus(t *testing.T, cfg mem.Config) *mem.Bus {
+	t.Helper()
+	b, err := mem.NewBus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestNativeCriticalWordFirst reproduces Figure 2-a: on the baseline 64-bit
+// bus the critical instruction arrives at t=10 and the remaining beats land
+// at 12, 14 and 16.
+func TestNativeCriticalWordFirst(t *testing.T) {
+	bus := newBus(t, mem.Baseline())
+	eng := &Native{Bus: bus, CriticalWordFirst: true}
+	fill := eng.FetchLine(0, isa.TextBase, 4)
+	if fill.Ready[4] != 10 {
+		t.Errorf("critical word at t=%d, want 10", fill.Ready[4])
+	}
+	// Words 4,5 in beat 0; 6,7 in beat 1; 0,1 in beat 2; 2,3 in beat 3.
+	want := [8]uint64{14, 14, 16, 16, 10, 10, 12, 12}
+	if fill.Ready != want {
+		t.Errorf("ready = %v, want %v", fill.Ready, want)
+	}
+	if fill.Done != 16 {
+		t.Errorf("done = %d, want 16", fill.Done)
+	}
+}
+
+func TestNativeInOrderFill(t *testing.T) {
+	bus := newBus(t, mem.Baseline())
+	eng := &Native{Bus: bus} // no critical-word-first
+	fill := eng.FetchLine(0, isa.TextBase, 5)
+	want := [8]uint64{10, 10, 12, 12, 14, 14, 16, 16}
+	if fill.Ready != want {
+		t.Errorf("ready = %v, want %v", fill.Ready, want)
+	}
+}
+
+func TestNativeNarrowBus(t *testing.T) {
+	// 16-bit bus: each instruction needs two beats; the full line needs 16.
+	bus := newBus(t, mem.Config{WidthBytes: 2, FirstLatency: 10, BeatLatency: 2})
+	eng := &Native{Bus: bus, CriticalWordFirst: true}
+	fill := eng.FetchLine(0, isa.TextBase, 0)
+	if fill.Ready[0] != 12 { // beats 0,1 -> t=10,12
+		t.Errorf("critical word at %d, want 12", fill.Ready[0])
+	}
+	if fill.Done != 40 { // beat 15 at 10+15*2
+		t.Errorf("done = %d, want 40", fill.Done)
+	}
+}
+
+func TestBusContentionSerializesMisses(t *testing.T) {
+	bus := newBus(t, mem.Baseline())
+	eng := &Native{Bus: bus, CriticalWordFirst: true}
+	a := eng.FetchLine(0, isa.TextBase, 0)
+	b := eng.FetchLine(0, isa.TextBase+32, 0)
+	if b.Ready[0] <= a.Done {
+		t.Errorf("second miss beat0 %d should follow first done %d", b.Ready[0], a.Done)
+	}
+}
+
+// paperBlock builds a compressed program whose first block reproduces the
+// Figure 2 beat pattern: consecutive 64-bit beats deliver 2,3,3,3,3,2
+// instructions. We synthesize instructions whose codewords are 11+21 bits
+// (hi class3 + lo raw) = 4 bytes each... instead, directly verify against
+// the block's own layout; the *worked-example* tests below construct the
+// exact paper geometry via a hand-built stream.
+func paperComp(t *testing.T) *core.Compressed {
+	t.Helper()
+	// Make every instruction of block 0 encode to exactly 24 bits
+	// (3 bytes): high half raw (19 bits) + low half class1 (5 bits).
+	// Low halfwords: 8 frequent values -> class-1 slots. High halfwords:
+	// all singletons, so the 73 small-class slots go to the lowest
+	// values (tie-break); block 0 uses the highest values, which stay
+	// raw, and the singleton policy keeps them out of class 3.
+	text := make([]isa.Word, 1024)
+	for i := range text {
+		hi := uint32(0x4000 + i) // unique singletons
+		if i < core.BlockInstrs {
+			hi = uint32(0xF000 + i) // block 0: guaranteed raw
+		}
+		lo := uint32(0x0010 + i%8) // 8 frequent values -> class1 (5 bits)
+		text[i] = hi<<16 | lo
+	}
+	c, err := core.CompressWords("paper", isa.TextBase, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check the premise: every instruction costs 3 bytes cumulative.
+	for i := 0; i < core.BlockInstrs; i++ {
+		if got := c.InstrReadyBytes(0, i); got != 3*(i+1) {
+			t.Fatalf("premise broken: instr %d needs %d bytes, want %d", i, got, 3*(i+1))
+		}
+	}
+	return c
+}
+
+// TestFigure2Baseline reproduces Figure 2-b: with the beat pattern
+// 2,3,3,3,3,2 and a 1-instruction/cycle decompressor, a miss whose critical
+// instruction is the 5th in the line is served at t=25 (10 cycles index
+// fetch + fetch/decompress overlap).
+func TestFigure2Baseline(t *testing.T) {
+	c := paperComp(t)
+	bus := newBus(t, mem.Baseline())
+	eng, err := NewCodePack(c, bus, BaselineCodePack())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill := eng.FetchLine(0, isa.TextBase, 4)
+	// 3-byte instructions on an 8-byte bus: beat k ends at byte 8(k+1);
+	// instr i needs 3(i+1) bytes: i0,i1 beat0; i2..i4 beat1; ... exactly
+	// the paper's 2,3,3,3,3,2 pattern.
+	// Index fetch: t=10. Block beats: 20,22,24,26,28,30.
+	// Serial decode at 1/cycle: i0=21, i1=22, i2=23, i3=24, i4=25.
+	want := [8]uint64{21, 22, 23, 24, 25, 26, 27, 28}
+	if fill.Ready != want {
+		t.Errorf("ready = %v, want %v", fill.Ready, want)
+	}
+	if fill.Ready[4] != 25 {
+		t.Errorf("critical instruction at t=%d, paper says 25", fill.Ready[4])
+	}
+}
+
+// TestFigure2Optimized reproduces Figure 2-c: with an index-cache hit and 2
+// decompressors/cycle the critical instruction is ready at t=14.
+func TestFigure2Optimized(t *testing.T) {
+	c := paperComp(t)
+	bus := newBus(t, mem.Baseline())
+	cfg := OptimizedCodePack()
+	eng, err := NewCodePack(c, bus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the index cache with a first access, then reset the bus clock
+	// by fetching at a later time and measuring relative latency: instead
+	// simply use PerfectIndex to model the figure's "index cache hit".
+	cfg.PerfectIndex = true
+	eng2, err := NewCodePack(c, newBus(t, mem.Baseline()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill := eng2.FetchLine(0, isa.TextBase, 4)
+	// Block beats at 10,12,14,...; decode 2/cycle:
+	// i0,i1 <- beat0: t=11; i2,i3 <- beat1: t=13; i4 with i5: t=14... i4
+	// arrives in beat1 (needs 15 bytes <= 16), decodes in the next pair
+	// slot at t=14, matching the paper.
+	if fill.Ready[4] != 14 {
+		t.Errorf("critical instruction at t=%d, paper says 14", fill.Ready[4])
+	}
+	_ = eng
+}
+
+func TestPrefetchBufferServesOtherLine(t *testing.T) {
+	c := paperComp(t)
+	bus := newBus(t, mem.Baseline())
+	eng, err := NewCodePack(c, bus, BaselineCodePack())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := eng.FetchLine(0, isa.TextBase, 0)
+	// Second line of the same block: the output buffer has it.
+	second := eng.FetchLine(first.Done+5, isa.TextBase+32, 0)
+	if got := eng.Stats().BufferHits; got != 1 {
+		t.Fatalf("buffer hits = %d, want 1", got)
+	}
+	if second.Ready[0] != first.Done+6 {
+		t.Errorf("buffered line ready at %d, want now+1 = %d", second.Ready[0], first.Done+6)
+	}
+	if eng.Stats().BlockReads != 1 {
+		t.Errorf("block reads = %d, want 1 (buffer hit avoids memory)", eng.Stats().BlockReads)
+	}
+}
+
+func TestPrefetchDisabled(t *testing.T) {
+	c := paperComp(t)
+	cfg := BaselineCodePack()
+	cfg.DisablePrefetch = true
+	bus := newBus(t, mem.Baseline())
+	eng, err := NewCodePack(c, bus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.FetchLine(0, isa.TextBase, 0)
+	eng.FetchLine(100, isa.TextBase+32, 0)
+	if eng.Stats().BufferHits != 0 {
+		t.Error("prefetch disabled but buffer hit recorded")
+	}
+	if eng.Stats().BlockReads != 2 {
+		t.Errorf("block reads = %d, want 2", eng.Stats().BlockReads)
+	}
+}
+
+func TestBaselineIndexRegisterReuse(t *testing.T) {
+	c := paperComp(t)
+	bus := newBus(t, mem.Baseline())
+	eng, err := NewCodePack(c, bus, BaselineCodePack())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both blocks of group 0 share one index entry: the second block's
+	// fetch should hit the single-entry index register.
+	eng.FetchLine(0, isa.TextBase, 0)      // block 0 (fills buffer)
+	eng.FetchLine(500, isa.TextBase+64, 0) // block 1, same group
+	s := eng.Stats()
+	if s.IndexLookups != 2 || s.IndexMisses != 1 {
+		t.Fatalf("index lookups/misses = %d/%d, want 2/1", s.IndexLookups, s.IndexMisses)
+	}
+	// A different group must miss the 1-entry register.
+	eng.FetchLine(1000, isa.TextBase+128, 0)
+	if got := eng.Stats().IndexMisses; got != 2 {
+		t.Fatalf("index misses = %d, want 2", got)
+	}
+}
+
+func TestIndexCacheGeometry(t *testing.T) {
+	ic := newIndexCache(2, 4)
+	// Groups 0-3 share line key 0; groups 4-7 share key 1.
+	if ic.access(0) {
+		t.Fatal("cold access hit")
+	}
+	if !ic.access(3) {
+		t.Fatal("same line should hit")
+	}
+	if ic.access(4) {
+		t.Fatal("different line should miss")
+	}
+	if !ic.access(1) {
+		t.Fatal("line 0 still resident")
+	}
+	if ic.access(9) { // key 2 evicts LRU (key 1)
+		t.Fatal("cold line hit")
+	}
+	if ic.access(5) {
+		t.Fatal("key 1 was LRU and should have been evicted")
+	}
+	// The key-1 refill just evicted key 0 (LRU after key 2 arrived).
+	if ic.access(0) {
+		t.Fatal("key 0 should have been evicted by the key-1 refill")
+	}
+	// That miss filled key 0 over key 2; key 1 (MRU before it) survives.
+	if !ic.access(5) {
+		t.Fatal("key 1 should survive")
+	}
+}
+
+func TestPerfectIndexNeverTouchesMemoryForIndex(t *testing.T) {
+	c := paperComp(t)
+	cfg := BaselineCodePack()
+	cfg.PerfectIndex = true
+	bus := newBus(t, mem.Baseline())
+	eng, err := NewCodePack(c, bus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.FetchLine(0, isa.TextBase, 0)
+	eng.FetchLine(100, isa.TextBase+128, 0)
+	if s := eng.Stats(); s.IndexMisses != 0 {
+		t.Fatalf("perfect index missed %d times", s.IndexMisses)
+	}
+	// Exactly the two block bursts on the bus.
+	if got := bus.Stats().Bursts; got != 2 {
+		t.Fatalf("bursts = %d, want 2", got)
+	}
+}
+
+func TestDecodeRateMonotonicity(t *testing.T) {
+	// Wider decoders can never be slower, for any critical offset.
+	c := paperComp(t)
+	var prev [8]uint64
+	for rate := 1; rate <= 16; rate *= 2 {
+		cfg := CodePackConfig{DecodeRate: rate, PerfectIndex: true}
+		eng, err := NewCodePack(c, newBus(t, mem.Baseline()), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fill := eng.FetchLine(0, isa.TextBase+32, 3)
+		if rate > 1 {
+			for i := range fill.Ready {
+				if fill.Ready[i] > prev[i] {
+					t.Fatalf("rate %d slower than previous at %d: %d > %d",
+						rate, i, fill.Ready[i], prev[i])
+				}
+			}
+		}
+		prev = fill.Ready
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := (CodePackConfig{DecodeRate: 0, IndexCacheLines: 1, IndexEntriesPerLine: 1}).Validate(); err == nil {
+		t.Error("zero decode rate accepted")
+	}
+	if err := (CodePackConfig{DecodeRate: 1}).Validate(); err == nil {
+		t.Error("missing index cache accepted")
+	}
+	if err := (CodePackConfig{DecodeRate: 1, PerfectIndex: true}).Validate(); err != nil {
+		t.Errorf("perfect-index config rejected: %v", err)
+	}
+	if err := BaselineCodePack().Validate(); err != nil {
+		t.Errorf("baseline invalid: %v", err)
+	}
+	if err := OptimizedCodePack().Validate(); err != nil {
+		t.Errorf("optimized invalid: %v", err)
+	}
+}
+
+func TestSetAssociativeIndexCache(t *testing.T) {
+	// 4 lines, 2-way: keys 0 and 2 map to set 0, keys 1 and 3 to set 1.
+	ic := newIndexCacheAssoc(4, 1, 2)
+	if ic.access(0) || ic.access(2) {
+		t.Fatal("cold hits")
+	}
+	if !ic.access(0) || !ic.access(2) {
+		t.Fatal("both ways of set 0 should be resident")
+	}
+	if ic.access(4) { // key 4 -> set 0, evicts LRU (key 0)
+		t.Fatal("cold key hit")
+	}
+	if ic.access(0) {
+		t.Fatal("key 0 should have been evicted from its set")
+	}
+	// Set 1 was untouched throughout.
+	if ic.access(1) {
+		t.Fatal("cold key in set 1 hit")
+	}
+	if !ic.access(1) {
+		t.Fatal("key 1 resident")
+	}
+}
+
+func TestSetAssocNeverBeatsFullyAssociative(t *testing.T) {
+	// Over a scan pattern with reuse, FA >= set-assoc hit rate.
+	pattern := []int{0, 1, 2, 3, 8, 0, 1, 2, 3, 8, 16, 0, 1, 24, 2, 3, 0, 8}
+	count := func(assoc int) int {
+		ic := newIndexCacheAssoc(8, 1, assoc)
+		hits := 0
+		for _, g := range pattern {
+			if ic.access(g) {
+				hits++
+			}
+		}
+		return hits
+	}
+	fa, sa2 := count(0), count(2)
+	if sa2 > fa {
+		t.Fatalf("2-way (%d hits) beat fully associative (%d)", sa2, fa)
+	}
+}
+
+func TestEngineWithSetAssocIndex(t *testing.T) {
+	c := paperComp(t)
+	cfg := OptimizedCodePack()
+	cfg.IndexCacheAssoc = 4
+	eng, err := NewCodePack(c, newBus(t, mem.Baseline()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.FetchLine(0, isa.TextBase, 0)
+	eng.FetchLine(100, isa.TextBase+128, 0)
+	if eng.Stats().IndexLookups == 0 {
+		t.Fatal("index cache not consulted")
+	}
+}

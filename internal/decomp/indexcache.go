@@ -1,0 +1,60 @@
+package decomp
+
+// indexCache is the cache of index-table entries studied in Table 6 of the
+// paper. Each line holds entriesPerLine consecutive 32-bit index entries,
+// filled with one burst. The paper evaluates fully associative
+// organizations; an optional set-associative mode (assoc > 0) models the
+// cheaper hardware a real implementation might choose.
+type indexCache struct {
+	entriesPerLine int
+	assoc          int // ways per set; 0 = fully associative
+	sets           int
+	keys           []int // line key = group / entriesPerLine; -1 invalid
+	stamp          []uint64
+	clock          uint64
+}
+
+func newIndexCache(lines, entriesPerLine int) *indexCache {
+	return newIndexCacheAssoc(lines, entriesPerLine, 0)
+}
+
+// newIndexCacheAssoc builds an index cache with the given associativity
+// (0 or >= lines means fully associative).
+func newIndexCacheAssoc(lines, entriesPerLine, assoc int) *indexCache {
+	if assoc <= 0 || assoc >= lines {
+		assoc = lines
+	}
+	c := &indexCache{
+		entriesPerLine: entriesPerLine,
+		assoc:          assoc,
+		sets:           lines / assoc,
+		keys:           make([]int, lines),
+		stamp:          make([]uint64, lines),
+	}
+	for i := range c.keys {
+		c.keys[i] = -1
+	}
+	return c
+}
+
+// access looks up the line holding the index entry for group, filling it on
+// a miss, and reports whether it hit.
+func (c *indexCache) access(group int) bool {
+	c.clock++
+	key := group / c.entriesPerLine
+	base := key % c.sets * c.assoc
+	ways := c.keys[base : base+c.assoc]
+	victim := 0
+	for i, k := range ways {
+		if k == key {
+			c.stamp[base+i] = c.clock
+			return true
+		}
+		if ways[victim] != -1 && (k == -1 || c.stamp[base+i] < c.stamp[base+victim]) {
+			victim = i
+		}
+	}
+	ways[victim] = key
+	c.stamp[base+victim] = c.clock
+	return false
+}

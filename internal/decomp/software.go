@@ -1,0 +1,165 @@
+package decomp
+
+import (
+	"fmt"
+
+	"codepack/internal/core"
+	"codepack/internal/mem"
+)
+
+// SoftwareConfig parameterizes software-managed decompression, the option
+// the paper's conclusion raises for resource-limited systems: an L1 miss
+// traps to a handler that walks the index table and decodes the block in
+// software instead of dedicated hardware.
+type SoftwareConfig struct {
+	// TrapOverhead is the fixed cost of entering and leaving the miss
+	// handler (pipeline flush, save/restore).
+	TrapOverhead int
+	// CyclesPerInstr is the software decode cost per instruction
+	// (dictionary lookups, shifts and masks dominate).
+	CyclesPerInstr int
+	// DecodeWholeBlock mirrors the hardware's always-fill-the-buffer
+	// behaviour; when false the handler stops at the end of the
+	// requested line, trading prefetch for lower miss latency.
+	DecodeWholeBlock bool
+}
+
+// DefaultSoftware returns a plausible software decompressor: a 30-cycle
+// trap and 6 cycles per decoded instruction.
+func DefaultSoftware() SoftwareConfig {
+	return SoftwareConfig{TrapOverhead: 30, CyclesPerInstr: 6, DecodeWholeBlock: true}
+}
+
+// Validate checks the configuration.
+func (c SoftwareConfig) Validate() error {
+	if c.TrapOverhead < 0 || c.CyclesPerInstr < 1 {
+		return fmt.Errorf("decomp: bad software decompressor %+v", c)
+	}
+	return nil
+}
+
+// Software services misses with a software handler. The compressed bytes
+// still stream from memory over the shared bus; decoding overlaps the
+// fetch at CyclesPerInstr, and a software-maintained one-entry index
+// register stands in for the hardware index cache.
+type Software struct {
+	comp *core.Compressed
+	bus  *mem.Bus
+	cfg  SoftwareConfig
+
+	indexBase  uint32
+	regionBase uint32
+	lastGroup  int
+
+	bufBlock int
+	bufReady [core.BlockInstrs]uint64
+	bufValid bool
+
+	stats CodePackStats
+}
+
+// NewSoftware builds a software decompression engine for comp over bus.
+func NewSoftware(comp *core.Compressed, bus *mem.Bus, cfg SoftwareConfig) (*Software, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Software{
+		comp:      comp,
+		bus:       bus,
+		cfg:       cfg,
+		indexBase: comp.TextBase + 0x0100_0000,
+		lastGroup: -1,
+		bufBlock:  -1,
+	}
+	e.regionBase = e.indexBase + uint32(len(comp.Index)*core.IndexEntryBytes)
+	return e, nil
+}
+
+// Stats returns the event counters (index statistics reflect the software
+// index register).
+func (e *Software) Stats() CodePackStats { return e.stats }
+
+// FetchLine implements Engine.
+func (e *Software) FetchLine(now uint64, lineAddr uint32, critical int) LineFill {
+	e.stats.Misses++
+	instr := int(lineAddr-e.comp.TextBase) / 4
+	block := instr / core.BlockInstrs
+	lineOff := instr % core.BlockInstrs
+
+	var fill LineFill
+	if e.bufValid && e.bufBlock == block {
+		e.stats.BufferHits++
+		for i := 0; i < LineInstrs; i++ {
+			fill.Ready[i] = maxU64(now+1, e.bufReady[lineOff+i])
+			fill.Done = maxU64(fill.Done, fill.Ready[i])
+		}
+		return fill
+	}
+
+	// Trap into the handler.
+	t := now + uint64(e.cfg.TrapOverhead)
+
+	// Index lookup: software keeps the last group's entry in a register;
+	// otherwise it loads the entry (one bus access, data-cache bypassed).
+	group := block / core.GroupBlocks
+	e.stats.IndexLookups++
+	if group != e.lastGroup {
+		e.stats.IndexMisses++
+		burst := e.bus.Request(t, e.indexBase+uint32(group*core.IndexEntryBytes),
+			core.IndexEntryBytes)
+		t = burst.BeatTime(0)
+		e.lastGroup = group
+	}
+
+	start, size, _, err := e.comp.BlockExtent(block)
+	if err != nil {
+		fill.Done = t
+		return fill
+	}
+	e.stats.BlockReads++
+
+	limit := core.BlockInstrs
+	if !e.cfg.DecodeWholeBlock {
+		limit = lineOff + LineInstrs
+	}
+	fetchBytes := int(size)
+	if !e.cfg.DecodeWholeBlock {
+		fetchBytes = e.comp.InstrReadyBytes(block, limit-1)
+	}
+	addr := e.regionBase + start
+	burst := e.bus.Request(t, addr, fetchBytes)
+	w := e.bus.Config().WidthBytes
+	slack := int(addr % uint32(w))
+
+	// Software decode: strictly serial at CyclesPerInstr, gated by byte
+	// arrival like the hardware.
+	var done [core.BlockInstrs]uint64
+	prev := t
+	for i := 0; i < limit; i++ {
+		need := e.comp.InstrReadyBytes(block, i)
+		beat := (slack + need + w - 1) / w
+		arrive := burst.BeatTime(beat - 1)
+		c := maxU64(arrive, prev) + uint64(e.cfg.CyclesPerInstr)
+		done[i] = c
+		prev = c
+	}
+	ret := prev + uint64(e.cfg.TrapOverhead)/2 // return-from-trap
+
+	if e.cfg.DecodeWholeBlock {
+		e.bufBlock = block
+		e.bufReady = done
+		e.bufValid = true
+	} else {
+		e.bufValid = false
+	}
+	for i := 0; i < LineInstrs; i++ {
+		idx := lineOff + i
+		if idx < limit {
+			fill.Ready[i] = maxU64(done[idx], ret)
+		} else {
+			fill.Ready[i] = ret
+		}
+		fill.Done = maxU64(fill.Done, fill.Ready[i])
+	}
+	return fill
+}

@@ -1,0 +1,107 @@
+package decomp
+
+import (
+	"testing"
+
+	"codepack/internal/isa"
+	"codepack/internal/mem"
+)
+
+func newSoftware(t *testing.T, cfg SoftwareConfig) *Software {
+	t.Helper()
+	e, err := NewSoftware(paperComp(t), newBus(t, mem.Baseline()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestSoftwareConfigValidate(t *testing.T) {
+	if err := DefaultSoftware().Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	if err := (SoftwareConfig{TrapOverhead: -1, CyclesPerInstr: 1}).Validate(); err == nil {
+		t.Error("negative trap accepted")
+	}
+	if err := (SoftwareConfig{TrapOverhead: 10, CyclesPerInstr: 0}).Validate(); err == nil {
+		t.Error("zero decode cost accepted")
+	}
+}
+
+func TestSoftwareSlowerThanHardware(t *testing.T) {
+	hw, err := NewCodePack(paperComp(t), newBus(t, mem.Baseline()), BaselineCodePack())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := newSoftware(t, DefaultSoftware())
+	hf := hw.FetchLine(0, isa.TextBase, 4)
+	sf := sw.FetchLine(0, isa.TextBase, 4)
+	if sf.Ready[4] <= hf.Ready[4] {
+		t.Fatalf("software critical at %d not slower than hardware %d",
+			sf.Ready[4], hf.Ready[4])
+	}
+	// The trap overhead alone puts the first instruction past the
+	// hardware index fetch time.
+	if sf.Ready[0] < uint64(DefaultSoftware().TrapOverhead) {
+		t.Fatalf("first instruction at %d, before the trap completes", sf.Ready[0])
+	}
+}
+
+func TestSoftwareBufferHit(t *testing.T) {
+	sw := newSoftware(t, DefaultSoftware())
+	first := sw.FetchLine(0, isa.TextBase, 0)
+	second := sw.FetchLine(first.Done+10, isa.TextBase+32, 0)
+	if sw.Stats().BufferHits != 1 {
+		t.Fatalf("buffer hits = %d, want 1", sw.Stats().BufferHits)
+	}
+	if second.Ready[0] != first.Done+11 {
+		t.Fatalf("buffered line at %d, want now+1", second.Ready[0])
+	}
+}
+
+func TestSoftwarePartialDecodeIsFasterButNoPrefetch(t *testing.T) {
+	full := newSoftware(t, DefaultSoftware())
+	partial := DefaultSoftware()
+	partial.DecodeWholeBlock = false
+	part := newSoftware(t, partial)
+
+	// Request the FIRST line of a block: the partial handler decodes 8
+	// instead of 16 instructions, so the line completes earlier.
+	ff := full.FetchLine(0, isa.TextBase, 0)
+	pf := part.FetchLine(0, isa.TextBase, 0)
+	if pf.Done >= ff.Done {
+		t.Fatalf("partial decode done at %d, full at %d", pf.Done, ff.Done)
+	}
+
+	// But the second line of the block is not buffered.
+	full.FetchLine(1000, isa.TextBase+32, 0)
+	part.FetchLine(1000, isa.TextBase+32, 0)
+	if full.Stats().BufferHits != 1 {
+		t.Error("full decode should have buffered the second line")
+	}
+	if part.Stats().BufferHits != 0 {
+		t.Error("partial decode has no prefetch to hit")
+	}
+}
+
+func TestSoftwareIndexRegister(t *testing.T) {
+	sw := newSoftware(t, DefaultSoftware())
+	sw.FetchLine(0, isa.TextBase, 0)      // block 0, group 0: index load
+	sw.FetchLine(500, isa.TextBase+64, 0) // block 1, same group: register hit
+	s := sw.Stats()
+	if s.IndexLookups != 2 || s.IndexMisses != 1 {
+		t.Fatalf("index lookups/misses = %d/%d, want 2/1", s.IndexLookups, s.IndexMisses)
+	}
+}
+
+func TestSoftwareDecodeCostScales(t *testing.T) {
+	fast := DefaultSoftware()
+	fast.CyclesPerInstr = 2
+	slow := DefaultSoftware()
+	slow.CyclesPerInstr = 20
+	f := newSoftware(t, fast).FetchLine(0, isa.TextBase, 7)
+	s := newSoftware(t, slow).FetchLine(0, isa.TextBase, 7)
+	if s.Ready[7] <= f.Ready[7] {
+		t.Fatalf("10x decode cost did not slow the miss (%d vs %d)", s.Ready[7], f.Ready[7])
+	}
+}

@@ -1,0 +1,102 @@
+// Package harness wires workloads, architectures and fetch models into the
+// paper's experiments: one function per table or figure, each returning a
+// rendered Table plus the raw values tests assert against.
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"codepack/internal/core"
+	"codepack/internal/cpu"
+	"codepack/internal/program"
+	"codepack/internal/workload"
+)
+
+// DefaultMaxInstr is the committed-instruction budget per simulation. The
+// paper runs each benchmark past 10^9 instructions; every reported metric
+// is a rate, so a few million instructions reach the same steady state
+// (see EXPERIMENTS.md).
+const DefaultMaxInstr = 2_000_000
+
+// Bench is a generated benchmark with its compressed form.
+type Bench struct {
+	Profile workload.Profile
+	Image   *program.Image
+	Comp    *core.Compressed
+}
+
+// Suite caches generated benchmarks and runs simulations.
+type Suite struct {
+	// MaxInstr caps committed instructions per run (0 = DefaultMaxInstr).
+	MaxInstr uint64
+
+	mu      sync.Mutex
+	benches map[string]*Bench
+}
+
+// NewSuite creates a suite with the given per-run instruction budget
+// (0 uses DefaultMaxInstr).
+func NewSuite(maxInstr uint64) *Suite {
+	if maxInstr == 0 {
+		maxInstr = DefaultMaxInstr
+	}
+	return &Suite{MaxInstr: maxInstr, benches: make(map[string]*Bench)}
+}
+
+// Bench returns the named benchmark, generating and compressing it on first
+// use.
+func (s *Suite) Bench(name string) (*Bench, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.benches[name]; ok {
+		return b, nil
+	}
+	p, ok := workload.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown benchmark %q", name)
+	}
+	im, err := workload.Generate(p)
+	if err != nil {
+		return nil, fmt.Errorf("harness: generate %s: %w", name, err)
+	}
+	comp, err := core.Compress(im)
+	if err != nil {
+		return nil, fmt.Errorf("harness: compress %s: %w", name, err)
+	}
+	b := &Bench{Profile: p, Image: im, Comp: comp}
+	s.benches[name] = b
+	return b, nil
+}
+
+// All returns every benchmark in paper order.
+func (s *Suite) All() ([]*Bench, error) {
+	var out []*Bench
+	for _, p := range workload.Profiles() {
+		b, err := s.Bench(p.Name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// Run simulates bench on cfg with the given fetch model, reusing the cached
+// compressed image.
+func (s *Suite) Run(b *Bench, cfg cpu.Config, model cpu.FetchModel) (cpu.Result, error) {
+	if model.Kind == cpu.FetchCodePack && model.Comp == nil {
+		model.Comp = b.Comp
+	}
+	return cpu.Simulate(b.Image, cfg, model, s.MaxInstr)
+}
+
+// runPair runs native and one compressed model and returns both results.
+func (s *Suite) runPair(b *Bench, cfg cpu.Config, model cpu.FetchModel) (native, comp cpu.Result, err error) {
+	native, err = s.Run(b, cfg, cpu.NativeModel())
+	if err != nil {
+		return
+	}
+	comp, err = s.Run(b, cfg, model)
+	return
+}

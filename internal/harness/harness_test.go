@@ -1,0 +1,482 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"codepack/internal/cpu"
+)
+
+// suite is shared across tests: benchmark generation and compression are
+// the expensive parts and are cached inside.
+var suite = NewSuite(400_000)
+
+func value(t *testing.T, tb *Table, row, col string) float64 {
+	t.Helper()
+	v, ok := tb.Value(row, col)
+	if !ok {
+		t.Fatalf("%s: missing value %s/%s", tb.ID, row, col)
+	}
+	return v
+}
+
+func TestSuiteBenchCaching(t *testing.T) {
+	a, err := suite.Bench("pegwit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := suite.Bench("pegwit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("bench not cached")
+	}
+	if _, err := suite.Bench("quake"); err == nil {
+		t.Fatal("unknown bench accepted")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := newTable("t", "demo", "a", "b")
+	tb.addRow("x", "1.00")
+	tb.set("x", "v", 1.0)
+	s := tb.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "1.00") {
+		t.Fatalf("rendering broken:\n%s", s)
+	}
+	if v, ok := tb.Value("x", "v"); !ok || v != 1.0 {
+		t.Fatal("value store broken")
+	}
+}
+
+func TestTable2Static(t *testing.T) {
+	tb := Table2()
+	if len(tb.Rows) < 10 {
+		t.Fatalf("table2 has %d rows", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if len(row) != 4 {
+			t.Fatalf("row %v has %d cells", row, len(row))
+		}
+	}
+}
+
+func TestTable3RatiosInPaperBand(t *testing.T) {
+	tb, err := suite.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []string{"cc1", "go", "mpeg2enc", "pegwit", "perl", "vortex"} {
+		r := value(t, tb, b, "ratio")
+		if r < 0.50 || r > 0.67 {
+			t.Errorf("%s ratio %.3f outside paper band", b, r)
+		}
+	}
+}
+
+func TestTable4CompositionShape(t *testing.T) {
+	tb, err := suite.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []string{"cc1", "vortex"} {
+		idx := value(t, tb, b, "index")
+		if idx < 0.03 || idx > 0.07 {
+			t.Errorf("%s index share %.3f, paper ~0.05", b, idx)
+		}
+		if value(t, tb, b, "indices") < value(t, tb, b, "tags") {
+			t.Errorf("%s: dictionary indices should dominate tags", b)
+		}
+	}
+}
+
+// TestTable5Shape: baseline CodePack loses against native on the I-miss
+// heavy benchmarks, the optimized model is close to or better than native,
+// and media benchmarks are insensitive (the paper's core Table 5 claims).
+func TestTable5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full IPC matrix")
+	}
+	tb, err := suite.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arch := range []string{"1-issue", "4-issue", "8-issue"} {
+		for _, b := range []string{"cc1", "go", "perl", "vortex"} {
+			nat := value(t, tb, b, arch+"/native")
+			cp := value(t, tb, b, arch+"/codepack")
+			opt := value(t, tb, b, arch+"/optimized")
+			if cp >= nat {
+				t.Errorf("%s/%s: baseline codepack (%.2f) not slower than native (%.2f)",
+					arch, b, cp, nat)
+			}
+			// Paper: performance loss under 14%/18%/13% for 1/4/8-issue.
+			if cp < nat*0.70 {
+				t.Errorf("%s/%s: codepack loss too large (%.2f vs %.2f)", arch, b, cp, nat)
+			}
+			if opt < nat*0.90 || opt > nat*1.25 {
+				t.Errorf("%s/%s: optimized (%.2f) not near native (%.2f)", arch, b, opt, nat)
+			}
+		}
+		for _, b := range []string{"mpeg2enc", "pegwit"} {
+			nat := value(t, tb, b, arch+"/native")
+			cp := value(t, tb, b, arch+"/codepack")
+			if cp < nat*0.97 {
+				t.Errorf("%s/%s: media bench should be insensitive (%.2f vs %.2f)",
+					arch, b, cp, nat)
+			}
+		}
+	}
+	// IPC grows with issue width for every benchmark under native fetch.
+	for _, b := range []string{"cc1", "mpeg2enc", "pegwit"} {
+		if !(value(t, tb, b, "1-issue/native") < value(t, tb, b, "4-issue/native")) {
+			t.Errorf("%s: 4-issue not faster than 1-issue", b)
+		}
+	}
+}
+
+// TestTable6Shape: index-cache miss ratio falls with both more lines and
+// more entries per line.
+func TestTable6Shape(t *testing.T) {
+	tb, err := suite.Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := []string{"4", "16", "64", "256"}
+	entries := []string{"1", "2", "4", "8"}
+	for i, l := range lines {
+		for j, e := range entries {
+			v := value(t, tb, l, e)
+			if j > 0 && v > value(t, tb, l, entries[j-1])+0.02 {
+				t.Errorf("%s lines: miss ratio rose with line size (%s: %.3f)", l, e, v)
+			}
+			if i > 0 && v > value(t, tb, lines[i-1], e)+0.02 {
+				t.Errorf("%s entries: miss ratio rose with more lines (%s: %.3f)", e, l, v)
+			}
+		}
+	}
+	// The paper's chosen organization (64x4) must be a large improvement
+	// over the baseline register (well under 50% misses).
+	if v := value(t, tb, "64", "4"); v > 0.35 {
+		t.Errorf("64x4 index cache misses %.1f%%, expected sizeable hit rate", v*100)
+	}
+}
+
+// TestTable7Shape: perfect index >= real index cache >= baseline.
+func TestTable7Shape(t *testing.T) {
+	tb, err := suite.Table7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []string{"cc1", "go", "perl", "vortex"} {
+		base := value(t, tb, b, "codepack")
+		idx := value(t, tb, b, "index cache")
+		perf := value(t, tb, b, "perfect")
+		if !(base <= idx+0.01 && idx <= perf+0.01) {
+			t.Errorf("%s: ordering broken: %.2f, %.2f, %.2f", b, base, idx, perf)
+		}
+		if idx-base < 0.02 {
+			t.Errorf("%s: index cache gained only %.3f", b, idx-base)
+		}
+	}
+}
+
+// TestTable8Shape: the paper's finding that 2 decompressors capture most of
+// the available decode-rate benefit.
+func TestTable8Shape(t *testing.T) {
+	tb, err := suite.Table8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []string{"cc1", "go", "perl", "vortex"} {
+		one := value(t, tb, b, "codepack")
+		two := value(t, tb, b, "2 decoders")
+		sixteen := value(t, tb, b, "16 decoders")
+		if two < one || sixteen < two-0.01 {
+			t.Errorf("%s: decode-rate ordering broken: %.2f %.2f %.2f", b, one, two, sixteen)
+		}
+		if sixteen-one > 0 && (two-one)/(sixteen-one) < 0.6 {
+			t.Errorf("%s: 2 decoders captured only %.0f%% of the benefit",
+				b, 100*(two-one)/(sixteen-one))
+		}
+	}
+}
+
+// TestTable9Shape: both optimizations individually help; combined they are
+// best and reach parity or slight speedup (the paper's Table 9).
+func TestTable9Shape(t *testing.T) {
+	tb, err := suite.Table9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []string{"cc1", "go", "perl", "vortex"} {
+		base := value(t, tb, b, "codepack")
+		idx := value(t, tb, b, "index")
+		dec := value(t, tb, b, "decompress")
+		all := value(t, tb, b, "all")
+		if idx <= base || dec <= base {
+			t.Errorf("%s: an optimization did not help (%.2f %.2f vs %.2f)", b, idx, dec, base)
+		}
+		if all < idx-0.01 || all < dec-0.01 {
+			t.Errorf("%s: combined (%.2f) worse than individual (%.2f, %.2f)", b, all, idx, dec)
+		}
+		if all < 0.92 || all > 1.15 {
+			t.Errorf("%s: combined speedup %.2f not near parity", b, all)
+		}
+	}
+}
+
+// TestTable10Shape: small caches amplify CodePack's effects; with a big
+// cache everything converges to native performance.
+func TestTable10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cache sweep")
+	}
+	tb, err := suite.Table10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []string{"cc1", "go", "vortex"} {
+		opt1 := value(t, tb, b, "1KB/optimized")
+		opt64 := value(t, tb, b, "64KB/optimized")
+		if opt1 <= opt64 {
+			t.Errorf("%s: optimized gains (%.2f @1KB) should exceed @64KB (%.2f)", b, opt1, opt64)
+		}
+		if opt1 < 1.0 {
+			t.Errorf("%s: paper says optimized beats native at small caches, got %.2f", b, opt1)
+		}
+		cp64 := value(t, tb, b, "64KB/codepack")
+		cp16 := value(t, tb, b, "16KB/codepack")
+		if cp64 < cp16-0.05 {
+			t.Errorf("%s: baseline should not degrade with larger caches (%.2f @64KB vs %.2f @16KB)",
+				b, cp64, cp16)
+		}
+	}
+}
+
+// TestTable11Shape: CodePack wins on narrow buses and loses on wide ones;
+// the optimized model degrades gracefully (the paper's Table 11).
+func TestTable11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bus sweep")
+	}
+	tb, err := suite.Table11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []string{"cc1", "go", "perl", "vortex"} {
+		narrow := value(t, tb, b, "16/optimized")
+		wide := value(t, tb, b, "128/optimized")
+		if narrow <= wide {
+			t.Errorf("%s: optimized should prefer narrow buses (%.2f vs %.2f)", b, narrow, wide)
+		}
+		if narrow < 1.0 {
+			t.Errorf("%s: optimized on a 16-bit bus should beat native, got %.2f", b, narrow)
+		}
+		if value(t, tb, b, "128/codepack") >= 1.0 {
+			t.Errorf("%s: baseline should lose on a wide bus", b)
+		}
+		if wide >= value(t, tb, b, "128/codepack")+0.5 || wide < 0.8 {
+			t.Errorf("%s: optimized at 128 bits degrades too much: %.2f", b, wide)
+		}
+	}
+}
+
+// TestTable12Shape: slower memory favours compression (fewer accesses).
+func TestTable12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency sweep")
+	}
+	tb, err := suite.Table12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []string{"cc1", "go", "perl", "vortex"} {
+		fast := value(t, tb, b, "0.5x/optimized")
+		slow := value(t, tb, b, "8x/optimized")
+		if slow <= fast {
+			t.Errorf("%s: optimized should gain with memory latency (%.2f vs %.2f)", b, fast, slow)
+		}
+		if slow < 1.0 {
+			t.Errorf("%s: optimized at 8x latency should beat native, got %.2f", b, slow)
+		}
+	}
+}
+
+// TestFigure2PaperNumbers: the worked example must match the paper exactly.
+func TestFigure2PaperNumbers(t *testing.T) {
+	tb, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := value(t, tb, "native", "critical"); v != 10 {
+		t.Errorf("native critical at t=%v, paper says 10", v)
+	}
+	if v := value(t, tb, "codepack", "critical"); v != 25 {
+		t.Errorf("baseline critical at t=%v, paper says 25", v)
+	}
+	if v := value(t, tb, "optimized", "critical"); v != 14 {
+		t.Errorf("optimized critical at t=%v, paper says 14", v)
+	}
+}
+
+// TestTable1MissRates: dynamic calibration against the paper's Table 1.
+func TestTable1MissRates(t *testing.T) {
+	tb, err := suite.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	band := map[string][2]float64{ // paper value +/- tolerance
+		"cc1":      {0.050, 0.085},
+		"go":       {0.045, 0.080},
+		"mpeg2enc": {0.000, 0.005},
+		"pegwit":   {0.000, 0.008},
+		"perl":     {0.030, 0.060},
+		"vortex":   {0.045, 0.085},
+	}
+	for b, lim := range band {
+		v := value(t, tb, b, "imiss")
+		if v < lim[0] || v > lim[1] {
+			t.Errorf("%s: I-miss rate %.3f outside calibration band [%.3f, %.3f]",
+				b, v, lim[0], lim[1])
+		}
+	}
+}
+
+func TestRunReusesCompressedImage(t *testing.T) {
+	b, err := suite.Bench("pegwit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := suite.Run(b, cpu.FourIssue(), cpu.BaselineModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ratio != b.Comp.Stats().Ratio() {
+		t.Fatal("run did not reuse the cached compressed image")
+	}
+}
+
+// TestRelatedWorkOrdering reproduces the paper's section 2 comparison:
+// whole-instruction dictionary compression lands near CodePack, while
+// byte-granularity Huffman (CCRP) is clearly worse.
+func TestRelatedWorkOrdering(t *testing.T) {
+	tb, err := suite.RelatedWork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []string{"cc1", "go", "perl", "vortex"} {
+		cp := value(t, tb, b, "codepack")
+		hc := value(t, tb, b, "ccrp")
+		lf := value(t, tb, b, "lefurgy")
+		if hc <= cp+0.10 {
+			t.Errorf("%s: CCRP (%.2f) should be clearly worse than CodePack (%.2f)", b, hc, cp)
+		}
+		if lf > cp+0.06 || lf < cp-0.10 {
+			t.Errorf("%s: dictionary ratio %.2f not similar to CodePack %.2f", b, lf, cp)
+		}
+	}
+}
+
+// TestDictTransferCostsRatio: transplanted dictionaries must still round
+// trip but compress worse than program-specific ones.
+func TestDictTransferCostsRatio(t *testing.T) {
+	tb, err := suite.DictTransfer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []string{"go", "perl", "vortex", "pegwit"} {
+		own := value(t, tb, b, "own")
+		foreign := value(t, tb, b, "mpeg2enc")
+		if foreign <= own {
+			t.Errorf("%s: foreign dictionaries (%.3f) not worse than own (%.3f)",
+				b, foreign, own)
+		}
+	}
+	// Self-transfer is identity.
+	if own, cc1 := mustVal(t, tb, "cc1", "own"), mustVal(t, tb, "cc1", "cc1"); own != cc1 {
+		t.Errorf("cc1 with its own dictionaries: %.4f vs %.4f", own, cc1)
+	}
+}
+
+func mustVal(t *testing.T, tb *Table, row, col string) float64 {
+	t.Helper()
+	return value(t, tb, row, col)
+}
+
+func TestTableMarkdownAndCSV(t *testing.T) {
+	tb := newTable("tx", "demo", "bench", "value")
+	tb.addRow("cc1", "0.80")
+	tb.addRow("weird,name", `says "hi"`)
+	md := tb.Markdown()
+	if !strings.Contains(md, "| cc1 | 0.80 |") || !strings.Contains(md, "|---|---|") {
+		t.Fatalf("markdown broken:\n%s", md)
+	}
+	csv := tb.CSV()
+	if !strings.Contains(csv, "bench,value\n") || !strings.Contains(csv, "cc1,0.80\n") {
+		t.Fatalf("csv broken:\n%s", csv)
+	}
+	if !strings.Contains(csv, `"weird,name","says ""hi"""`) {
+		t.Fatalf("csv quoting broken:\n%s", csv)
+	}
+}
+
+// TestInstructionMixRealistic: the synthetic benchmarks must carry a
+// compiled-code-like dynamic instruction mix.
+func TestInstructionMixRealistic(t *testing.T) {
+	for _, name := range []string{"cc1", "vortex", "mpeg2enc"} {
+		b, err := suite.Bench(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := suite.Run(b, cpu.FourIssue(), cpu.NativeModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := float64(r.Instructions)
+		loads := float64(r.Loads) / n
+		stores := float64(r.Stores) / n
+		branches := float64(r.Branches) / n
+		if loads < 0.08 || loads > 0.35 {
+			t.Errorf("%s: load fraction %.2f unrealistic", name, loads)
+		}
+		if stores < 0.04 || stores > 0.20 {
+			t.Errorf("%s: store fraction %.2f unrealistic", name, stores)
+		}
+		if branches < 0.05 || branches > 0.25 {
+			t.Errorf("%s: branch fraction %.2f unrealistic", name, branches)
+		}
+	}
+}
+
+// TestSeedStability: headline metrics must be robust to the generator seed.
+func TestSeedStability(t *testing.T) {
+	tb, err := suite.SeedStability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ratios, speedups []float64
+	for _, seed := range []string{"101", "201", "301"} {
+		ratios = append(ratios, mustVal(t, tb, seed, "ratio"))
+		speedups = append(speedups, mustVal(t, tb, seed, "codepack"))
+	}
+	spread := func(v []float64) float64 {
+		lo, hi := v[0], v[0]
+		for _, x := range v {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		return hi - lo
+	}
+	if spread(ratios) > 0.02 {
+		t.Errorf("ratio spread %.3f across seeds", spread(ratios))
+	}
+	if spread(speedups) > 0.06 {
+		t.Errorf("speedup spread %.3f across seeds", spread(speedups))
+	}
+}

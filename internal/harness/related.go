@@ -1,0 +1,143 @@
+package harness
+
+import (
+	"fmt"
+
+	"codepack/internal/ccrp"
+	"codepack/internal/core"
+	"codepack/internal/cpu"
+	"codepack/internal/lefurgy"
+	"codepack/internal/workload"
+)
+
+// RelatedWork compares CodePack's compression ratio against the two
+// related-work schemes the paper discusses in section 2: CCRP's
+// byte-Huffman lines (Wolfe/Chanin, ~73% on MIPS) and the Lefurgy'97
+// whole-instruction dictionary (ratios similar to CodePack, but with a
+// several-thousand-entry dictionary).
+func (s *Suite) RelatedWork() (*Table, error) {
+	t := newTable("related", "Compression ratio: CodePack vs related work",
+		"bench", "codepack", "ccrp huffman", "instr dictionary", "dict entries")
+	benches, err := s.All()
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range benches {
+		cp := b.Comp.Stats().Ratio()
+		hc, err := ccrp.Compress(b.Image.TextBase, b.Image.Text)
+		if err != nil {
+			return nil, err
+		}
+		lc, err := lefurgy.Compress(b.Image.TextBase, b.Image.Text)
+		if err != nil {
+			return nil, err
+		}
+		t.addRow(b.Profile.Name, pct(cp), pct(hc.Ratio()), pct(lc.Ratio()),
+			itoa(len(lc.Dict)))
+		t.set(b.Profile.Name, "codepack", cp)
+		t.set(b.Profile.Name, "ccrp", hc.Ratio())
+		t.set(b.Profile.Name, "lefurgy", lc.Ratio())
+	}
+	return t, nil
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+// DictTransfer measures how much CodePack's load-time dictionary
+// adaptation buys: each benchmark is compressed with its own dictionaries
+// and with dictionaries trained on a different program.
+func (s *Suite) DictTransfer() (*Table, error) {
+	t := newTable("dicttransfer", "Compression ratio with transplanted dictionaries",
+		"bench", "own dicts", "cc1 dicts", "mpeg2enc dicts")
+	benches, err := s.All()
+	if err != nil {
+		return nil, err
+	}
+	donors := map[string]*Bench{}
+	for _, d := range []string{"cc1", "mpeg2enc"} {
+		b, err := s.Bench(d)
+		if err != nil {
+			return nil, err
+		}
+		donors[d] = b
+	}
+	for _, b := range benches {
+		own := b.Comp.Stats().Ratio()
+		t.addRow(b.Profile.Name, pct(own), "", "")
+		row := t.Rows[len(t.Rows)-1]
+		t.set(b.Profile.Name, "own", own)
+		for i, d := range []string{"cc1", "mpeg2enc"} {
+			c, err := core.CompressWordsWith(b.Profile.Name, b.Image.TextBase,
+				b.Image.Text, core.Options{
+					FixedHigh: donors[d].Comp.High,
+					FixedLow:  donors[d].Comp.Low,
+				})
+			if err != nil {
+				return nil, err
+			}
+			row[2+i] = pct(c.Stats().Ratio())
+			t.set(b.Profile.Name, d, c.Stats().Ratio())
+		}
+	}
+	return t, nil
+}
+
+// SeedStability regenerates one benchmark with different random seeds and
+// reports how stable the headline metrics are — evidence that the
+// reproduction's conclusions are not an artifact of a particular synthetic
+// program instance.
+func (s *Suite) SeedStability() (*Table, error) {
+	t := newTable("seeds", "cc1 metric stability across generator seeds",
+		"seed", "ratio", "I-miss (native)", "codepack speedup", "optimized speedup")
+	base, ok := workload.ByName("cc1")
+	if !ok {
+		return nil, fmt.Errorf("harness: cc1 profile missing")
+	}
+	for _, seed := range []int64{base.Seed, base.Seed + 100, base.Seed + 200} {
+		p := base
+		p.Seed = seed
+		im, err := workload.Generate(p)
+		if err != nil {
+			return nil, err
+		}
+		comp, err := core.Compress(im)
+		if err != nil {
+			return nil, err
+		}
+		cfg := cpu.FourIssue()
+		native, err := cpu.Simulate(im, cfg, cpu.NativeModel(), s.MaxInstr)
+		if err != nil {
+			return nil, err
+		}
+		model := cpu.BaselineModel()
+		model.Comp = comp
+		cp, err := cpu.Simulate(im, cfg, model, s.MaxInstr)
+		if err != nil {
+			return nil, err
+		}
+		model = cpu.OptimizedModel()
+		model.Comp = comp
+		opt, err := cpu.Simulate(im, cfg, model, s.MaxInstr)
+		if err != nil {
+			return nil, err
+		}
+		row := fmt.Sprint(seed)
+		t.addRow(row, pct(comp.Stats().Ratio()), pct(native.IMissRate()),
+			f2(cp.SpeedupOver(native)), f2(opt.SpeedupOver(native)))
+		t.set(row, "ratio", comp.Stats().Ratio())
+		t.set(row, "imiss", native.IMissRate())
+		t.set(row, "codepack", cp.SpeedupOver(native))
+		t.set(row, "optimized", opt.SpeedupOver(native))
+	}
+	return t, nil
+}

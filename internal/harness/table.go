@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result, one per paper table/figure.
+type Table struct {
+	ID      string // e.g. "table5"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Values carries the raw numbers keyed "row/col" for tests.
+	Values map[string]float64
+}
+
+func newTable(id, title string, cols ...string) *Table {
+	return &Table{ID: id, Title: title, Columns: cols, Values: make(map[string]float64)}
+}
+
+func (t *Table) addRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+func (t *Table) set(row, col string, v float64) {
+	t.Values[row+"/"+col] = v
+}
+
+// Value returns the raw number recorded for (row, col).
+func (t *Table) Value(row, col string) (float64, bool) {
+	v, ok := t.Values[row+"/"+col]
+	return v, ok
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// Markdown renders the table as GitHub-flavoured markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s: %s\n\n", t.ID, t.Title)
+	row := func(cells []string) {
+		b.WriteString("|")
+		for _, c := range cells {
+			b.WriteString(" " + c + " |")
+		}
+		b.WriteByte('\n')
+	}
+	row(t.Columns)
+	b.WriteString("|")
+	for range t.Columns {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		row(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	row := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	row(t.Columns)
+	for _, r := range t.Rows {
+		row(r)
+	}
+	return b.String()
+}

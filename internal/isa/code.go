@@ -1,0 +1,329 @@
+package isa
+
+import "fmt"
+
+// Inst is a decoded SS32 instruction. Fields not used by a format are zero.
+type Inst struct {
+	Op     Op
+	Rs     uint8  // source register 1 (or base for memory ops)
+	Rt     uint8  // source register 2 / destination for I-format
+	Rd     uint8  // destination for R-format
+	Shamt  uint8  // shift amount
+	Imm    int32  // sign-extended 16-bit immediate
+	UImm   uint32 // zero-extended 16-bit immediate (logical ops, LUI)
+	Target uint32 // absolute byte target for J/JAL
+}
+
+// Decode decodes one instruction word. Unknown encodings decode to OpInvalid.
+func Decode(w Word) Inst {
+	op := w >> 26
+	rs := uint8(w >> 21 & 31)
+	rt := uint8(w >> 16 & 31)
+	rd := uint8(w >> 11 & 31)
+	sh := uint8(w >> 6 & 31)
+	imm := int32(int16(w))
+	uimm := w & 0xFFFF
+
+	switch op {
+	case opSpecial:
+		in := Inst{Rs: rs, Rt: rt, Rd: rd, Shamt: sh}
+		switch w & 0x3F {
+		case fnSLL:
+			in.Op = OpSLL
+		case fnSRL:
+			in.Op = OpSRL
+		case fnSRA:
+			in.Op = OpSRA
+		case fnSLLV:
+			in.Op = OpSLLV
+		case fnSRLV:
+			in.Op = OpSRLV
+		case fnSRAV:
+			in.Op = OpSRAV
+		case fnJR:
+			in.Op = OpJR
+		case fnJALR:
+			in.Op = OpJALR
+		case fnSYSCALL:
+			in.Op = OpSYSCALL
+		case fnMFHI:
+			in.Op = OpMFHI
+		case fnMFLO:
+			in.Op = OpMFLO
+		case fnMULT:
+			in.Op = OpMULT
+		case fnMULTU:
+			in.Op = OpMULTU
+		case fnDIV:
+			in.Op = OpDIV
+		case fnDIVU:
+			in.Op = OpDIVU
+		case fnADD:
+			in.Op = OpADD
+		case fnADDU:
+			in.Op = OpADDU
+		case fnSUB:
+			in.Op = OpSUB
+		case fnSUBU:
+			in.Op = OpSUBU
+		case fnAND:
+			in.Op = OpAND
+		case fnOR:
+			in.Op = OpOR
+		case fnXOR:
+			in.Op = OpXOR
+		case fnNOR:
+			in.Op = OpNOR
+		case fnSLT:
+			in.Op = OpSLT
+		case fnSLTU:
+			in.Op = OpSLTU
+		}
+		return in
+	case opRegImm:
+		in := Inst{Rs: rs, Imm: imm}
+		switch rt {
+		case riBLTZ:
+			in.Op = OpBLTZ
+		case riBGEZ:
+			in.Op = OpBGEZ
+		}
+		return in
+	case opJ, opJAL:
+		o := OpJ
+		if op == opJAL {
+			o = OpJAL
+		}
+		return Inst{Op: o, Target: (w & 0x03FF_FFFF) << 2}
+	case opCOP1:
+		// COP1: | op | fmt | ft | fs | fd | funct |
+		in := Inst{Rs: rd, Rt: rt, Rd: sh} // fs, ft, fd
+		switch w & 0x3F {
+		case fpADD:
+			in.Op = OpFADD
+		case fpSUB:
+			in.Op = OpFSUB
+		case fpMUL:
+			in.Op = OpFMUL
+		case fpDIV:
+			in.Op = OpFDIV
+		case fpMOV:
+			in.Op = OpFMOV
+		case fpNEG:
+			in.Op = OpFNEG
+		}
+		return in
+	}
+
+	in := Inst{Rs: rs, Rt: rt, Imm: imm, UImm: uimm}
+	switch op {
+	case opBEQ:
+		in.Op = OpBEQ
+	case opBNE:
+		in.Op = OpBNE
+	case opBLEZ:
+		in.Op = OpBLEZ
+	case opBGTZ:
+		in.Op = OpBGTZ
+	case opADDI:
+		in.Op = OpADDI
+	case opADDIU:
+		in.Op = OpADDIU
+	case opSLTI:
+		in.Op = OpSLTI
+	case opSLTIU:
+		in.Op = OpSLTIU
+	case opANDI:
+		in.Op = OpANDI
+	case opORI:
+		in.Op = OpORI
+	case opXORI:
+		in.Op = OpXORI
+	case opLUI:
+		in.Op = OpLUI
+	case opLB:
+		in.Op = OpLB
+	case opLH:
+		in.Op = OpLH
+	case opLW:
+		in.Op = OpLW
+	case opLBU:
+		in.Op = OpLBU
+	case opLHU:
+		in.Op = OpLHU
+	case opSB:
+		in.Op = OpSB
+	case opSH:
+		in.Op = OpSH
+	case opSW:
+		in.Op = OpSW
+	case opLWC1:
+		in.Op = OpLWC1
+	case opSWC1:
+		in.Op = OpSWC1
+	}
+	return in
+}
+
+// Encode produces the instruction word for in. It is the inverse of Decode
+// for every valid instruction.
+func Encode(in Inst) (Word, error) {
+	r := func(op uint32, in Inst, fn uint32) Word {
+		return op<<26 | uint32(in.Rs)<<21 | uint32(in.Rt)<<16 |
+			uint32(in.Rd)<<11 | uint32(in.Shamt)<<6 | fn
+	}
+	i := func(op uint32, in Inst) Word {
+		return op<<26 | uint32(in.Rs)<<21 | uint32(in.Rt)<<16 | uint32(uint16(in.Imm))
+	}
+	iu := func(op uint32, in Inst) Word {
+		return op<<26 | uint32(in.Rs)<<21 | uint32(in.Rt)<<16 | in.UImm&0xFFFF
+	}
+	switch in.Op {
+	case OpSLL:
+		return r(opSpecial, in, fnSLL), nil
+	case OpSRL:
+		return r(opSpecial, in, fnSRL), nil
+	case OpSRA:
+		return r(opSpecial, in, fnSRA), nil
+	case OpSLLV:
+		return r(opSpecial, in, fnSLLV), nil
+	case OpSRLV:
+		return r(opSpecial, in, fnSRLV), nil
+	case OpSRAV:
+		return r(opSpecial, in, fnSRAV), nil
+	case OpJR:
+		return r(opSpecial, in, fnJR), nil
+	case OpJALR:
+		return r(opSpecial, in, fnJALR), nil
+	case OpSYSCALL:
+		return r(opSpecial, Inst{}, fnSYSCALL), nil
+	case OpMFHI:
+		return r(opSpecial, Inst{Rd: in.Rd}, fnMFHI), nil
+	case OpMFLO:
+		return r(opSpecial, Inst{Rd: in.Rd}, fnMFLO), nil
+	case OpMULT:
+		return r(opSpecial, Inst{Rs: in.Rs, Rt: in.Rt}, fnMULT), nil
+	case OpMULTU:
+		return r(opSpecial, Inst{Rs: in.Rs, Rt: in.Rt}, fnMULTU), nil
+	case OpDIV:
+		return r(opSpecial, Inst{Rs: in.Rs, Rt: in.Rt}, fnDIV), nil
+	case OpDIVU:
+		return r(opSpecial, Inst{Rs: in.Rs, Rt: in.Rt}, fnDIVU), nil
+	case OpADD:
+		return r(opSpecial, in, fnADD), nil
+	case OpADDU:
+		return r(opSpecial, in, fnADDU), nil
+	case OpSUB:
+		return r(opSpecial, in, fnSUB), nil
+	case OpSUBU:
+		return r(opSpecial, in, fnSUBU), nil
+	case OpAND:
+		return r(opSpecial, in, fnAND), nil
+	case OpOR:
+		return r(opSpecial, in, fnOR), nil
+	case OpXOR:
+		return r(opSpecial, in, fnXOR), nil
+	case OpNOR:
+		return r(opSpecial, in, fnNOR), nil
+	case OpSLT:
+		return r(opSpecial, in, fnSLT), nil
+	case OpSLTU:
+		return r(opSpecial, in, fnSLTU), nil
+	case OpBLTZ:
+		return i(opRegImm, Inst{Rs: in.Rs, Rt: riBLTZ, Imm: in.Imm}), nil
+	case OpBGEZ:
+		return i(opRegImm, Inst{Rs: in.Rs, Rt: riBGEZ, Imm: in.Imm}), nil
+	case OpJ:
+		return opJ<<26 | in.Target>>2&0x03FF_FFFF, nil
+	case OpJAL:
+		return opJAL<<26 | in.Target>>2&0x03FF_FFFF, nil
+	case OpBEQ:
+		return i(opBEQ, in), nil
+	case OpBNE:
+		return i(opBNE, in), nil
+	case OpBLEZ:
+		return i(opBLEZ, Inst{Rs: in.Rs, Imm: in.Imm}), nil
+	case OpBGTZ:
+		return i(opBGTZ, Inst{Rs: in.Rs, Imm: in.Imm}), nil
+	case OpADDI:
+		return i(opADDI, in), nil
+	case OpADDIU:
+		return i(opADDIU, in), nil
+	case OpSLTI:
+		return i(opSLTI, in), nil
+	case OpSLTIU:
+		return i(opSLTIU, in), nil
+	case OpANDI:
+		return iu(opANDI, in), nil
+	case OpORI:
+		return iu(opORI, in), nil
+	case OpXORI:
+		return iu(opXORI, in), nil
+	case OpLUI:
+		return iu(opLUI, Inst{Rt: in.Rt, UImm: in.UImm}), nil
+	case OpLB:
+		return i(opLB, in), nil
+	case OpLH:
+		return i(opLH, in), nil
+	case OpLW:
+		return i(opLW, in), nil
+	case OpLBU:
+		return i(opLBU, in), nil
+	case OpLHU:
+		return i(opLHU, in), nil
+	case OpSB:
+		return i(opSB, in), nil
+	case OpSH:
+		return i(opSH, in), nil
+	case OpSW:
+		return i(opSW, in), nil
+	case OpLWC1:
+		return i(opLWC1, in), nil
+	case OpSWC1:
+		return i(opSWC1, in), nil
+	case OpFADD, OpFSUB, OpFMUL, OpFDIV, OpFMOV, OpFNEG:
+		var fn uint32
+		switch in.Op {
+		case OpFADD:
+			fn = fpADD
+		case OpFSUB:
+			fn = fpSUB
+		case OpFMUL:
+			fn = fpMUL
+		case OpFDIV:
+			fn = fpDIV
+		case OpFMOV:
+			fn = fpMOV
+		default:
+			fn = fpNEG
+		}
+		// fs in the rd slot, ft in the rt slot, fd in the shamt slot.
+		return opCOP1<<26 | uint32(in.Rt)<<16 | uint32(in.Rs)<<11 |
+			uint32(in.Rd)<<6 | fn, nil
+	}
+	return 0, fmt.Errorf("isa: cannot encode op %v", in.Op)
+}
+
+// MustEncode is Encode, panicking on invalid input. It is intended for code
+// generators whose input is statically known to be valid.
+func MustEncode(in Inst) Word {
+	w, err := Encode(in)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// IsControl reports whether op redirects the PC (branch or jump).
+func IsControl(op Op) bool {
+	c := ClassOf(op)
+	return c == ClassBranch || c == ClassJump
+}
+
+// IsCondBranch reports whether op is a conditional branch.
+func IsCondBranch(op Op) bool { return ClassOf(op) == ClassBranch }
+
+// BranchTarget returns the byte target of a PC-relative branch located at pc.
+func BranchTarget(pc uint32, in Inst) uint32 {
+	return pc + 4 + uint32(in.Imm)<<2
+}

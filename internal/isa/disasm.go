@@ -1,0 +1,56 @@
+package isa
+
+import "fmt"
+
+// Disasm renders the instruction word at pc as assembler text in the same
+// syntax accepted by package asm.
+func Disasm(pc uint32, w Word) string {
+	in := Decode(w)
+	rs, rt, rd := RegName(int(in.Rs)), RegName(int(in.Rt)), RegName(int(in.Rd))
+	switch in.Op {
+	case OpInvalid:
+		return fmt.Sprintf(".word 0x%08x", w)
+	case OpSLL:
+		if w == 0 {
+			return "nop"
+		}
+		fallthrough
+	case OpSRL, OpSRA:
+		return fmt.Sprintf("%v %s, %s, %d", in.Op, rd, rt, in.Shamt)
+	case OpSLLV, OpSRLV, OpSRAV:
+		return fmt.Sprintf("%v %s, %s, %s", in.Op, rd, rt, rs)
+	case OpJR:
+		return fmt.Sprintf("jr %s", rs)
+	case OpJALR:
+		return fmt.Sprintf("jalr %s, %s", rd, rs)
+	case OpSYSCALL:
+		return "syscall"
+	case OpMFHI, OpMFLO:
+		return fmt.Sprintf("%v %s", in.Op, rd)
+	case OpMULT, OpMULTU, OpDIV, OpDIVU:
+		return fmt.Sprintf("%v %s, %s", in.Op, rs, rt)
+	case OpADD, OpADDU, OpSUB, OpSUBU, OpAND, OpOR, OpXOR, OpNOR, OpSLT, OpSLTU:
+		return fmt.Sprintf("%v %s, %s, %s", in.Op, rd, rs, rt)
+	case OpBLTZ, OpBGEZ, OpBLEZ, OpBGTZ:
+		return fmt.Sprintf("%v %s, 0x%x", in.Op, rs, BranchTarget(pc, in))
+	case OpBEQ, OpBNE:
+		return fmt.Sprintf("%v %s, %s, 0x%x", in.Op, rs, rt, BranchTarget(pc, in))
+	case OpJ, OpJAL:
+		return fmt.Sprintf("%v 0x%x", in.Op, in.Target)
+	case OpADDI, OpADDIU, OpSLTI, OpSLTIU:
+		return fmt.Sprintf("%v %s, %s, %d", in.Op, rt, rs, in.Imm)
+	case OpANDI, OpORI, OpXORI:
+		return fmt.Sprintf("%v %s, %s, 0x%x", in.Op, rt, rs, in.UImm)
+	case OpLUI:
+		return fmt.Sprintf("lui %s, 0x%x", rt, in.UImm)
+	case OpLB, OpLH, OpLW, OpLBU, OpLHU, OpSB, OpSH, OpSW:
+		return fmt.Sprintf("%v %s, %d(%s)", in.Op, rt, in.Imm, rs)
+	case OpLWC1, OpSWC1:
+		return fmt.Sprintf("%v $f%d, %d(%s)", in.Op, in.Rt, in.Imm, rs)
+	case OpFADD, OpFSUB, OpFMUL, OpFDIV:
+		return fmt.Sprintf("%v $f%d, $f%d, $f%d", in.Op, in.Rd, in.Rs, in.Rt)
+	case OpFMOV, OpFNEG:
+		return fmt.Sprintf("%v $f%d, $f%d", in.Op, in.Rd, in.Rs)
+	}
+	return fmt.Sprintf(".word 0x%08x", w)
+}

@@ -1,0 +1,346 @@
+// Package isa defines SS32, a 32-bit MIPS-IV-style instruction set used as
+// the substrate for the CodePack reproduction.
+//
+// SS32 plays the role of the paper's re-encoded SimpleScalar instruction set:
+// fixed 32-bit instructions with R/I/J formats whose 16-bit halves carry the
+// skewed value distributions (opcode and registers in the high half,
+// immediates in the low half) that CodePack exploits.
+package isa
+
+// Word is one encoded SS32 instruction.
+type Word = uint32
+
+// Architectural constants.
+const (
+	// NumRegs is the number of general-purpose integer registers.
+	NumRegs = 32
+	// NumFPRegs is the number of floating-point registers.
+	NumFPRegs = 32
+	// InstBytes is the size of every encoded instruction.
+	InstBytes = 4
+	// TextBase is the load address of the text segment.
+	TextBase = 0x0040_0000
+	// DataBase is the load address of the data segment.
+	DataBase = 0x1000_0000
+	// StackTop is the initial stack pointer.
+	StackTop = 0x7FFF_F000
+	// GlobalBase is the initial value of $gp.
+	GlobalBase = DataBase + 0x8000
+)
+
+// Primary opcode field values (bits 31..26).
+const (
+	opSpecial = 0x00
+	opRegImm  = 0x01
+	opJ       = 0x02
+	opJAL     = 0x03
+	opBEQ     = 0x04
+	opBNE     = 0x05
+	opBLEZ    = 0x06
+	opBGTZ    = 0x07
+	opADDI    = 0x08
+	opADDIU   = 0x09
+	opSLTI    = 0x0A
+	opSLTIU   = 0x0B
+	opANDI    = 0x0C
+	opORI     = 0x0D
+	opXORI    = 0x0E
+	opLUI     = 0x0F
+	opCOP1    = 0x11
+	opLB      = 0x20
+	opLH      = 0x21
+	opLW      = 0x23
+	opLBU     = 0x24
+	opLHU     = 0x25
+	opSB      = 0x28
+	opSH      = 0x29
+	opSW      = 0x2B
+	opLWC1    = 0x31
+	opSWC1    = 0x39
+)
+
+// SPECIAL funct field values (bits 5..0 when op == 0).
+const (
+	fnSLL     = 0x00
+	fnSRL     = 0x02
+	fnSRA     = 0x03
+	fnSLLV    = 0x04
+	fnSRLV    = 0x06
+	fnSRAV    = 0x07
+	fnJR      = 0x08
+	fnJALR    = 0x09
+	fnSYSCALL = 0x0C
+	fnMFHI    = 0x10
+	fnMFLO    = 0x12
+	fnMULT    = 0x18
+	fnMULTU   = 0x19
+	fnDIV     = 0x1A
+	fnDIVU    = 0x1B
+	fnADD     = 0x20
+	fnADDU    = 0x21
+	fnSUB     = 0x22
+	fnSUBU    = 0x23
+	fnAND     = 0x24
+	fnOR      = 0x25
+	fnXOR     = 0x26
+	fnNOR     = 0x27
+	fnSLT     = 0x2A
+	fnSLTU    = 0x2B
+)
+
+// REGIMM rt field values.
+const (
+	riBLTZ = 0x00
+	riBGEZ = 0x01
+)
+
+// COP1 funct field values (fmt field fixed to double).
+const (
+	fpADD = 0x00
+	fpSUB = 0x01
+	fpMUL = 0x02
+	fpDIV = 0x03
+	fpMOV = 0x06
+	fpNEG = 0x07
+)
+
+// Op identifies a decoded SS32 operation.
+type Op uint8
+
+// All SS32 operations.
+const (
+	OpInvalid Op = iota
+	OpSLL
+	OpSRL
+	OpSRA
+	OpSLLV
+	OpSRLV
+	OpSRAV
+	OpJR
+	OpJALR
+	OpSYSCALL
+	OpMFHI
+	OpMFLO
+	OpMULT
+	OpMULTU
+	OpDIV
+	OpDIVU
+	OpADD
+	OpADDU
+	OpSUB
+	OpSUBU
+	OpAND
+	OpOR
+	OpXOR
+	OpNOR
+	OpSLT
+	OpSLTU
+	OpBLTZ
+	OpBGEZ
+	OpJ
+	OpJAL
+	OpBEQ
+	OpBNE
+	OpBLEZ
+	OpBGTZ
+	OpADDI
+	OpADDIU
+	OpSLTI
+	OpSLTIU
+	OpANDI
+	OpORI
+	OpXORI
+	OpLUI
+	OpLB
+	OpLH
+	OpLW
+	OpLBU
+	OpLHU
+	OpSB
+	OpSH
+	OpSW
+	OpLWC1
+	OpSWC1
+	OpFADD
+	OpFSUB
+	OpFMUL
+	OpFDIV
+	OpFMOV
+	OpFNEG
+	numOps
+)
+
+var opNames = [numOps]string{
+	OpInvalid: "invalid",
+	OpSLL:     "sll", OpSRL: "srl", OpSRA: "sra",
+	OpSLLV: "sllv", OpSRLV: "srlv", OpSRAV: "srav",
+	OpJR: "jr", OpJALR: "jalr", OpSYSCALL: "syscall",
+	OpMFHI: "mfhi", OpMFLO: "mflo",
+	OpMULT: "mult", OpMULTU: "multu", OpDIV: "div", OpDIVU: "divu",
+	OpADD: "add", OpADDU: "addu", OpSUB: "sub", OpSUBU: "subu",
+	OpAND: "and", OpOR: "or", OpXOR: "xor", OpNOR: "nor",
+	OpSLT: "slt", OpSLTU: "sltu",
+	OpBLTZ: "bltz", OpBGEZ: "bgez",
+	OpJ: "j", OpJAL: "jal",
+	OpBEQ: "beq", OpBNE: "bne", OpBLEZ: "blez", OpBGTZ: "bgtz",
+	OpADDI: "addi", OpADDIU: "addiu", OpSLTI: "slti", OpSLTIU: "sltiu",
+	OpANDI: "andi", OpORI: "ori", OpXORI: "xori", OpLUI: "lui",
+	OpLB: "lb", OpLH: "lh", OpLW: "lw", OpLBU: "lbu", OpLHU: "lhu",
+	OpSB: "sb", OpSH: "sh", OpSW: "sw",
+	OpLWC1: "lwc1", OpSWC1: "swc1",
+	OpFADD: "add.d", OpFSUB: "sub.d", OpFMUL: "mul.d", OpFDIV: "div.d",
+	OpFMOV: "mov.d", OpFNEG: "neg.d",
+}
+
+// String returns the assembler mnemonic for op.
+func (op Op) String() string {
+	if op >= numOps {
+		return "invalid"
+	}
+	return opNames[op]
+}
+
+// Class groups operations by the functional unit and hazard behaviour they
+// exhibit in the timing models.
+type Class uint8
+
+// Operation classes.
+const (
+	ClassNop     Class = iota // architectural no-op (sll $0,$0,0)
+	ClassIntALU               // single-cycle integer ops
+	ClassIntMult              // integer multiply
+	ClassIntDiv               // integer divide
+	ClassLoad                 // memory loads
+	ClassStore                // memory stores
+	ClassBranch               // conditional branches
+	ClassJump                 // unconditional jumps, calls, returns
+	ClassSyscall              // system call (serializing)
+	ClassFPALU                // FP add/sub/mov/neg
+	ClassFPMult               // FP multiply/divide
+)
+
+var classNames = []string{
+	ClassNop: "nop", ClassIntALU: "intalu", ClassIntMult: "intmult",
+	ClassIntDiv: "intdiv", ClassLoad: "load", ClassStore: "store",
+	ClassBranch: "branch", ClassJump: "jump", ClassSyscall: "syscall",
+	ClassFPALU: "fpalu", ClassFPMult: "fpmult",
+}
+
+// String returns a short lower-case name for the class.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "unknown"
+}
+
+// ClassOf returns the functional class of op.
+func ClassOf(op Op) Class {
+	switch op {
+	case OpMULT, OpMULTU:
+		return ClassIntMult
+	case OpDIV, OpDIVU:
+		return ClassIntDiv
+	case OpLB, OpLH, OpLW, OpLBU, OpLHU, OpLWC1:
+		return ClassLoad
+	case OpSB, OpSH, OpSW, OpSWC1:
+		return ClassStore
+	case OpBEQ, OpBNE, OpBLEZ, OpBGTZ, OpBLTZ, OpBGEZ:
+		return ClassBranch
+	case OpJ, OpJAL, OpJR, OpJALR:
+		return ClassJump
+	case OpSYSCALL:
+		return ClassSyscall
+	case OpFADD, OpFSUB, OpFMOV, OpFNEG:
+		return ClassFPALU
+	case OpFMUL, OpFDIV:
+		return ClassFPMult
+	default:
+		return ClassIntALU
+	}
+}
+
+// Latency returns the execution latency in cycles for op, loosely following
+// SimpleScalar's defaults. Loads add cache access time on top of this.
+func Latency(op Op) int {
+	switch ClassOf(op) {
+	case ClassIntMult:
+		return 3
+	case ClassIntDiv:
+		return 20
+	case ClassFPALU:
+		return 2
+	case ClassFPMult:
+		if op == OpFDIV {
+			return 12
+		}
+		return 4
+	default:
+		return 1
+	}
+}
+
+// Conventional ABI register numbers.
+const (
+	RegZero = 0
+	RegAT   = 1
+	RegV0   = 2
+	RegV1   = 3
+	RegA0   = 4
+	RegA1   = 5
+	RegA2   = 6
+	RegA3   = 7
+	RegT0   = 8
+	RegS0   = 16
+	RegT8   = 24
+	RegK0   = 26
+	RegGP   = 28
+	RegSP   = 29
+	RegFP   = 30
+	RegRA   = 31
+)
+
+// RegName returns the ABI name for integer register r (for disassembly).
+func RegName(r int) string {
+	if r < 0 || r > 31 {
+		return "$?"
+	}
+	return regNames[r]
+}
+
+var regNames = [32]string{
+	"$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3",
+	"$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7",
+	"$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+	"$t8", "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra",
+}
+
+// RegNumber maps an ABI or numeric register name (without the '$') to its
+// register number, returning -1 if the name is unknown.
+func RegNumber(name string) int {
+	for i, n := range regNames {
+		if n[1:] == name {
+			return i
+		}
+	}
+	// Numeric form: 0..31.
+	r := 0
+	for _, c := range name {
+		if c < '0' || c > '9' {
+			return -1
+		}
+		r = r*10 + int(c-'0')
+	}
+	if name == "" || r > 31 {
+		return -1
+	}
+	return r
+}
+
+// Syscall service numbers (in $v0 at the syscall).
+const (
+	SysPrintInt    = 1  // print integer in $a0
+	SysPrintString = 4  // print NUL-terminated string at address $a0
+	SysPrintChar   = 11 // print character in $a0
+	SysExit        = 10 // halt the machine
+)

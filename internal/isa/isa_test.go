@@ -1,0 +1,181 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// validOps lists every encodable operation.
+func validOps() []Op {
+	var ops []Op
+	for op := OpSLL; op < numOps; op++ {
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	// Property: Decode(Encode(in)) == canonical(in) for every op, across
+	// randomized fields.
+	f := func(rs, rt, rd, sh uint8, imm int16, uimm uint16, tgt uint32, opSel uint16) bool {
+		ops := validOps()
+		op := ops[int(opSel)%len(ops)]
+		in := Inst{
+			Op: op, Rs: rs & 31, Rt: rt & 31, Rd: rd & 31, Shamt: sh & 31,
+			Imm: int32(imm), UImm: uint32(uimm), Target: tgt & 0x0FFF_FFFC,
+		}
+		w, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		out := Decode(w)
+		if out.Op != op {
+			return false
+		}
+		// Re-encoding the decoded form must be a fixed point.
+		w2, err := Encode(out)
+		return err == nil && w2 == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeFields(t *testing.T) {
+	tests := []struct {
+		name string
+		in   Inst
+		want Inst
+	}{
+		{"add", Inst{Op: OpADD, Rd: 3, Rs: 1, Rt: 2}, Inst{Op: OpADD, Rd: 3, Rs: 1, Rt: 2}},
+		{"addiu-neg", Inst{Op: OpADDIU, Rt: 4, Rs: 29, Imm: -32}, Inst{Op: OpADDIU, Rt: 4, Rs: 29, Imm: -32}},
+		{"lui", Inst{Op: OpLUI, Rt: 5, UImm: 0xBEEF}, Inst{Op: OpLUI, Rt: 5, UImm: 0xBEEF}},
+		{"jal", Inst{Op: OpJAL, Target: 0x0040_0040}, Inst{Op: OpJAL, Target: 0x0040_0040}},
+		{"sll", Inst{Op: OpSLL, Rd: 7, Rt: 8, Shamt: 12}, Inst{Op: OpSLL, Rd: 7, Rt: 8, Shamt: 12}},
+	}
+	for _, tt := range tests {
+		w, err := Encode(tt.in)
+		if err != nil {
+			t.Fatalf("%s: %v", tt.name, err)
+		}
+		got := Decode(w)
+		if got.Op != tt.want.Op || got.Rs != tt.want.Rs || got.Rt != tt.want.Rt ||
+			got.Rd != tt.want.Rd || got.Shamt != tt.want.Shamt {
+			t.Errorf("%s: got %+v want %+v", tt.name, got, tt.want)
+		}
+		switch tt.in.Op {
+		case OpADDIU:
+			if got.Imm != tt.want.Imm {
+				t.Errorf("%s: imm %d want %d", tt.name, got.Imm, tt.want.Imm)
+			}
+		case OpLUI:
+			if got.UImm != tt.want.UImm {
+				t.Errorf("%s: uimm %x want %x", tt.name, got.UImm, tt.want.UImm)
+			}
+		case OpJAL:
+			if got.Target != tt.want.Target {
+				t.Errorf("%s: target %x want %x", tt.name, got.Target, tt.want.Target)
+			}
+		}
+	}
+}
+
+func TestNopIsZeroWord(t *testing.T) {
+	if w := MustEncode(Inst{Op: OpSLL}); w != 0 {
+		t.Fatalf("nop encodes to %#x, want 0", w)
+	}
+	if in := Decode(0); in.Op != OpSLL {
+		t.Fatalf("word 0 decodes to %v, want sll", in.Op)
+	}
+}
+
+func TestInvalidDecodes(t *testing.T) {
+	// An unused primary opcode must decode to OpInvalid, not panic.
+	if in := Decode(0x3F << 26); in.Op != OpInvalid {
+		t.Fatalf("got %v, want invalid", in.Op)
+	}
+	if _, err := Encode(Inst{Op: OpInvalid}); err == nil {
+		t.Fatal("encoding OpInvalid should fail")
+	}
+}
+
+func TestClassAndLatency(t *testing.T) {
+	cases := map[Op]Class{
+		OpADD: ClassIntALU, OpMULT: ClassIntMult, OpDIV: ClassIntDiv,
+		OpLW: ClassLoad, OpSW: ClassStore, OpBEQ: ClassBranch,
+		OpJAL: ClassJump, OpJR: ClassJump, OpSYSCALL: ClassSyscall,
+		OpFADD: ClassFPALU, OpFMUL: ClassFPMult, OpLWC1: ClassLoad,
+		OpSWC1: ClassStore,
+	}
+	for op, want := range cases {
+		if got := ClassOf(op); got != want {
+			t.Errorf("ClassOf(%v) = %v, want %v", op, got, want)
+		}
+	}
+	for _, op := range validOps() {
+		if Latency(op) < 1 {
+			t.Errorf("Latency(%v) < 1", op)
+		}
+	}
+	if Latency(OpDIV) <= Latency(OpMULT) {
+		t.Error("divide should be slower than multiply")
+	}
+}
+
+func TestBranchTarget(t *testing.T) {
+	in := Inst{Op: OpBEQ, Imm: -2}
+	if got := BranchTarget(0x400010, in); got != 0x40000C {
+		t.Fatalf("backward target %#x, want 0x40000c", got)
+	}
+	in.Imm = 3
+	if got := BranchTarget(0x400010, in); got != 0x400020 {
+		t.Fatalf("forward target %#x, want 0x400020", got)
+	}
+}
+
+func TestRegNames(t *testing.T) {
+	if RegName(RegSP) != "$sp" || RegName(RegRA) != "$ra" || RegName(0) != "$zero" {
+		t.Fatal("ABI names wrong")
+	}
+	for i := 0; i < 32; i++ {
+		if got := RegNumber(RegName(i)[1:]); got != i {
+			t.Errorf("RegNumber(RegName(%d)) = %d", i, got)
+		}
+	}
+	for name, want := range map[string]int{"0": 0, "31": 31, "t0": 8, "sp": 29, "bogus": -1, "32": -1, "": -1} {
+		if got := RegNumber(name); got != want {
+			t.Errorf("RegNumber(%q) = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestDisasmRoundTripSpot(t *testing.T) {
+	// Disassembly output should contain the mnemonic for each op.
+	for _, in := range []Inst{
+		{Op: OpADDU, Rd: 2, Rs: 4, Rt: 5},
+		{Op: OpLW, Rt: 8, Rs: 29, Imm: 16},
+		{Op: OpBNE, Rs: 8, Rt: 0, Imm: -1},
+		{Op: OpJAL, Target: 0x400000},
+		{Op: OpFMUL, Rd: 2, Rs: 4, Rt: 6},
+	} {
+		s := Disasm(0x400000, MustEncode(in))
+		if len(s) == 0 || s[0] == '.' {
+			t.Errorf("disasm of %v produced %q", in.Op, s)
+		}
+	}
+	if s := Disasm(0, 0); s != "nop" {
+		t.Errorf("Disasm(0) = %q, want nop", s)
+	}
+}
+
+func TestIsControl(t *testing.T) {
+	if !IsControl(OpBEQ) || !IsControl(OpJ) || !IsControl(OpJR) {
+		t.Fatal("branches and jumps are control")
+	}
+	if IsControl(OpADD) || IsControl(OpLW) {
+		t.Fatal("alu/mem are not control")
+	}
+	if !IsCondBranch(OpBNE) || IsCondBranch(OpJAL) {
+		t.Fatal("IsCondBranch wrong")
+	}
+}

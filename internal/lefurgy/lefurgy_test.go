@@ -1,0 +1,145 @@
+package lefurgy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"codepack/internal/isa"
+)
+
+func synth(rng *rand.Rand, n int) []isa.Word {
+	common := []isa.Word{0x24420004, 0x8FBF001C, 0x00851021, 0xAFBF001C, 0x03E00008}
+	text := make([]isa.Word, n)
+	for i := range text {
+		switch rng.Intn(10) {
+		case 0, 1:
+			text[i] = isa.Word(rng.Uint32()) // unique
+		case 2, 3, 4:
+			text[i] = 0x24420000 | isa.Word(rng.Intn(500)) // mid-frequency
+		default:
+			text[i] = common[rng.Intn(len(common))] // hot
+		}
+	}
+	return text
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 100, 5000} {
+		text := synth(rng, n)
+		c, err := Compress(isa.TextBase, text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := c.Decompress()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != n {
+			t.Fatalf("n=%d: got %d", n, len(out))
+		}
+		for i := range out {
+			if out[i] != text[i] {
+				t.Fatalf("word %d corrupted", i)
+			}
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, sz uint16) bool {
+		n := int(sz)%3000 + 1
+		text := synth(rand.New(rand.NewSource(seed)), n)
+		c, err := Compress(isa.TextBase, text)
+		if err != nil {
+			return false
+		}
+		out, err := c.Decompress()
+		if err != nil || len(out) != n {
+			return false
+		}
+		for i := range out {
+			if out[i] != text[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHotInstructionsGetShortCodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	text := synth(rng, 10000)
+	c, err := Compress(isa.TextBase, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Class0 == 0 {
+		t.Error("no class-0 codewords for a skewed stream")
+	}
+	if c.Class0+c.Class1+c.Escaped != len(text) {
+		t.Error("composition does not sum to the instruction count")
+	}
+	// The most common instruction must occupy slot 0.
+	freq := map[isa.Word]int{}
+	for _, w := range text {
+		freq[w]++
+	}
+	best, bn := isa.Word(0), 0
+	for w, n := range freq {
+		if n > bn || (n == bn && w < best) {
+			best, bn = w, n
+		}
+	}
+	if c.Dict[0] != best {
+		t.Errorf("dict[0] = %#x, most frequent is %#x", c.Dict[0], best)
+	}
+}
+
+func TestSingletonExclusion(t *testing.T) {
+	// 300 hot values fill class 0; singletons beyond that are excluded.
+	text := make([]isa.Word, 0, 4096)
+	for i := 0; i < 300; i++ {
+		for k := 0; k < 10; k++ {
+			text = append(text, isa.Word(0x1000+i))
+		}
+	}
+	for i := 0; i < 500; i++ {
+		text = append(text, isa.Word(0xFFFF0000+uint32(i)))
+	}
+	c, err := Compress(isa.TextBase, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Dict) > 300 {
+		t.Errorf("dictionary has %d entries; singletons should be excluded", len(c.Dict))
+	}
+	if c.Escaped < 500 {
+		t.Errorf("escaped %d, want >= 500", c.Escaped)
+	}
+}
+
+func TestRatioSkewed(t *testing.T) {
+	text := make([]isa.Word, 8192)
+	for i := range text {
+		text[i] = isa.Word(0x2442_0000 | uint32(i%64))
+	}
+	c, err := Compress(isa.TextBase, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 distinct hot values: everything in class 0 at 10 bits/instr.
+	if r := c.Ratio(); r > 0.40 {
+		t.Fatalf("skewed ratio %.2f, want < 0.40", r)
+	}
+}
+
+func TestEmptyRejected(t *testing.T) {
+	if _, err := Compress(isa.TextBase, nil); err == nil {
+		t.Fatal("empty text accepted")
+	}
+}

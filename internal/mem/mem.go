@@ -1,0 +1,125 @@
+// Package mem models the main-memory bus of the paper's Table 2: a shared
+// port with a long first-access latency, a per-beat burst rate, and a
+// configurable width (the axis varied by Tables 11 and 12).
+package mem
+
+import "fmt"
+
+// Config describes the memory system.
+type Config struct {
+	WidthBytes   int // bus width (paper baseline: 8 bytes = 64 bits)
+	FirstLatency int // cycles until the first beat of a burst arrives
+	BeatLatency  int // cycles between subsequent beats
+}
+
+// Baseline returns the paper's baseline memory: 64-bit bus, 10-cycle
+// latency, 2-cycle rate.
+func Baseline() Config {
+	return Config{WidthBytes: 8, FirstLatency: 10, BeatLatency: 2}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.WidthBytes <= 0 || c.FirstLatency <= 0 || c.BeatLatency <= 0 {
+		return fmt.Errorf("mem: non-positive parameter in %+v", c)
+	}
+	return nil
+}
+
+// String renders the configuration.
+func (c Config) String() string {
+	return fmt.Sprintf("%d-bit bus, %d cycle latency, %d cycle rate",
+		c.WidthBytes*8, c.FirstLatency, c.BeatLatency)
+}
+
+// Stats counts memory traffic.
+type Stats struct {
+	Bursts uint64
+	Beats  uint64
+}
+
+// Bus is the single shared memory port. Requests occupy it back to back;
+// a request issued while the bus is busy waits for the earlier burst.
+type Bus struct {
+	cfg       Config
+	busyUntil uint64
+	stats     Stats
+}
+
+// NewBus creates a bus; the config must validate.
+func NewBus(cfg Config) (*Bus, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Bus{cfg: cfg}, nil
+}
+
+// Config returns the bus parameters.
+func (b *Bus) Config() Config { return b.cfg }
+
+// Stats returns traffic counters.
+func (b *Bus) Stats() Stats { return b.stats }
+
+// Burst describes one scheduled burst read or write.
+type Burst struct {
+	Start uint64 // cycle the request won the bus
+	First uint64 // cycle beat 0 arrives
+	Beat  uint64 // cycles between beats
+	Beats int    // number of beats
+}
+
+// BeatTime returns the arrival cycle of beat i (0-based).
+func (p Burst) BeatTime(i int) uint64 { return p.First + uint64(i)*p.Beat }
+
+// Done returns the arrival cycle of the last beat.
+func (p Burst) Done() uint64 { return p.BeatTime(p.Beats - 1) }
+
+// Request schedules a burst transferring n bytes starting at byte address
+// addr. The transfer begins at the bus-width-aligned address containing
+// addr, so alignment slack adds beats exactly as it would on hardware.
+func (b *Bus) Request(now uint64, addr uint32, n int) Burst {
+	w := uint32(b.cfg.WidthBytes)
+	slack := int(addr % w)
+	beats := (slack + n + b.cfg.WidthBytes - 1) / b.cfg.WidthBytes
+	if beats < 1 {
+		beats = 1
+	}
+	start := now
+	if b.busyUntil > start {
+		start = b.busyUntil
+	}
+	p := Burst{
+		Start: start,
+		First: start + uint64(b.cfg.FirstLatency),
+		Beat:  uint64(b.cfg.BeatLatency),
+		Beats: beats,
+	}
+	b.busyUntil = p.Done()
+	b.stats.Bursts++
+	b.stats.Beats += uint64(beats)
+	return p
+}
+
+// BytesBy returns how many bytes of a burst starting at addr have arrived
+// strictly by cycle t, honouring the alignment slack of the first beat.
+func (b *Bus) BytesBy(p Burst, addr uint32, t uint64) int {
+	if t < p.First {
+		return 0
+	}
+	arrived := int((t-p.First)/p.Beat) + 1
+	if arrived > p.Beats {
+		arrived = p.Beats
+	}
+	slack := int(addr % uint32(b.cfg.WidthBytes))
+	n := arrived*b.cfg.WidthBytes - slack
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// Reset clears occupancy and statistics.
+func (b *Bus) Reset() {
+	b.busyUntil = 0
+	b.stats = Stats{}
+}

@@ -1,0 +1,160 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newBus(t *testing.T, cfg Config) *Bus {
+	t.Helper()
+	b, err := NewBus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBaselineConfig(t *testing.T) {
+	cfg := Baseline()
+	if cfg.WidthBytes != 8 || cfg.FirstLatency != 10 || cfg.BeatLatency != 2 {
+		t.Fatalf("baseline = %+v, want the paper's 64-bit/10/2", cfg)
+	}
+	if s := cfg.String(); s != "64-bit bus, 10 cycle latency, 2 cycle rate" {
+		t.Errorf("String() = %q", s)
+	}
+	for _, bad := range []Config{
+		{WidthBytes: 0, FirstLatency: 10, BeatLatency: 2},
+		{WidthBytes: 8, FirstLatency: 0, BeatLatency: 2},
+		{WidthBytes: 8, FirstLatency: 10, BeatLatency: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("config %+v accepted", bad)
+		}
+	}
+}
+
+// TestPaperBeatTiming reproduces the paper's Figure 2-a: a 32-byte line on
+// the 64-bit bus arrives in 4 beats at t=10, 12, 14, 16.
+func TestPaperBeatTiming(t *testing.T) {
+	b := newBus(t, Baseline())
+	p := b.Request(0, 0x1000, 32)
+	if p.Beats != 4 {
+		t.Fatalf("beats = %d, want 4", p.Beats)
+	}
+	for i, want := range []uint64{10, 12, 14, 16} {
+		if got := p.BeatTime(i); got != want {
+			t.Errorf("beat %d at %d, want %d", i, got, want)
+		}
+	}
+	if p.Done() != 16 {
+		t.Errorf("done = %d", p.Done())
+	}
+}
+
+func TestAlignmentSlackAddsBeats(t *testing.T) {
+	b := newBus(t, Baseline())
+	// 9 bytes starting 7 bytes into a bus word: spans 3 beats (1+9=16..
+	// bytes 7..15 -> words 0 and 1 -> wait: 7+9=16 exactly 2 beats).
+	p := b.Request(0, 7, 9)
+	if p.Beats != 2 {
+		t.Fatalf("beats = %d, want 2", p.Beats)
+	}
+	p2 := b.Request(100, 7, 10) // 7+10=17 -> 3 beats
+	if p2.Beats != 3 {
+		t.Fatalf("beats = %d, want 3", p2.Beats)
+	}
+}
+
+func TestBusOccupancySerializes(t *testing.T) {
+	b := newBus(t, Baseline())
+	p1 := b.Request(0, 0, 32)
+	p2 := b.Request(5, 0x100, 32) // issued while busy
+	if p2.Start != p1.Done() {
+		t.Fatalf("second burst starts at %d, want %d", p2.Start, p1.Done())
+	}
+	// After the bus drains, a late request starts immediately.
+	p3 := b.Request(1000, 0x200, 8)
+	if p3.Start != 1000 {
+		t.Fatalf("idle bus delayed request to %d", p3.Start)
+	}
+}
+
+func TestBytesBy(t *testing.T) {
+	b := newBus(t, Baseline())
+	p := b.Request(0, 0x1000, 32) // aligned, beats at 10,12,14,16
+	cases := []struct {
+		t    uint64
+		want int
+	}{
+		{9, 0}, {10, 8}, {11, 8}, {12, 16}, {16, 32}, {100, 32},
+	}
+	for _, c := range cases {
+		if got := b.BytesBy(p, 0x1000, c.t); got != c.want {
+			t.Errorf("BytesBy(t=%d) = %d, want %d", c.t, got, c.want)
+		}
+	}
+	// With slack, the first beat delivers fewer useful bytes.
+	p2 := b.Request(100, 0x1003, 8)
+	if got := b.BytesBy(p2, 0x1003, p2.First); got != 5 {
+		t.Errorf("slack first beat = %d bytes, want 5", got)
+	}
+}
+
+func TestNarrowBus(t *testing.T) {
+	b := newBus(t, Config{WidthBytes: 2, FirstLatency: 10, BeatLatency: 2})
+	p := b.Request(0, 0, 32)
+	if p.Beats != 16 {
+		t.Fatalf("16-bit bus: beats = %d, want 16", p.Beats)
+	}
+	if p.Done() != 10+15*2 {
+		t.Fatalf("done = %d, want 40", p.Done())
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	b := newBus(t, Baseline())
+	b.Request(0, 0, 32)
+	b.Request(0, 64, 8)
+	if s := b.Stats(); s.Bursts != 2 || s.Beats != 5 {
+		t.Fatalf("stats %+v, want 2 bursts 5 beats", s)
+	}
+	b.Reset()
+	if s := b.Stats(); s.Bursts != 0 {
+		t.Fatal("stats survived reset")
+	}
+	if p := b.Request(0, 0, 8); p.Start != 0 {
+		t.Fatal("occupancy survived reset")
+	}
+}
+
+// Property: beat count always covers the requested bytes, and BytesBy at
+// Done() returns at least n.
+func TestBurstCoversRequest(t *testing.T) {
+	f := func(addr uint32, n uint16, w uint8) bool {
+		width := int(w)%16 + 1
+		bytes := int(n)%256 + 1
+		b, err := NewBus(Config{WidthBytes: width, FirstLatency: 5, BeatLatency: 1})
+		if err != nil {
+			return false
+		}
+		p := b.Request(0, addr, bytes)
+		return b.BytesBy(p, addr, p.Done()) >= bytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BytesBy is monotone in time.
+func TestBytesByMonotone(t *testing.T) {
+	b := newBus(t, Baseline())
+	p := b.Request(0, 0x1003, 45)
+	prev := -1
+	for ti := uint64(0); ti < 60; ti++ {
+		got := b.BytesBy(p, 0x1003, ti)
+		if got < prev {
+			t.Fatalf("BytesBy decreased at t=%d", ti)
+		}
+		prev = got
+	}
+}

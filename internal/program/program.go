@@ -1,0 +1,123 @@
+// Package program defines the loadable program image shared by the
+// assembler, the CodePack codec, the emulator and the simulators.
+package program
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"codepack/internal/isa"
+)
+
+// Image is a loaded SS32 program.
+type Image struct {
+	Name     string
+	Entry    uint32     // entry point (byte address in text)
+	TextBase uint32     // load address of Text[0]
+	Text     []isa.Word // instruction words
+	DataBase uint32     // load address of Data[0]
+	Data     []byte     // initialized data
+	Symbols  map[string]uint32
+}
+
+// TextBytes returns the size of the text section in bytes.
+func (im *Image) TextBytes() int { return len(im.Text) * isa.InstBytes }
+
+// TextEnd returns the first byte address past the text section.
+func (im *Image) TextEnd() uint32 { return im.TextBase + uint32(im.TextBytes()) }
+
+// InText reports whether addr falls inside the text section.
+func (im *Image) InText(addr uint32) bool {
+	return addr >= im.TextBase && addr < im.TextEnd()
+}
+
+// WordAt returns the instruction word at byte address addr.
+func (im *Image) WordAt(addr uint32) (isa.Word, error) {
+	if !im.InText(addr) || addr%4 != 0 {
+		return 0, fmt.Errorf("program: text address 0x%x out of range", addr)
+	}
+	return im.Text[(addr-im.TextBase)/4], nil
+}
+
+// Symbol returns the address of a named symbol.
+func (im *Image) Symbol(name string) (uint32, bool) {
+	a, ok := im.Symbols[name]
+	return a, ok
+}
+
+// SymbolNames returns all symbol names sorted by address.
+func (im *Image) SymbolNames() []string {
+	names := make([]string, 0, len(im.Symbols))
+	for n := range im.Symbols {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := im.Symbols[names[i]], im.Symbols[names[j]]
+		if a != b {
+			return a < b
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// Validate checks structural invariants of the image.
+func (im *Image) Validate() error {
+	if len(im.Text) == 0 {
+		return fmt.Errorf("program %q: empty text section", im.Name)
+	}
+	if im.TextBase%4 != 0 {
+		return fmt.Errorf("program %q: text base 0x%x not word aligned", im.Name, im.TextBase)
+	}
+	if !im.InText(im.Entry) {
+		return fmt.Errorf("program %q: entry 0x%x outside text", im.Name, im.Entry)
+	}
+	return nil
+}
+
+// Binary file layout: magic, entry, text base/len, data base/len, then
+// payload. Symbols are not serialized.
+const magic = 0x53533332 // "SS32"
+
+// Marshal serializes the image to the cpack on-disk format.
+func (im *Image) Marshal() []byte {
+	buf := make([]byte, 0, 24+im.TextBytes()+len(im.Data))
+	put := func(v uint32) {
+		buf = binary.LittleEndian.AppendUint32(buf, v)
+	}
+	put(magic)
+	put(im.Entry)
+	put(im.TextBase)
+	put(uint32(len(im.Text)))
+	put(im.DataBase)
+	put(uint32(len(im.Data)))
+	for _, w := range im.Text {
+		put(w)
+	}
+	return append(buf, im.Data...)
+}
+
+// Unmarshal parses an image produced by Marshal.
+func Unmarshal(b []byte) (*Image, error) {
+	if len(b) < 24 || binary.LittleEndian.Uint32(b) != magic {
+		return nil, fmt.Errorf("program: bad image header")
+	}
+	get := func(i int) uint32 { return binary.LittleEndian.Uint32(b[i*4:]) }
+	im := &Image{
+		Entry:    get(1),
+		TextBase: get(2),
+		DataBase: get(4),
+	}
+	nText, nData := int(get(3)), int(get(5))
+	if len(b) != 24+nText*4+nData {
+		return nil, fmt.Errorf("program: image size mismatch: have %d bytes, want %d",
+			len(b), 24+nText*4+nData)
+	}
+	im.Text = make([]isa.Word, nText)
+	for i := range im.Text {
+		im.Text[i] = get(6 + i)
+	}
+	im.Data = append([]byte(nil), b[24+nText*4:]...)
+	return im, im.Validate()
+}

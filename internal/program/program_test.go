@@ -1,0 +1,150 @@
+package program
+
+import (
+	"testing"
+	"testing/quick"
+
+	"codepack/internal/isa"
+)
+
+func sample() *Image {
+	return &Image{
+		Name:     "sample",
+		Entry:    isa.TextBase + 8,
+		TextBase: isa.TextBase,
+		Text:     []isa.Word{0x24080001, 0x00000000, 0x0000000C, 0xDEADBEEF},
+		DataBase: isa.DataBase,
+		Data:     []byte{1, 2, 3, 4, 5},
+		Symbols:  map[string]uint32{"main": isa.TextBase + 8, "a": isa.TextBase},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	im := sample()
+	if err := im.Validate(); err != nil {
+		t.Fatalf("valid image rejected: %v", err)
+	}
+	bad := sample()
+	bad.Text = nil
+	if bad.Validate() == nil {
+		t.Error("empty text accepted")
+	}
+	bad = sample()
+	bad.Entry = isa.TextBase + 100
+	if bad.Validate() == nil {
+		t.Error("out-of-range entry accepted")
+	}
+	bad = sample()
+	bad.TextBase = 2
+	if bad.Validate() == nil {
+		t.Error("unaligned text base accepted")
+	}
+}
+
+func TestAddressing(t *testing.T) {
+	im := sample()
+	if im.TextBytes() != 16 || im.TextEnd() != isa.TextBase+16 {
+		t.Fatalf("extent wrong: %d bytes, end %#x", im.TextBytes(), im.TextEnd())
+	}
+	if !im.InText(isa.TextBase) || !im.InText(isa.TextBase+12) {
+		t.Error("InText false negatives")
+	}
+	if im.InText(isa.TextBase+16) || im.InText(isa.TextBase-4) {
+		t.Error("InText false positives")
+	}
+	w, err := im.WordAt(isa.TextBase + 12)
+	if err != nil || w != 0xDEADBEEF {
+		t.Fatalf("WordAt = %#x, %v", w, err)
+	}
+	if _, err := im.WordAt(isa.TextBase + 2); err == nil {
+		t.Error("unaligned WordAt accepted")
+	}
+	if _, err := im.WordAt(isa.TextBase + 16); err == nil {
+		t.Error("out-of-range WordAt accepted")
+	}
+}
+
+func TestSymbols(t *testing.T) {
+	im := sample()
+	if a, ok := im.Symbol("main"); !ok || a != isa.TextBase+8 {
+		t.Fatalf("Symbol(main) = %#x, %v", a, ok)
+	}
+	if _, ok := im.Symbol("nope"); ok {
+		t.Error("missing symbol found")
+	}
+	names := im.SymbolNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "main" {
+		t.Fatalf("SymbolNames = %v (want address order)", names)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	im := sample()
+	out, err := Unmarshal(im.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Entry != im.Entry || out.TextBase != im.TextBase || out.DataBase != im.DataBase {
+		t.Fatal("header fields lost")
+	}
+	if len(out.Text) != len(im.Text) {
+		t.Fatalf("text length %d, want %d", len(out.Text), len(im.Text))
+	}
+	for i := range im.Text {
+		if out.Text[i] != im.Text[i] {
+			t.Fatalf("text[%d] = %#x", i, out.Text[i])
+		}
+	}
+	if string(out.Data) != string(im.Data) {
+		t.Fatal("data lost")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		make([]byte, 24),              // wrong magic
+		sample().Marshal()[:30],       // truncated
+		append(sample().Marshal(), 9), // trailing bytes
+	}
+	for i, b := range cases {
+		if _, err := Unmarshal(b); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestMarshalPropertyRoundTrip(t *testing.T) {
+	f := func(words []uint32, data []byte) bool {
+		if len(words) == 0 {
+			return true
+		}
+		im := &Image{
+			Name:     "q",
+			Entry:    isa.TextBase,
+			TextBase: isa.TextBase,
+			Text:     words,
+			DataBase: isa.DataBase,
+			Data:     data,
+		}
+		out, err := Unmarshal(im.Marshal())
+		if err != nil || len(out.Text) != len(words) || len(out.Data) != len(data) {
+			return false
+		}
+		for i := range words {
+			if out.Text[i] != words[i] {
+				return false
+			}
+		}
+		for i := range data {
+			if out.Data[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+package vm
+
+import "fmt"
+
+// pagedMem is a sparse byte-addressed memory built from 4KB pages allocated
+// on first touch. It backs the data segment, heap and stack; the text
+// segment lives in the program image and is read-only.
+type pagedMem struct {
+	pages map[uint32]*page
+	// last is a one-entry translation cache; workloads have strong
+	// locality so this removes most map lookups.
+	lastNum  uint32
+	lastPage *page
+}
+
+type page [pageSize]byte
+
+const (
+	pageSize = 4096
+	pageMask = pageSize - 1
+)
+
+func (m *pagedMem) init() {
+	m.pages = make(map[uint32]*page)
+	m.lastNum = ^uint32(0)
+}
+
+func (m *pagedMem) page(addr uint32) *page {
+	num := addr / pageSize
+	if num == m.lastNum {
+		return m.lastPage
+	}
+	p := m.pages[num]
+	if p == nil {
+		p = new(page)
+		m.pages[num] = p
+	}
+	m.lastNum, m.lastPage = num, p
+	return p
+}
+
+// write copies b into memory starting at addr (used for program load).
+func (m *pagedMem) write(addr uint32, b []byte) {
+	for len(b) > 0 {
+		p := m.page(addr)
+		off := addr & pageMask
+		n := copy(p[off:], b)
+		b = b[n:]
+		addr += uint32(n)
+	}
+}
+
+func (m *pagedMem) load32(addr uint32) (uint32, error) {
+	if addr&3 != 0 {
+		return 0, fmt.Errorf("vm: unaligned word load at 0x%x", addr)
+	}
+	p := m.page(addr)
+	off := addr & pageMask
+	return uint32(p[off]) | uint32(p[off+1])<<8 | uint32(p[off+2])<<16 | uint32(p[off+3])<<24, nil
+}
+
+func (m *pagedMem) storeBytes(addr uint32, n int, v uint32) error {
+	p := m.page(addr)
+	off := addr & pageMask
+	if int(off)+n > pageSize {
+		return fmt.Errorf("vm: store spans page boundary at 0x%x", addr)
+	}
+	for i := 0; i < n; i++ {
+		p[off+uint32(i)] = byte(v >> (8 * i))
+	}
+	return nil
+}

@@ -1,0 +1,429 @@
+// Package vm is the SS32 functional emulator. It executes a program image
+// architecturally and emits one trace record per committed instruction; the
+// timing simulators in internal/cpu replay that stream against their
+// machine models.
+package vm
+
+import (
+	"fmt"
+
+	"codepack/internal/isa"
+	"codepack/internal/program"
+)
+
+// Register identifiers used in trace records. Integer registers are 0..31,
+// floating-point registers 32..63, and HI/LO are RegHI/RegLO.
+const (
+	RegHI = 64
+	RegLO = 65
+	// NoReg marks an unused source or destination slot.
+	NoReg = 255
+)
+
+// Rec describes one committed instruction for the timing models.
+type Rec struct {
+	PC      uint32
+	NextPC  uint32 // architectural successor (branch targets resolved)
+	AltPC   uint32 // the direction NOT taken (conditional branches only)
+	MemAddr uint32 // effective address for loads/stores
+	Op      isa.Op
+	Class   isa.Class
+	Src1    uint8 // trace register IDs; NoReg when absent
+	Src2    uint8
+	Dest    uint8
+	Taken   bool // for conditional branches
+}
+
+// Machine is an SS32 architectural machine.
+type Machine struct {
+	im   *program.Image
+	dec  []isa.Inst // pre-decoded text
+	pc   uint32
+	reg  [32]uint32
+	freg [32]float64
+	hi   uint32
+	lo   uint32
+	mem  pagedMem
+
+	halted bool
+	count  uint64
+	out    []byte
+}
+
+// New creates a machine with im loaded and architectural state initialized
+// (stack pointer, globals pointer, entry PC).
+func New(im *program.Image) *Machine {
+	m := &Machine{
+		im:  im,
+		dec: make([]isa.Inst, len(im.Text)),
+		pc:  im.Entry,
+	}
+	for i, w := range im.Text {
+		m.dec[i] = isa.Decode(w)
+	}
+	m.reg[isa.RegSP] = isa.StackTop
+	m.reg[isa.RegGP] = isa.GlobalBase
+	m.mem.init()
+	m.mem.write(im.DataBase, im.Data)
+	return m
+}
+
+// Halted reports whether the program has exited.
+func (m *Machine) Halted() bool { return m.halted }
+
+// Executed returns the number of committed instructions so far.
+func (m *Machine) Executed() uint64 { return m.count }
+
+// PC returns the current program counter.
+func (m *Machine) PC() uint32 { return m.pc }
+
+// Output returns everything the program printed via syscalls.
+func (m *Machine) Output() string { return string(m.out) }
+
+// Reg returns the value of integer register r.
+func (m *Machine) Reg(r int) uint32 { return m.reg[r&31] }
+
+// Run executes until the program halts, an error occurs, or max instructions
+// have committed (max <= 0 means unlimited). It returns the number of
+// instructions committed by this call.
+func (m *Machine) Run(max uint64) (uint64, error) {
+	var rec Rec
+	var n uint64
+	for !m.halted && (max <= 0 || n < max) {
+		if err := m.Step(&rec); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Step executes one instruction, filling rec with its trace record.
+func (m *Machine) Step(rec *Rec) error {
+	if m.halted {
+		return fmt.Errorf("vm: machine halted")
+	}
+	idx := (m.pc - m.im.TextBase) / 4
+	if int(idx) >= len(m.dec) || m.pc < m.im.TextBase {
+		return fmt.Errorf("vm: pc 0x%x outside text after %d instructions", m.pc, m.count)
+	}
+	in := &m.dec[idx]
+	pc := m.pc
+	next := pc + 4
+	*rec = Rec{PC: pc, Op: in.Op, Class: isa.ClassOf(in.Op), Src1: NoReg, Src2: NoReg, Dest: NoReg}
+
+	rs := m.reg[in.Rs]
+	rt := m.reg[in.Rt]
+	setD := func(r uint8, v uint32) {
+		if r != 0 {
+			m.reg[r] = v
+		}
+		rec.Dest = r
+	}
+	src := func(r uint8) uint8 { return r } // int trace ID == reg number
+
+	switch in.Op {
+	case isa.OpSLL:
+		rec.Src1 = src(in.Rt)
+		setD(in.Rd, rt<<in.Shamt)
+		if in.Rd == 0 && in.Rt == 0 && in.Shamt == 0 {
+			rec.Class = isa.ClassNop
+		}
+	case isa.OpSRL:
+		rec.Src1 = src(in.Rt)
+		setD(in.Rd, rt>>in.Shamt)
+	case isa.OpSRA:
+		rec.Src1 = src(in.Rt)
+		setD(in.Rd, uint32(int32(rt)>>in.Shamt))
+	case isa.OpSLLV:
+		rec.Src1, rec.Src2 = src(in.Rt), src(in.Rs)
+		setD(in.Rd, rt<<(rs&31))
+	case isa.OpSRLV:
+		rec.Src1, rec.Src2 = src(in.Rt), src(in.Rs)
+		setD(in.Rd, rt>>(rs&31))
+	case isa.OpSRAV:
+		rec.Src1, rec.Src2 = src(in.Rt), src(in.Rs)
+		setD(in.Rd, uint32(int32(rt)>>(rs&31)))
+	case isa.OpADD, isa.OpADDU:
+		rec.Src1, rec.Src2 = src(in.Rs), src(in.Rt)
+		setD(in.Rd, rs+rt)
+	case isa.OpSUB, isa.OpSUBU:
+		rec.Src1, rec.Src2 = src(in.Rs), src(in.Rt)
+		setD(in.Rd, rs-rt)
+	case isa.OpAND:
+		rec.Src1, rec.Src2 = src(in.Rs), src(in.Rt)
+		setD(in.Rd, rs&rt)
+	case isa.OpOR:
+		rec.Src1, rec.Src2 = src(in.Rs), src(in.Rt)
+		setD(in.Rd, rs|rt)
+	case isa.OpXOR:
+		rec.Src1, rec.Src2 = src(in.Rs), src(in.Rt)
+		setD(in.Rd, rs^rt)
+	case isa.OpNOR:
+		rec.Src1, rec.Src2 = src(in.Rs), src(in.Rt)
+		setD(in.Rd, ^(rs | rt))
+	case isa.OpSLT:
+		rec.Src1, rec.Src2 = src(in.Rs), src(in.Rt)
+		setD(in.Rd, b2u(int32(rs) < int32(rt)))
+	case isa.OpSLTU:
+		rec.Src1, rec.Src2 = src(in.Rs), src(in.Rt)
+		setD(in.Rd, b2u(rs < rt))
+	case isa.OpMULT:
+		rec.Src1, rec.Src2 = src(in.Rs), src(in.Rt)
+		p := int64(int32(rs)) * int64(int32(rt))
+		m.hi, m.lo = uint32(uint64(p)>>32), uint32(p)
+		rec.Dest = RegLO
+	case isa.OpMULTU:
+		rec.Src1, rec.Src2 = src(in.Rs), src(in.Rt)
+		p := uint64(rs) * uint64(rt)
+		m.hi, m.lo = uint32(p>>32), uint32(p)
+		rec.Dest = RegLO
+	case isa.OpDIV:
+		rec.Src1, rec.Src2 = src(in.Rs), src(in.Rt)
+		if rt != 0 {
+			m.lo = uint32(int32(rs) / int32(rt))
+			m.hi = uint32(int32(rs) % int32(rt))
+		}
+		rec.Dest = RegLO
+	case isa.OpDIVU:
+		rec.Src1, rec.Src2 = src(in.Rs), src(in.Rt)
+		if rt != 0 {
+			m.lo, m.hi = rs/rt, rs%rt
+		}
+		rec.Dest = RegLO
+	case isa.OpMFHI:
+		rec.Src1 = RegHI
+		setD(in.Rd, m.hi)
+	case isa.OpMFLO:
+		rec.Src1 = RegLO
+		setD(in.Rd, m.lo)
+	case isa.OpJR:
+		rec.Src1 = src(in.Rs)
+		next = rs
+		rec.Taken = true
+	case isa.OpJALR:
+		rec.Src1 = src(in.Rs)
+		setD(in.Rd, pc+4)
+		next = rs
+		rec.Taken = true
+	case isa.OpJ:
+		next = in.Target
+		rec.Taken = true
+	case isa.OpJAL:
+		setD(isa.RegRA, pc+4)
+		next = in.Target
+		rec.Taken = true
+	case isa.OpBEQ:
+		rec.Src1, rec.Src2 = src(in.Rs), src(in.Rt)
+		rec.AltPC = isa.BranchTarget(pc, *in)
+		if rs == rt {
+			next = isa.BranchTarget(pc, *in)
+			rec.Taken = true
+		}
+	case isa.OpBNE:
+		rec.Src1, rec.Src2 = src(in.Rs), src(in.Rt)
+		rec.AltPC = isa.BranchTarget(pc, *in)
+		if rs != rt {
+			next = isa.BranchTarget(pc, *in)
+			rec.Taken = true
+		}
+	case isa.OpBLEZ:
+		rec.Src1 = src(in.Rs)
+		rec.AltPC = isa.BranchTarget(pc, *in)
+		if int32(rs) <= 0 {
+			next = isa.BranchTarget(pc, *in)
+			rec.Taken = true
+		}
+	case isa.OpBGTZ:
+		rec.Src1 = src(in.Rs)
+		rec.AltPC = isa.BranchTarget(pc, *in)
+		if int32(rs) > 0 {
+			next = isa.BranchTarget(pc, *in)
+			rec.Taken = true
+		}
+	case isa.OpBLTZ:
+		rec.Src1 = src(in.Rs)
+		rec.AltPC = isa.BranchTarget(pc, *in)
+		if int32(rs) < 0 {
+			next = isa.BranchTarget(pc, *in)
+			rec.Taken = true
+		}
+	case isa.OpBGEZ:
+		rec.Src1 = src(in.Rs)
+		rec.AltPC = isa.BranchTarget(pc, *in)
+		if int32(rs) >= 0 {
+			next = isa.BranchTarget(pc, *in)
+			rec.Taken = true
+		}
+	case isa.OpADDI, isa.OpADDIU:
+		rec.Src1 = src(in.Rs)
+		setD(in.Rt, rs+uint32(in.Imm))
+	case isa.OpSLTI:
+		rec.Src1 = src(in.Rs)
+		setD(in.Rt, b2u(int32(rs) < in.Imm))
+	case isa.OpSLTIU:
+		rec.Src1 = src(in.Rs)
+		setD(in.Rt, b2u(rs < uint32(in.Imm)))
+	case isa.OpANDI:
+		rec.Src1 = src(in.Rs)
+		setD(in.Rt, rs&in.UImm)
+	case isa.OpORI:
+		rec.Src1 = src(in.Rs)
+		setD(in.Rt, rs|in.UImm)
+	case isa.OpXORI:
+		rec.Src1 = src(in.Rs)
+		setD(in.Rt, rs^in.UImm)
+	case isa.OpLUI:
+		setD(in.Rt, in.UImm<<16)
+	case isa.OpLB, isa.OpLH, isa.OpLW, isa.OpLBU, isa.OpLHU:
+		rec.Src1 = src(in.Rs)
+		addr := rs + uint32(in.Imm)
+		rec.MemAddr = addr
+		v, err := m.load(in.Op, addr)
+		if err != nil {
+			return err
+		}
+		setD(in.Rt, v)
+	case isa.OpSB, isa.OpSH, isa.OpSW:
+		rec.Src1, rec.Src2 = src(in.Rs), src(in.Rt)
+		addr := rs + uint32(in.Imm)
+		rec.MemAddr = addr
+		if err := m.store(in.Op, addr, rt); err != nil {
+			return err
+		}
+	case isa.OpLWC1:
+		rec.Src1 = src(in.Rs)
+		addr := rs + uint32(in.Imm)
+		rec.MemAddr = addr
+		v, err := m.load(isa.OpLW, addr)
+		if err != nil {
+			return err
+		}
+		m.freg[in.Rt] = float64(int32(v))
+		rec.Dest = 32 + in.Rt
+	case isa.OpSWC1:
+		rec.Src1 = src(in.Rs)
+		rec.Src2 = 32 + in.Rt
+		addr := rs + uint32(in.Imm)
+		rec.MemAddr = addr
+		if err := m.store(isa.OpSW, addr, uint32(int32(m.freg[in.Rt]))); err != nil {
+			return err
+		}
+	case isa.OpFADD:
+		rec.Src1, rec.Src2 = 32+in.Rs, 32+in.Rt
+		m.freg[in.Rd] = m.freg[in.Rs] + m.freg[in.Rt]
+		rec.Dest = 32 + in.Rd
+	case isa.OpFSUB:
+		rec.Src1, rec.Src2 = 32+in.Rs, 32+in.Rt
+		m.freg[in.Rd] = m.freg[in.Rs] - m.freg[in.Rt]
+		rec.Dest = 32 + in.Rd
+	case isa.OpFMUL:
+		rec.Src1, rec.Src2 = 32+in.Rs, 32+in.Rt
+		m.freg[in.Rd] = m.freg[in.Rs] * m.freg[in.Rt]
+		rec.Dest = 32 + in.Rd
+	case isa.OpFDIV:
+		rec.Src1, rec.Src2 = 32+in.Rs, 32+in.Rt
+		if m.freg[in.Rt] != 0 {
+			m.freg[in.Rd] = m.freg[in.Rs] / m.freg[in.Rt]
+		}
+		rec.Dest = 32 + in.Rd
+	case isa.OpFMOV:
+		rec.Src1 = 32 + in.Rs
+		m.freg[in.Rd] = m.freg[in.Rs]
+		rec.Dest = 32 + in.Rd
+	case isa.OpFNEG:
+		rec.Src1 = 32 + in.Rs
+		m.freg[in.Rd] = -m.freg[in.Rs]
+		rec.Dest = 32 + in.Rd
+	case isa.OpSYSCALL:
+		m.syscall()
+	default:
+		return fmt.Errorf("vm: invalid instruction 0x%08x at pc 0x%x",
+			m.im.Text[idx], pc)
+	}
+	// r0 is hardwired to zero and never a real dependence.
+	m.reg[0] = 0
+	if rec.Src1 == 0 {
+		rec.Src1 = NoReg
+	}
+	if rec.Src2 == 0 {
+		rec.Src2 = NoReg
+	}
+	if rec.Dest == 0 {
+		rec.Dest = NoReg
+	}
+	if rec.Class == isa.ClassBranch && rec.Taken {
+		rec.AltPC = pc + 4 // the not-followed direction is the fall-through
+	}
+	rec.NextPC = next
+	m.pc = next
+	m.count++
+	return nil
+}
+
+func (m *Machine) syscall() {
+	switch m.reg[isa.RegV0] {
+	case isa.SysExit:
+		m.halted = true
+	case isa.SysPrintInt:
+		m.out = fmt.Appendf(m.out, "%d", int32(m.reg[isa.RegA0]))
+	case isa.SysPrintChar:
+		m.out = append(m.out, byte(m.reg[isa.RegA0]))
+	case isa.SysPrintString:
+		addr := m.reg[isa.RegA0]
+		for i := 0; i < 4096; i++ {
+			b, err := m.load(isa.OpLBU, addr)
+			if err != nil || b == 0 {
+				break
+			}
+			m.out = append(m.out, byte(b))
+			addr++
+		}
+	}
+}
+
+func (m *Machine) load(op isa.Op, addr uint32) (uint32, error) {
+	if m.im.InText(addr &^ 3) {
+		w, _ := m.im.WordAt(addr &^ 3)
+		return extract(op, w, addr), nil
+	}
+	w, err := m.mem.load32(addr &^ 3)
+	if err != nil {
+		return 0, err
+	}
+	return extract(op, w, addr), nil
+}
+
+func extract(op isa.Op, w uint32, addr uint32) uint32 {
+	sh := (addr & 3) * 8
+	switch op {
+	case isa.OpLB:
+		return uint32(int32(int8(w >> sh)))
+	case isa.OpLBU:
+		return w >> sh & 0xFF
+	case isa.OpLH:
+		return uint32(int32(int16(w >> (sh &^ 8))))
+	case isa.OpLHU:
+		return w >> (sh &^ 8) & 0xFFFF
+	default:
+		return w
+	}
+}
+
+func (m *Machine) store(op isa.Op, addr uint32, v uint32) error {
+	switch op {
+	case isa.OpSB:
+		return m.mem.storeBytes(addr, 1, v)
+	case isa.OpSH:
+		return m.mem.storeBytes(addr&^1, 2, v)
+	default:
+		return m.mem.storeBytes(addr&^3, 4, v)
+	}
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

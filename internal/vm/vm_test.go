@@ -1,0 +1,478 @@
+package vm
+
+import (
+	"testing"
+
+	"codepack/internal/asm"
+	"codepack/internal/isa"
+)
+
+func run(t *testing.T, src string) *Machine {
+	t.Helper()
+	im, err := asm.Assemble("test", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := New(im)
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !m.Halted() {
+		t.Fatal("program did not halt")
+	}
+	return m
+}
+
+const exit = "\tli $v0, 10\n\tsyscall\n"
+
+func TestArithmetic(t *testing.T) {
+	m := run(t, `
+main:
+	li   $t0, 6
+	li   $t1, 7
+	mult $t0, $t1
+	mflo $t2
+	addiu $t2, $t2, -2   # 40
+	sll  $t3, $t2, 2     # 160
+	srl  $t4, $t3, 1     # 80
+	li   $t5, -16
+	sra  $t6, $t5, 2     # -4
+	divu $t3, $t2        # 160/40 = 4
+	mflo $t7
+	sub  $s0, $t7, $t6   # 4 - (-4) = 8
+`+exit)
+	minus4 := int32(-4)
+	checks := map[int]uint32{10: 40, 11: 160, 12: 80, 14: uint32(minus4), 15: 4, 16: 8}
+	for r, want := range checks {
+		if got := m.Reg(r); got != want {
+			t.Errorf("r%d = %d, want %d", r, int32(got), int32(want))
+		}
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	m := run(t, `
+main:
+	li   $t0, 0x12345678
+	sw   $t0, 0($gp)
+	lw   $t1, 0($gp)
+	lb   $t2, 0($gp)     # 0x78
+	lbu  $t3, 3($gp)     # 0x12
+	lh   $t4, 0($gp)     # 0x5678
+	lhu  $t5, 2($gp)     # 0x1234
+	li   $t6, -1
+	sb   $t6, 4($gp)
+	lbu  $t7, 4($gp)     # 0xff
+	sh   $t6, 8($gp)
+	lhu  $s0, 8($gp)     # 0xffff
+	lw   $s1, 12($gp)    # untouched -> 0
+`+exit)
+	checks := map[int]uint32{
+		9: 0x12345678, 10: 0x78, 11: 0x12, 12: 0x5678, 13: 0x1234,
+		15: 0xff, 16: 0xffff, 17: 0,
+	}
+	for r, want := range checks {
+		if got := m.Reg(r); got != want {
+			t.Errorf("r%d = %#x, want %#x", r, got, want)
+		}
+	}
+}
+
+func TestSignExtension(t *testing.T) {
+	m := run(t, `
+main:
+	li  $t0, -1
+	sb  $t0, 0($gp)
+	lb  $t1, 0($gp)      # -1 sign extended
+	sh  $t0, 4($gp)
+	lh  $t2, 4($gp)      # -1
+`+exit)
+	if got := int32(m.Reg(9)); got != -1 {
+		t.Errorf("lb = %d, want -1", got)
+	}
+	if got := int32(m.Reg(10)); got != -1 {
+		t.Errorf("lh = %d, want -1", got)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	m := run(t, `
+main:
+	li   $t0, 0
+	li   $t1, 10
+loop:
+	addiu $t0, $t0, 1
+	bne  $t0, $t1, loop
+	jal  double
+	j    done
+double:
+	addu $t2, $t0, $t0
+	jr   $ra
+done:
+`+exit)
+	if m.Reg(8) != 10 || m.Reg(10) != 20 {
+		t.Fatalf("t0=%d t2=%d, want 10 20", m.Reg(8), m.Reg(10))
+	}
+}
+
+func TestBranchVariants(t *testing.T) {
+	m := run(t, `
+main:
+	li   $t0, -5
+	li   $s0, 0
+	bltz $t0, a
+	li   $s0, 99
+a:	bgez $t0, bad
+	blez $t0, b
+	li   $s0, 98
+b:	li   $t1, 5
+	bgtz $t1, c
+	li   $s0, 97
+bad:	li   $s0, 96
+c:
+`+exit)
+	if m.Reg(16) != 0 {
+		t.Fatalf("s0 = %d, want 0 (all branch paths correct)", m.Reg(16))
+	}
+}
+
+func TestFunctionCallsAndStack(t *testing.T) {
+	m := run(t, `
+main:
+	li   $a0, 4
+	jal  fact
+	move $s0, $v0        # 24
+`+exit+`
+fact:
+	addiu $sp, $sp, -8
+	sw   $ra, 4($sp)
+	sw   $a0, 0($sp)
+	li   $v0, 1
+	blez $a0, fdone
+	addiu $a0, $a0, -1
+	jal  fact
+	lw   $a0, 0($sp)
+	mult $v0, $a0
+	mflo $v0
+fdone:
+	lw   $ra, 4($sp)
+	addiu $sp, $sp, 8
+	jr   $ra
+`)
+	if m.Reg(16) != 24 {
+		t.Fatalf("fact(4) = %d, want 24", m.Reg(16))
+	}
+}
+
+func TestSyscallOutput(t *testing.T) {
+	m := run(t, `
+main:
+	li $a0, 42
+	li $v0, 1
+	syscall
+	li $a0, 'x'
+	li $v0, 11
+	syscall
+`+exit)
+	if got := m.Output(); got != "42x" {
+		t.Fatalf("output %q, want %q", got, "42x")
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	m := run(t, `
+main:
+	li   $t0, 3
+	sw   $t0, 0($gp)
+	li   $t1, 4
+	sw   $t1, 4($gp)
+	lwc1 $f0, 0($gp)
+	lwc1 $f2, 4($gp)
+	add.d $f4, $f0, $f2
+	mul.d $f6, $f4, $f2   # 28
+	swc1 $f6, 8($gp)
+	lw   $s0, 8($gp)
+`+exit)
+	if m.Reg(16) != 28 {
+		t.Fatalf("fp chain = %d, want 28", m.Reg(16))
+	}
+}
+
+func TestTraceRecords(t *testing.T) {
+	im, err := asm.Assemble("trace", `
+main:
+	addiu $t0, $zero, 1
+	lw    $t1, 0($gp)
+	addu  $t2, $t0, $t1
+	beq   $t2, $zero, main
+	jal   f
+	li    $v0, 10
+	syscall
+f:	jr $ra
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(im)
+	var recs []Rec
+	var r Rec
+	for !m.Halted() {
+		if err := m.Step(&r); err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, r)
+	}
+	if len(recs) != 8 {
+		t.Fatalf("committed %d instructions, want 8", len(recs))
+	}
+	if recs[0].Dest != 8 || recs[0].Src1 != NoReg {
+		t.Errorf("addiu from $zero: dest %d src %d", recs[0].Dest, recs[0].Src1)
+	}
+	if recs[1].Class != isa.ClassLoad || recs[1].MemAddr != isa.GlobalBase {
+		t.Errorf("lw rec wrong: %+v", recs[1])
+	}
+	if recs[2].Src1 != 8 || recs[2].Src2 != 9 || recs[2].Dest != 10 {
+		t.Errorf("addu deps wrong: %+v", recs[2])
+	}
+	if recs[3].Class != isa.ClassBranch || recs[3].Taken {
+		t.Errorf("beq should be a not-taken branch: %+v", recs[3])
+	}
+	if recs[4].Op != isa.OpJAL || !recs[4].Taken || recs[4].Dest != 31 {
+		t.Errorf("jal rec wrong: %+v", recs[4])
+	}
+	// jr $ra back to after the jal.
+	jr := recs[len(recs)-3]
+	if jr.Op != isa.OpJR || jr.NextPC != recs[4].PC+4 {
+		t.Errorf("jr rec wrong: %+v", jr)
+	}
+}
+
+func TestHaltedMachineRefusesStep(t *testing.T) {
+	m := run(t, "main:\n"+exit)
+	var r Rec
+	if err := m.Step(&r); err == nil {
+		t.Fatal("step after halt should error")
+	}
+}
+
+func TestPCOutOfRange(t *testing.T) {
+	im, err := asm.Assemble("fall", "main:\n\taddiu $t0, $zero, 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(im)
+	if _, err := m.Run(100); err == nil {
+		t.Fatal("falling off the end of text should error")
+	}
+}
+
+func TestPrintString(t *testing.T) {
+	m := run(t, `
+main:
+	la $a0, msg
+	li $v0, 4
+	syscall
+`+exit+`
+	.data
+msg:	.asciiz "hello, codepack"
+`)
+	if got := m.Output(); got != "hello, codepack" {
+		t.Fatalf("output %q", got)
+	}
+}
+
+func TestShiftVariableOps(t *testing.T) {
+	m := run(t, `
+main:
+	li   $t0, 0x80000000
+	li   $t1, 4
+	srlv $t2, $t0, $t1    # 0x08000000
+	srav $t3, $t0, $t1    # 0xF8000000
+	li   $t4, 3
+	sllv $t5, $t1, $t4    # 32
+	li   $t6, 36          # shift amounts use low 5 bits: 36 & 31 = 4
+	sllv $t7, $t1, $t6    # 64
+`+exit)
+	checks := map[int]uint32{
+		10: 0x08000000, 11: 0xF8000000, 13: 32, 15: 64,
+	}
+	for r, want := range checks {
+		if got := m.Reg(r); got != want {
+			t.Errorf("r%d = %#x, want %#x", r, got, want)
+		}
+	}
+}
+
+func TestLogicalAndCompareOps(t *testing.T) {
+	m := run(t, `
+main:
+	li    $t0, 0x0F0F
+	li    $t1, 0x00FF
+	nor   $t2, $t0, $t1     # ^(0x0FFF)
+	xori  $t3, $t0, 0xFFFF  # 0xF0F0
+	andi  $t4, $t0, 0x00F0  # 0x0000? 0x0F0F & 0x00F0 = 0x0000... actually 0x0000
+	slti  $t5, $t0, 0x1000  # 1
+	sltiu $t6, $t0, 5       # 0
+	li    $t7, -3
+	sltiu $t8, $t7, -1      # unsigned: 0xFFFFFFFD < 0xFFFFFFFF -> 1
+	slt   $s0, $t7, $zero   # 1
+	sltu  $s1, $t7, $zero   # 0
+`+exit)
+	checks := map[int]uint32{
+		10: ^uint32(0x0FFF), 11: 0xF0F0, 12: 0x0000,
+		13: 1, 14: 0, 24: 1, 16: 1, 17: 0,
+	}
+	for r, want := range checks {
+		if got := m.Reg(r); got != want {
+			t.Errorf("r%d = %#x, want %#x", r, got, want)
+		}
+	}
+}
+
+func TestSignedMultiplyDivide(t *testing.T) {
+	m := run(t, `
+main:
+	li   $t0, -6
+	li   $t1, 7
+	mult $t0, $t1
+	mflo $t2              # -42
+	mfhi $t3              # sign extension: 0xFFFFFFFF
+	li   $t4, -45
+	li   $t5, 7
+	div  $t4, $t5
+	mflo $t6              # -6 (Go semantics: trunc toward zero)
+	mfhi $t7              # -3
+	multu $t1, $t1
+	mflo $s0              # 49
+	div  $t4, $zero       # divide by zero leaves hi/lo unchanged
+	mflo $s1              # still 49
+`+exit)
+	if got := int32(m.Reg(10)); got != -42 {
+		t.Errorf("mult lo = %d", got)
+	}
+	if got := m.Reg(11); got != 0xFFFFFFFF {
+		t.Errorf("mult hi = %#x", got)
+	}
+	if got := int32(m.Reg(14)); got != -6 {
+		t.Errorf("div quotient = %d", got)
+	}
+	if got := int32(m.Reg(15)); got != -3 {
+		t.Errorf("div remainder = %d", got)
+	}
+	if got := m.Reg(17); got != 49 {
+		t.Errorf("after div-by-zero, lo = %d, want preserved 49", got)
+	}
+}
+
+func TestFPFullSet(t *testing.T) {
+	m := run(t, `
+main:
+	li   $t0, 9
+	sw   $t0, 0($gp)
+	li   $t1, 2
+	sw   $t1, 4($gp)
+	lwc1 $f0, 0($gp)
+	lwc1 $f2, 4($gp)
+	sub.d $f4, $f0, $f2   # 7
+	div.d $f6, $f4, $f2   # 3.5 -> stored as 3
+	neg.d $f8, $f4        # -7
+	mov.d $f10, $f8
+	swc1 $f6, 8($gp)
+	swc1 $f10, 12($gp)
+	lw   $s0, 8($gp)
+	lw   $s1, 12($gp)
+`+exit)
+	if got := m.Reg(16); got != 3 {
+		t.Errorf("div.d result %d, want 3", got)
+	}
+	if got := int32(m.Reg(17)); got != -7 {
+		t.Errorf("neg/mov chain %d, want -7", got)
+	}
+}
+
+func TestJALRIndirectCall(t *testing.T) {
+	m := run(t, `
+main:
+	la   $t9, callee
+	jalr $t9
+	move $s0, $v0
+`+exit+`
+callee:
+	li $v0, 77
+	jr $ra
+`)
+	if m.Reg(16) != 77 {
+		t.Fatalf("jalr call returned %d", m.Reg(16))
+	}
+}
+
+func TestAddAndSubTrapVariants(t *testing.T) {
+	// SS32 treats add/sub as their unsigned twins (no overflow traps).
+	m := run(t, `
+main:
+	li  $t0, 0x7FFFFFFF
+	li  $t1, 1
+	add $t2, $t0, $t1
+	sub $t3, $t2, $t1
+	addi $t4, $t0, 1
+`+exit)
+	if m.Reg(10) != 0x80000000 || m.Reg(11) != 0x7FFFFFFF || m.Reg(12) != 0x80000000 {
+		t.Fatalf("add/sub/addi wrap wrong: %#x %#x %#x", m.Reg(10), m.Reg(11), m.Reg(12))
+	}
+}
+
+func TestZeroRegisterImmutable(t *testing.T) {
+	m := run(t, `
+main:
+	li   $t0, 5
+	addu $zero, $t0, $t0
+	lw   $zero, 0($gp)
+	addu $t1, $zero, $zero
+`+exit)
+	if m.Reg(0) != 0 || m.Reg(9) != 0 {
+		t.Fatal("$zero was written")
+	}
+}
+
+func TestRunReturnsCount(t *testing.T) {
+	im, err := asm.Assemble("c", "main:\n\tnop\n\tnop\n\tli $v0, 10\n\tsyscall\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(im)
+	n, err := m.Run(0)
+	if err != nil || n != 4 {
+		t.Fatalf("ran %d (%v), want 4", n, err)
+	}
+	if m.Executed() != 4 || m.PC() == 0 {
+		t.Fatal("counters wrong")
+	}
+}
+
+func TestUnalignedWordLoadAlignsDown(t *testing.T) {
+	// SS32 word accesses ignore the low address bits (align-down), a
+	// common simulator simplification in place of alignment traps.
+	m := run(t, `
+main:
+	li $t0, 0x11223344
+	sw $t0, 0($gp)
+	lw $t1, 3($gp)        # aligns down to 0($gp)
+`+exit)
+	if got := m.Reg(9); got != 0x11223344 {
+		t.Fatalf("unaligned lw = %#x, want aligned-down value", got)
+	}
+}
+
+func TestLoadFromTextSegment(t *testing.T) {
+	// Reading instruction memory as data works (the program reads its
+	// own first instruction).
+	m := run(t, `
+main:
+	lui  $t0, 0x40        # 0x00400000 text base
+	lw   $t1, 0($t0)
+	srl  $t2, $t1, 26     # opcode field of "lui" = 0x0F
+`+exit)
+	if got := m.Reg(10); got != 0x0F {
+		t.Fatalf("opcode field %#x, want 0x0f", got)
+	}
+}

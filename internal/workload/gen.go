@@ -1,0 +1,515 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"codepack/internal/asm"
+	"codepack/internal/program"
+)
+
+// Generate builds the synthetic benchmark described by p and assembles it.
+func Generate(p Profile) (*program.Image, error) {
+	src, err := Source(p)
+	if err != nil {
+		return nil, err
+	}
+	return asm.Assemble(p.Name, src)
+}
+
+// Source produces the assembly source for p.
+func Source(p Profile) (string, error) {
+	if p.TextKB < 4 || p.FuncBody < 16 || p.InnerLoop < 1 {
+		return "", fmt.Errorf("workload: degenerate profile %+v", p)
+	}
+	if p.WalkEvery > 1 && p.WalkEvery&(p.WalkEvery-1) != 0 {
+		return "", fmt.Errorf("workload: WalkEvery %d not a power of two", p.WalkEvery)
+	}
+	g := &generator{
+		p:   p,
+		rng: rand.New(rand.NewSource(p.Seed)),
+	}
+	g.plan()
+	g.emitAll()
+	return g.b.String(), nil
+}
+
+// Shape constants of the generated program.
+const (
+	segMembers    = 32 // pool functions called per segment
+	indirectSlots = 8  // function-pointer table entries
+	frameBytes    = 32
+)
+
+type generator struct {
+	p   Profile
+	rng *rand.Rand
+	b   strings.Builder
+
+	nFuncs    int
+	nSegs     int
+	funcCost  uint64 // dynamic instructions per pool-function call
+	segCost   uint64
+	kernCost  uint64 // per kernel call including call-site setup
+	iters     uint64 // driver-loop trip count
+	labels    int
+	dataOff   int // $gp-relative start of the scratch data window
+	dataSpan  int // bytes of the scratch window
+	kernSpan  int // bytes of the kernel's cache-friendly window
+	poolBases []int
+	kernBases []int
+	callOrder []int // permutation: call sequence -> layout index
+	sched     []int // per-iteration segment call schedule (nil = all, in order)
+}
+
+// plan sizes the function pool so the text section hits TextKB and derives
+// the exact dynamic cost of one driver iteration, from which the loop trip
+// count follows.
+func (g *generator) plan() {
+	p := g.p
+	funcWords := p.FuncBody + 6
+	segWords := 2*segMembers + 6 + 5 // interleaved double calls; +5 indirect site
+	kernelWords := 0
+	if p.KernelIters > 0 {
+		kernelWords = p.KernelBody + 6
+	}
+	driverWords := 64 // conservative; driver is tiny
+	avail := p.TextKB*256 - kernelWords - driverWords
+	g.nFuncs = avail * segMembers / (funcWords*segMembers + segWords)
+	if g.nFuncs < indirectSlots {
+		g.nFuncs = indirectSlots
+	}
+	g.nSegs = (g.nFuncs + segMembers - 1) / segMembers
+	driverWords = g.nSegs + 24
+	if p.WalkEvery == 0 {
+		driverWords += g.startupSegs()
+	}
+
+	// Jump-overs mean only part of each emitted body executes.
+	execBody := func(n int) int {
+		if p.RunLen <= 0 {
+			return n
+		}
+		return n * (p.RunLen + 1) / (p.RunLen + 1 + p.SkipLen)
+	}
+	g.funcCost = uint64(p.InnerLoop*(execBody(p.FuncBody)+2) + 4)
+	g.segCost = 6 + 2*segMembers*(1+g.funcCost) // members are called twice (interleave)
+	// Every fourth segment makes one rotating indirect call.
+	g.kernCost = 0
+	if p.KernelIters > 0 {
+		g.kernCost = uint64(p.KernelIters*(execBody(p.KernelBody)+2)+4) + 2
+	}
+
+	walk := g.walkCost()
+	var iterCost uint64
+	switch {
+	case p.WalkEvery == 0:
+		iterCost = g.kernCost + 4
+	case p.WalkEvery == 1:
+		iterCost = g.kernCost + walk + 4
+	default:
+		iterCost = g.kernCost + walk/uint64(p.WalkEvery) + 6
+	}
+	if iterCost == 0 {
+		iterCost = 1
+	}
+	g.iters = p.TargetDynamic/iterCost + 2
+
+	g.dataOff = -32768 + indirectSlots*4
+	g.dataSpan = p.DataKB * 1024
+	g.kernSpan = 2048
+	if g.dataSpan < g.kernSpan {
+		g.kernSpan = g.dataSpan
+	}
+	// Memory operands address a shared palette of base offsets plus small
+	// field offsets, like compiled struct accesses. This keeps the
+	// low-halfword diversity realistic: a skewed head the dictionary
+	// captures and a long tail that escapes as raw bits (Table 4).
+	for i := 0; i < 20; i++ {
+		base := g.rng.Intn(maxInt(1, (g.dataSpan-64)/4)) * 4
+		g.poolBases = append(g.poolBases, base)
+		if base < g.kernSpan-64 {
+			g.kernBases = append(g.kernBases, base)
+		}
+	}
+	if len(g.kernBases) == 0 {
+		g.kernBases = []int{0, 64, 128, 256}
+	}
+	g.callOrder = g.rng.Perm(g.nFuncs)
+	if p.HotSegs > 0 {
+		g.buildSchedule()
+		// Recompute the iteration cost from the actual schedule.
+		var walk uint64
+		for _, sg := range g.sched {
+			walk += 1 + g.segCost
+			if sg%4 == 0 {
+				walk += 5 + g.funcCost
+			}
+		}
+		g.iters = p.TargetDynamic/(g.kernCost+walk+4) + 2
+	}
+}
+
+// buildSchedule samples the two-tier hot/cold segment call schedule.
+func (g *generator) buildSchedule() {
+	p := g.p
+	perm := g.rng.Perm(g.nSegs)
+	nHot := p.HotSegs
+	if nHot > g.nSegs {
+		nHot = g.nSegs
+	}
+	hot, tail := perm[:nHot], perm[nHot:]
+	n := p.SchedLen
+	if n <= 0 {
+		n = 128
+	}
+	g.sched = make([]int, n)
+	for i := range g.sched {
+		// Immediate re-visits give a ~13KB reuse distance (one segment),
+		// the rung separating 4KB from 16KB caches in Table 10.
+		if i > 0 && g.rng.Float64() < p.RepeatProb {
+			g.sched[i] = g.sched[i-1]
+			continue
+		}
+		if len(tail) == 0 || g.rng.Float64() < p.HotShare {
+			g.sched[i] = hot[g.rng.Intn(len(hot))]
+		} else {
+			g.sched[i] = tail[g.rng.Intn(len(tail))]
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (g *generator) startupSegs() int {
+	f := g.p.WalkOnceFraction
+	if f <= 0 || f > 1 {
+		f = 1
+	}
+	n := int(f * float64(g.nSegs))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (g *generator) walkCost() uint64 {
+	var c uint64
+	for s := 0; s < g.nSegs; s++ {
+		c += 1 + g.segCost
+		if s%4 == 0 {
+			c += 5 + g.funcCost // rotating indirect call
+		}
+	}
+	return c
+}
+
+func (g *generator) emitAll() {
+	g.emitDriver()
+	if g.p.KernelIters > 0 {
+		g.emitKernel()
+	}
+	for s := 0; s < g.nSegs; s++ {
+		g.emitSegment(s)
+	}
+	for f := 0; f < g.nFuncs; f++ {
+		g.emitFunc(f)
+	}
+	g.emitData()
+}
+
+func (g *generator) line(format string, args ...any) {
+	fmt.Fprintf(&g.b, format+"\n", args...)
+}
+
+func (g *generator) label() string {
+	g.labels++
+	return fmt.Sprintf("L%d", g.labels)
+}
+
+func (g *generator) emitDriver() {
+	g.line("\t.text")
+	g.line("main:")
+	g.line("\tli $s7, 0")
+	g.line("\tli $s6, %d", g.iters)
+	if g.p.WalkEvery == 0 {
+		// MediaBench shape: touch the leading fraction of the text once,
+		// then run kernels.
+		for s := 0; s < g.startupSegs(); s++ {
+			g.line("\tjal seg_%d", s)
+		}
+	}
+	g.line("driver_loop:")
+	if g.p.KernelIters > 0 {
+		g.line("\tli $a0, %d", g.p.KernelIters)
+		g.line("\tjal kernel")
+	}
+	if g.p.WalkEvery >= 1 {
+		skip := ""
+		if g.p.WalkEvery > 1 {
+			skip = g.label()
+			g.line("\tandi $t8, $s7, %d", g.p.WalkEvery-1)
+			g.line("\tbnez $t8, %s", skip)
+		}
+		if g.sched != nil {
+			for _, sg := range g.sched {
+				g.line("\tjal seg_%d", sg)
+			}
+		} else {
+			for s := 0; s < g.nSegs; s++ {
+				g.line("\tjal seg_%d", s)
+			}
+		}
+		if skip != "" {
+			g.line("%s:", skip)
+		}
+	}
+	g.line("\taddiu $s7, $s7, 1")
+	g.line("\tbne $s7, $s6, driver_loop")
+	g.line("\tli $v0, 10")
+	g.line("\tsyscall")
+}
+
+func (g *generator) emitKernel() {
+	g.line("kernel:")
+	g.line("\taddiu $sp, $sp, -%d", frameBytes)
+	g.line("\tmove $t9, $a0")
+	g.line("kernel_loop:")
+	g.emitBody(g.p.KernelBody, g.kernSpan)
+	g.line("\taddiu $t9, $t9, -1")
+	g.line("\tbgtz $t9, kernel_loop")
+	g.line("\taddiu $sp, $sp, %d", frameBytes)
+	g.line("\tjr $ra")
+}
+
+func (g *generator) emitSegment(s int) {
+	g.line("seg_%d:", s)
+	g.line("\taddiu $sp, $sp, -8")
+	g.line("\tsw $ra, 4($sp)")
+	lo := s * segMembers
+	// Call order is a global shuffle of layout order, so misses land at
+	// arbitrary offsets within compression blocks (exercising the serial
+	// decode penalty and critical-word-first) and the output buffer's
+	// prefetch is only partially useful, as in real code. Members are
+	// called in groups of eight, each group twice: the ~3KB group reuse
+	// distance separates 1KB from 4KB caches in Table 10.
+	const group = 8
+	for base := 0; base < segMembers; base += group {
+		for pass := 0; pass < 2; pass++ {
+			for m := base; m < base+group && m < segMembers; m++ {
+				g.line("\tjal f_%d", g.callOrder[(lo+m)%g.nFuncs])
+			}
+		}
+	}
+	if s%4 == 0 {
+		// Rotating indirect call through the function-pointer table:
+		// the target changes every driver iteration, exercising the BTB.
+		g.line("\tandi $at, $s7, %d", indirectSlots-1)
+		g.line("\tsll $at, $at, 2")
+		g.line("\taddu $at, $at, $gp")
+		g.line("\tlw $t8, -32768($at)")
+		g.line("\tjalr $t8")
+	}
+	g.line("\tlw $ra, 4($sp)")
+	g.line("\taddiu $sp, $sp, 8")
+	g.line("\tjr $ra")
+}
+
+func (g *generator) emitFunc(f int) {
+	g.line("f_%d:", f)
+	g.line("\taddiu $sp, $sp, -%d", frameBytes)
+	g.line("\tli $t9, %d", g.p.InnerLoop)
+	g.line("f_%d_loop:", f)
+	g.emitBody(g.p.FuncBody, g.dataSpan)
+	g.line("\taddiu $t9, $t9, -1")
+	g.line("\tbgtz $t9, f_%d_loop", f)
+	g.line("\taddiu $sp, $sp, %d", frameBytes)
+	g.line("\tjr $ra")
+}
+
+func (g *generator) emitData() {
+	g.line("\t.data")
+	g.line("functab:")
+	for i := 0; i < indirectSlots; i++ {
+		g.line("\t.word f_%d", i*g.nFuncs/indirectSlots)
+	}
+	g.line("scratch:")
+	g.line("\t.space %d", g.p.DataKB*1024)
+}
+
+// Scratch registers available to generated bodies. $t8 is the branch temp,
+// $t9 the loop counter, $at the assembler temp; $s6/$s7 belong to the
+// driver. Weights skew toward the low temporaries, as compiled code does.
+var destRegs = []string{
+	"$t0", "$t0", "$t1", "$t1", "$t2", "$t2", "$t3", "$t3",
+	"$t4", "$t5", "$t6", "$t7", "$v0", "$v1", "$a1", "$a2", "$a3",
+}
+
+var smallImms = []int{0, 0, 1, 1, 2, 3, 4, 4, 8, 8, 12, 16, 20, 24, 32, -1, -2, -4, -8}
+
+// emitBody writes exactly n instructions of profile-weighted straight-line
+// code; span bounds the $gp-relative data window it touches.
+func (g *generator) emitBody(n, span int) {
+	p := g.p
+	emitted := 0
+	reg := func() string { return destRegs[g.rng.Intn(len(destRegs))] }
+	bases := g.poolBases
+	if span <= g.kernSpan {
+		bases = g.kernBases
+	}
+	gpOff := func() int {
+		// Quadratic skew: early palette entries dominate, giving the
+		// frequency head that CodePack's small classes capture.
+		r := g.rng.Float64()
+		base := bases[int(r*r*r*float64(len(bases)))]
+		return g.dataOff + base + g.rng.Intn(12)*4
+	}
+	run, runTarget := 0, g.nextRun()
+	for emitted < n {
+		// Break the body into short runs separated by forward jumps over
+		// dead words, approximating real basic-block structure.
+		if p.RunLen > 0 && run >= runTarget && n-emitted >= p.SkipLen+2 {
+			skip := g.label()
+			g.line("\tb %s", skip) // short relative branch: repeated offsets compress well
+			for k := 0; k < p.SkipLen; k++ {
+				g.deadFiller(reg, gpOff)
+			}
+			g.line("%s:", skip)
+			emitted += 1 + p.SkipLen
+			run, runTarget = 0, g.nextRun()
+			continue
+		}
+		left := n - emitted
+		r := g.rng.Float64()
+		sizeBefore := emitted
+		switch {
+		case r < p.LoadFrac:
+			if g.rng.Intn(4) == 0 {
+				g.line("\tlw %s, %d($sp)", reg(), g.rng.Intn(frameBytes/4)*4)
+			} else {
+				g.line("\tlw %s, %d($gp)", reg(), gpOff())
+			}
+			emitted++
+		case r < p.LoadFrac+p.StoreFrac:
+			if g.rng.Intn(4) == 0 {
+				g.line("\tsw %s, %d($sp)", reg(), g.rng.Intn(frameBytes/4)*4)
+			} else {
+				g.line("\tsw %s, %d($gp)", reg(), gpOff())
+			}
+			emitted++
+		case r < p.LoadFrac+p.StoreFrac+p.BranchFrac && left >= 4:
+			emitted += g.emitBranch(reg)
+		case r < p.LoadFrac+p.StoreFrac+p.BranchFrac+p.FPFrac && left >= 4:
+			f1, f2, f3 := g.rng.Intn(8)*2, g.rng.Intn(8)*2, g.rng.Intn(8)*2
+			g.line("\tlwc1 $f%d, %d($gp)", f1, gpOff())
+			if g.rng.Intn(2) == 0 {
+				g.line("\tadd.d $f%d, $f%d, $f%d", f3, f1, f2)
+			} else {
+				g.line("\tmul.d $f%d, $f%d, $f%d", f3, f1, f2)
+			}
+			g.line("\tswc1 $f%d, %d($gp)", f3, gpOff())
+			emitted += 3
+		case r < p.LoadFrac+p.StoreFrac+p.BranchFrac+p.FPFrac+p.RareFrac:
+			// Unique constants: the raw halfwords of Table 4.
+			if left >= 2 && g.rng.Intn(2) == 0 {
+				d := reg()
+				g.line("\tlui %s, %d", d, g.rng.Intn(1<<16))
+				g.line("\tori %s, %s, %d", d, d, g.rng.Intn(1<<16))
+				emitted += 2
+			} else {
+				g.line("\tori %s, %s, %d", reg(), reg(), g.rng.Intn(1<<16))
+				emitted++
+			}
+		default:
+			emitted += g.emitALU(reg, left)
+		}
+		run += emitted - sizeBefore
+	}
+}
+
+// nextRun draws the next straight-line run length.
+func (g *generator) nextRun() int {
+	if g.p.RunLen <= 0 {
+		return 1 << 30
+	}
+	return g.p.RunLen/2 + g.rng.Intn(g.p.RunLen)
+}
+
+// deadFiller emits one never-executed instruction with realistic halfword
+// statistics (it still counts toward text size and compression).
+func (g *generator) deadFiller(reg func() string, gpOff func() int) {
+	switch g.rng.Intn(5) {
+	case 0:
+		g.line("\tlw %s, %d($gp)", reg(), gpOff())
+	case 1:
+		g.line("\tsw %s, %d($gp)", reg(), gpOff())
+	case 2:
+		g.line("\taddiu %s, %s, %d", reg(), reg(), smallImms[g.rng.Intn(len(smallImms))])
+	case 3:
+		g.line("\taddu %s, %s, %s", reg(), reg(), reg())
+	default:
+		g.line("\tsll %s, %s, %d", reg(), reg(), g.rng.Intn(8))
+	}
+}
+
+// emitBranch writes a 4-instruction branch pattern and returns 4:
+// 20% data-dependent (taken 7 of 8 times, a biased while-condition) and 80%
+// never-taken guards, mimicking compiled error checks.
+func (g *generator) emitBranch(reg func() string) int {
+	skip := g.label()
+	a, b := reg(), reg()
+	if g.rng.Intn(10) < 2 {
+		g.line("\tandi $t8, %s, 7", a)
+		g.line("\tbnez $t8, %s", skip)
+		g.line("\taddu %s, %s, %s", b, b, a)
+		g.line("\txori %s, %s, %d", a, a, 1+g.rng.Intn(15))
+	} else {
+		g.line("\tbne %s, %s, %s", a, a, skip)
+		g.line("\taddiu %s, %s, %d", b, b, smallImms[g.rng.Intn(len(smallImms))])
+		g.line("\tsll %s, %s, %d", a, a, 1+g.rng.Intn(3))
+	}
+	g.line("%s:", skip)
+	return 4
+}
+
+// emitALU writes 1-3 integer instructions and returns the count. Multiplies
+// stay at a few percent and divides well under one percent, as in compiled
+// code; more would bottleneck the single multiplier unit of Table 2.
+func (g *generator) emitALU(reg func() string, left int) int {
+	d, a, b := reg(), reg(), reg()
+	switch k := g.rng.Intn(100); {
+	case k < 30:
+		ops := []string{"addu", "subu", "and", "or", "xor", "slt", "sltu", "addu"}
+		g.line("\t%s %s, %s, %s", ops[g.rng.Intn(len(ops))], d, a, b)
+		return 1
+	case k < 65:
+		g.line("\taddiu %s, %s, %d", d, a, smallImms[g.rng.Intn(len(smallImms))])
+		return 1
+	case k < 80:
+		g.line("\tsll %s, %s, %d", d, a, g.rng.Intn(8))
+		return 1
+	case k < 90:
+		// Stir in the iteration counter so values, and therefore
+		// data-dependent branches, vary across driver iterations.
+		g.line("\taddu %s, %s, $s7", d, a)
+		return 1
+	case k < 94 && left >= 2:
+		g.line("\tmult %s, %s", a, b)
+		g.line("\tmflo %s", d)
+		return 2
+	case k < 95 && left >= 3:
+		g.line("\tori $at, %s, 1", a)
+		g.line("\tdivu %s, $at", b)
+		g.line("\tmflo %s", d)
+		return 3
+	default:
+		g.line("\tsrl %s, %s, %d", d, a, g.rng.Intn(8))
+		return 1
+	}
+}

@@ -1,0 +1,174 @@
+// Package workload generates the synthetic benchmark programs that stand in
+// for the paper's SPEC CINT95 and MediaBench binaries (Table 1).
+//
+// Each profile is calibrated on two axes the experiments depend on:
+//
+//   - Static: the text-section size matches the paper's Table 3 within a few
+//     percent, and instruction halfwords follow realistic skewed
+//     distributions (common opcode/register patterns, mostly-small
+//     immediates, occasional unique constants) so CodePack's compression
+//     ratio lands in the paper's 54-62% band.
+//
+//   - Dynamic: the L1 instruction miss rate approximates Table 1. The
+//     CINT95-like profiles (cc1, go, perl, vortex) repeatedly walk a pool
+//     of functions far larger than the cache; the MediaBench-like profiles
+//     (mpeg2enc, pegwit) touch their text once and then run hot loop
+//     kernels. The inner-loop trip count of pool functions sets the miss
+//     rate (roughly 1/(8*L) on the walked fraction).
+//
+// Generation is deterministic for a given profile.
+package workload
+
+// Profile parameterizes one synthetic benchmark.
+type Profile struct {
+	Name string
+	// TextKB is the target static text size (paper Table 3).
+	TextKB int
+	// TargetDynamic is the nominal dynamic instruction count; the
+	// generated driver loop runs just past it.
+	TargetDynamic uint64
+
+	// FuncBody is the straight-line body size (instructions) of each
+	// pool function; InnerLoop is how many times a call re-executes the
+	// body before returning (higher = more reuse = fewer misses).
+	FuncBody  int
+	InnerLoop int
+
+	// WalkEvery controls how often the driver walks the whole function
+	// pool: 1 = every iteration (cache-thrashing CINT95 behaviour),
+	// N>1 = every Nth iteration (must be a power of two), 0 = only once
+	// at startup (MediaBench behaviour).
+	WalkEvery int
+	// WalkOnceFraction limits a startup-only walk (WalkEvery==0) to the
+	// leading fraction of the pool; 0 means 1.0.
+	WalkOnceFraction float64
+
+	// KernelIters and KernelBody shape the hot loop kernel executed every
+	// driver iteration; KernelIters==0 omits the kernel.
+	KernelIters int
+	KernelBody  int
+
+	// Instruction-mix knobs for pool and kernel bodies.
+	LoadFrac   float64 // fraction of body slots that are loads
+	StoreFrac  float64
+	BranchFrac float64 // intra-body branch density
+	FPFrac     float64 // floating-point density
+	RareFrac   float64 // unique large constants (raw halfwords for CodePack)
+
+	// HotSegs selects scheduled-walk mode: each driver iteration calls
+	// SchedLen segments sampled so the HotSegs hottest segments receive
+	// HotShare of the calls. This two-tier popularity reproduces real
+	// programs' working-set hierarchy: the hot set (HotSegs x ~13KB)
+	// fits large caches but thrashes small ones, while the cold tail
+	// spreads over the whole text. HotSegs==0 walks every segment in
+	// order (the original behaviour, used by the media profiles).
+	HotSegs  int
+	HotShare float64
+	SchedLen int
+	// RepeatProb is the chance a scheduled segment call repeats the
+	// previous one (a one-segment reuse distance).
+	RepeatProb float64
+
+	// RunLen and SkipLen break bodies into short straight-line runs
+	// separated by forward jumps over SkipLen words of never-executed
+	// code, mimicking real control flow: misses land mid-line and
+	// mid-block, and sequential prefetch is only partially useful.
+	// RunLen 0 keeps bodies fully straight-line.
+	RunLen  int
+	SkipLen int
+
+	// DataKB sizes the global data working set (bounded by the 64KB
+	// $gp-relative window).
+	DataKB int
+
+	Seed int64
+}
+
+// Profiles returns the six benchmark stand-ins in the paper's Table 1
+// order (alphabetical).
+func Profiles() []Profile {
+	return []Profile{CC1(), Go(), Mpeg2enc(), Pegwit(), Perl(), Vortex()}
+}
+
+// ByName returns the named profile.
+func ByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// CC1 models the GCC compiler: the largest text, a huge instruction working
+// set, and the worst I-cache behaviour (paper: 6.7% misses at 16KB).
+func CC1() Profile {
+	return Profile{
+		Name: "cc1", TextKB: 1058, TargetDynamic: 3_000_000,
+		FuncBody: 96, InnerLoop: 1, WalkEvery: 1, RunLen: 10, SkipLen: 12,
+		HotSegs: 4, HotShare: 0.85, SchedLen: 128, RepeatProb: 0.24,
+		LoadFrac: 0.21, StoreFrac: 0.10, BranchFrac: 0.15,
+		FPFrac: 0.01, RareFrac: 0.04, DataKB: 48, Seed: 101,
+	}
+}
+
+// Go models the go-playing program: branchy integer code over a large text
+// (paper: 6.2% misses).
+func Go() Profile {
+	return Profile{
+		Name: "go", TextKB: 303, TargetDynamic: 3_000_000,
+		FuncBody: 96, InnerLoop: 1, WalkEvery: 1, RunLen: 10, SkipLen: 12,
+		HotSegs: 3, HotShare: 0.85, SchedLen: 128, RepeatProb: 0.35,
+		LoadFrac: 0.20, StoreFrac: 0.08, BranchFrac: 0.19,
+		FPFrac: 0, RareFrac: 0.05, DataKB: 24, Seed: 102,
+	}
+}
+
+// Mpeg2enc models the MPEG-2 encoder: loop-dominated media code whose hot
+// kernels fit in cache (paper: 0.0% misses).
+func Mpeg2enc() Profile {
+	return Profile{
+		Name: "mpeg2enc", TextKB: 116, TargetDynamic: 3_000_000,
+		FuncBody: 96, InnerLoop: 2, WalkEvery: 0, WalkOnceFraction: 0.30,
+		KernelIters: 48, KernelBody: 180, RunLen: 32, SkipLen: 4,
+		LoadFrac: 0.24, StoreFrac: 0.11, BranchFrac: 0.08,
+		FPFrac: 0.12, RareFrac: 0.04, DataKB: 8, Seed: 103,
+	}
+}
+
+// Pegwit models the public-key encryption benchmark: small hot loops over a
+// small text (paper: 0.1% misses).
+func Pegwit() Profile {
+	return Profile{
+		Name: "pegwit", TextKB: 86, TargetDynamic: 3_000_000,
+		FuncBody: 96, InnerLoop: 2, WalkEvery: 0, WalkOnceFraction: 1.0,
+		KernelIters: 48, KernelBody: 150, RunLen: 32, SkipLen: 4,
+		LoadFrac: 0.22, StoreFrac: 0.10, BranchFrac: 0.10,
+		FPFrac: 0, RareFrac: 0.04, DataKB: 8, Seed: 104,
+	}
+}
+
+// Perl models the Perl interpreter: a large dispatch-heavy working set with
+// somewhat more reuse than cc1 (paper: 4.4% misses).
+func Perl() Profile {
+	return Profile{
+		Name: "perl", TextKB: 261, TargetDynamic: 3_000_000,
+		FuncBody: 96, InnerLoop: 2, WalkEvery: 1, RunLen: 10, SkipLen: 12,
+		HotSegs: 4, HotShare: 0.88, SchedLen: 128, RepeatProb: 0.30,
+		LoadFrac: 0.22, StoreFrac: 0.11, BranchFrac: 0.16,
+		FPFrac: 0, RareFrac: 0.04, DataKB: 32, Seed: 105,
+	}
+}
+
+// Vortex models the object-oriented database: a large text with heavy
+// load/store traffic and moderate instruction reuse.
+func Vortex() Profile {
+	return Profile{
+		Name: "vortex", TextKB: 484, TargetDynamic: 3_000_000,
+		FuncBody: 96, InnerLoop: 1, WalkEvery: 1, RunLen: 10, SkipLen: 12,
+		HotSegs: 4, HotShare: 0.84, SchedLen: 128, RepeatProb: 0.42,
+		KernelIters: 12, KernelBody: 120,
+		LoadFrac: 0.26, StoreFrac: 0.14, BranchFrac: 0.13,
+		FPFrac: 0, RareFrac: 0.04, DataKB: 56, Seed: 106,
+	}
+}

@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"testing"
+
+	"codepack/internal/core"
+	"codepack/internal/vm"
+)
+
+func TestProfilesComplete(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 6 {
+		t.Fatalf("%d profiles, want 6", len(ps))
+	}
+	want := []string{"cc1", "go", "mpeg2enc", "pegwit", "perl", "vortex"}
+	for i, p := range ps {
+		if p.Name != want[i] {
+			t.Errorf("profile %d is %q, want %q", i, p.Name, want[i])
+		}
+		if _, ok := ByName(p.Name); !ok {
+			t.Errorf("ByName(%q) failed", p.Name)
+		}
+	}
+	if _, ok := ByName("doom"); ok {
+		t.Error("ByName accepted unknown benchmark")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Source(Pegwit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Source(Pegwit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("generation is not deterministic")
+	}
+}
+
+// TestTextSizesMatchPaper checks every profile's static text lands within
+// 10% of the paper's Table 3 sizes.
+func TestTextSizesMatchPaper(t *testing.T) {
+	paper := map[string]int{ // bytes, Table 3 "Original size"
+		"cc1":      1_083_168,
+		"go":       310_632,
+		"mpeg2enc": 118_416,
+		"pegwit":   88_560,
+		"perl":     267_568,
+		"vortex":   495_484,
+	}
+	for _, p := range Profiles() {
+		im, err := Generate(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		got, want := im.TextBytes(), paper[p.Name]
+		ratio := float64(got) / float64(want)
+		if ratio < 0.90 || ratio > 1.10 {
+			t.Errorf("%s: text %d bytes, paper %d (ratio %.2f)", p.Name, got, want, ratio)
+		}
+	}
+}
+
+// TestProgramsExecute runs each generated program for a while and checks it
+// behaves (no faults, reasonable mix).
+func TestProgramsExecute(t *testing.T) {
+	for _, p := range Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			im, err := Generate(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := vm.New(im)
+			n, err := m.Run(300_000)
+			if err != nil {
+				t.Fatalf("execution fault: %v", err)
+			}
+			if n < 300_000 && !m.Halted() {
+				t.Fatalf("stopped after %d instructions without halting", n)
+			}
+		})
+	}
+}
+
+// TestProgramsRunToCompletion verifies the driver loop terminates near its
+// dynamic target (scaled-down profile for test speed).
+func TestProgramsRunToCompletion(t *testing.T) {
+	p := Pegwit()
+	p.TargetDynamic = 400_000
+	im, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(im)
+	n, err := m.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Halted() {
+		t.Fatal("program did not halt")
+	}
+	if n < 300_000 || n > 1_200_000 {
+		t.Fatalf("executed %d instructions, target 400k", n)
+	}
+}
+
+// TestCompressionRatioBand checks each benchmark compresses into the
+// paper's band (Table 3: 55-63%; we allow 55-67%).
+func TestCompressionRatioBand(t *testing.T) {
+	for _, p := range Profiles() {
+		im, err := Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := core.Compress(im)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := c.Stats().Ratio()
+		if r < 0.50 || r > 0.67 {
+			t.Errorf("%s: ratio %.3f outside [0.50, 0.67]", p.Name, r)
+		}
+	}
+}
+
+// TestCompositionShape checks the Table 4 shape: dictionary indices are the
+// biggest component, index table ~5%, and a real raw-bits tail exists.
+func TestCompositionShape(t *testing.T) {
+	im, err := Generate(Go())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compress(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := c.Stats().Composition()
+	if comp.IndexTable < 0.03 || comp.IndexTable > 0.07 {
+		t.Errorf("index table share %.3f, paper ~0.05", comp.IndexTable)
+	}
+	if comp.DictIndices < comp.Tags {
+		t.Error("indices should outweigh tags")
+	}
+	if comp.RawBits < 0.10 || comp.RawBits > 0.30 {
+		t.Errorf("raw bits share %.3f, paper 0.14-0.21", comp.RawBits)
+	}
+}
+
+func TestRoundTripThroughCodec(t *testing.T) {
+	im, err := Generate(Pegwit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compress(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i] != im.Text[i] {
+			t.Fatalf("word %d corrupted by codec", i)
+		}
+	}
+}
+
+func TestDegenerateProfilesRejected(t *testing.T) {
+	bad := Pegwit()
+	bad.TextKB = 1
+	if _, err := Source(bad); err == nil {
+		t.Error("tiny text accepted")
+	}
+	bad = Pegwit()
+	bad.WalkEvery = 3
+	if _, err := Source(bad); err == nil {
+		t.Error("non-power-of-two WalkEvery accepted")
+	}
+	bad = Pegwit()
+	bad.InnerLoop = 0
+	if _, err := Source(bad); err == nil {
+		t.Error("zero inner loop accepted")
+	}
+}
