@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race vet bench serve clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# Run the compression service locally (ctrl-C drains gracefully).
+serve:
+	$(GO) run ./cmd/cpackd -addr :8321
+
+clean:
+	$(GO) clean ./...

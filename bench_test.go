@@ -14,6 +14,11 @@
 package codepack_test
 
 import (
+	"bytes"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"strconv"
 	"strings"
@@ -26,6 +31,7 @@ import (
 	"codepack/internal/harness"
 	"codepack/internal/isa"
 	"codepack/internal/mem"
+	"codepack/internal/server"
 	"codepack/internal/vm"
 	"codepack/internal/workload"
 )
@@ -416,4 +422,41 @@ func BenchmarkAblationIndexAssociativity(b *testing.B) {
 	b.ReportMetric(miss[0], "idxmiss-fullassoc")
 	b.ReportMetric(miss[4], "idxmiss-4way")
 	b.ReportMetric(miss[1], "idxmiss-directmapped")
+}
+
+// BenchmarkServerCompress measures POST /v1/compress latency through the
+// full HTTP handler stack (routing, instrumentation, worker pool, codec):
+// "cold" disables the content-addressed cache so every request pays the
+// full compression cost, "hit" serves a warmed cache entry, so the split
+// is the price of compression versus the price of the service plumbing.
+func BenchmarkServerCompress(b *testing.B) {
+	body := []byte(`{"benchmark":"pegwit"}`)
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	post := func(b *testing.B, ts *httptest.Server) {
+		b.Helper()
+		resp, err := http.Post(ts.URL+"/v1/compress", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	run := func(cacheEntries int) func(*testing.B) {
+		return func(b *testing.B) {
+			s := server.New(server.Config{CacheEntries: cacheEntries, Logger: quiet})
+			defer s.Close()
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+			post(b, ts) // warm the suite's generated image (and, if enabled, the cache)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				post(b, ts)
+			}
+		}
+	}
+	b.Run("cold", run(-1))
+	b.Run("hit", run(server.DefaultCacheEntries))
 }

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -28,46 +29,62 @@ import (
 	"codepack/internal/program"
 )
 
+// errUsage routes bad invocations through run's single error path; main
+// prints the usage line and exits 2 (any other error exits 1). It is the
+// only exit-status distinction the tool makes.
+var errUsage = errors.New("usage: cpack compress|decompress|stat|verify|dict|disasm [flags] <program>")
+
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-	}
-	cmd, args := os.Args[1], os.Args[2:]
-	var err error
-	switch cmd {
-	case "compress":
-		err = compress(args)
-	case "decompress":
-		err = decompress(args)
-	case "stat":
-		err = stat(args)
-	case "verify":
-		err = verify(args)
-	case "dict":
-		err = dict(args)
-	case "disasm":
-		err = disasm(args)
-	default:
-		usage()
-	}
-	if err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "cpack:", err)
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cpack compress|decompress|stat|verify|dict|disasm [flags] <program>")
-	os.Exit(2)
+// run dispatches the subcommand; every failure, usage errors included,
+// comes back as an error so main is the single exit point.
+func run(args []string) error {
+	if len(args) < 1 {
+		return errUsage
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "compress":
+		return compress(rest)
+	case "decompress":
+		return decompress(rest)
+	case "stat":
+		return stat(rest)
+	case "verify":
+		return verify(rest)
+	case "dict":
+		return dict(rest)
+	case "disasm":
+		return disasm(rest)
+	default:
+		return fmt.Errorf("unknown command %q: %w", cmd, errUsage)
+	}
+}
+
+// newFlagSet builds a subcommand flag set whose parse errors surface as
+// errors instead of exiting the process directly.
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	return fs
 }
 
 // decompress expands a .cpk file back into a (text-only) program image.
 func decompress(args []string) error {
-	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
+	fs := newFlagSet("decompress")
 	out := fs.String("o", "", "output path (default: input + .img)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return fmt.Errorf("%v: %w", err, errUsage)
+	}
 	if fs.NArg() != 1 {
-		usage()
+		return errUsage
 	}
 	b, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
@@ -112,11 +129,13 @@ func load(path string) (*program.Image, error) {
 }
 
 func compress(args []string) error {
-	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	fs := newFlagSet("compress")
 	out := fs.String("o", "", "output path (default: input + .cpk)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return fmt.Errorf("%v: %w", err, errUsage)
+	}
 	if fs.NArg() != 1 {
-		usage()
+		return errUsage
 	}
 	im, err := load(fs.Arg(0))
 	if err != nil {
@@ -141,7 +160,7 @@ func compress(args []string) error {
 
 func stat(args []string) error {
 	if len(args) != 1 {
-		usage()
+		return errUsage
 	}
 	im, err := load(args[0])
 	if err != nil {
@@ -172,7 +191,7 @@ func stat(args []string) error {
 
 func verify(args []string) error {
 	if len(args) != 1 {
-		usage()
+		return errUsage
 	}
 	im, err := load(args[0])
 	if err != nil {
@@ -214,11 +233,13 @@ func verify(args []string) error {
 }
 
 func dict(args []string) error {
-	fs := flag.NewFlagSet("dict", flag.ExitOnError)
+	fs := newFlagSet("dict")
 	n := fs.Int("n", 16, "entries to show per dictionary")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return fmt.Errorf("%v: %w", err, errUsage)
+	}
 	if fs.NArg() != 1 {
-		usage()
+		return errUsage
 	}
 	im, err := load(fs.Arg(0))
 	if err != nil {
@@ -244,11 +265,13 @@ func dict(args []string) error {
 }
 
 func disasm(args []string) error {
-	fs := flag.NewFlagSet("disasm", flag.ExitOnError)
+	fs := newFlagSet("disasm")
 	n := fs.Int("n", 32, "instructions to show")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return fmt.Errorf("%v: %w", err, errUsage)
+	}
 	if fs.NArg() != 1 {
-		usage()
+		return errUsage
 	}
 	im, err := load(fs.Arg(0))
 	if err != nil {

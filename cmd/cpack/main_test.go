@@ -1,0 +1,129 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testSource = `
+main:
+	li   $s0, 50
+	li   $s1, 0
+loop:
+	addu $s1, $s1, $s0
+	addiu $s0, $s0, -1
+	bgtz $s0, loop
+	li   $v0, 10
+	syscall
+`
+
+func writeSource(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.s")
+	if err := os.WriteFile(path, []byte(testSource), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunErrorPaths(t *testing.T) {
+	src := writeSource(t)
+	cases := []struct {
+		name      string
+		args      []string
+		wantUsage bool
+	}{
+		{"no args", nil, true},
+		{"unknown command", []string{"frobnicate"}, true},
+		{"verify no operand", []string{"verify"}, true},
+		{"compress extra operands", []string{"compress", src, src}, true},
+		{"compress bad flag", []string{"compress", "-nonsense", src}, true},
+		{"stat missing file", []string{"stat", filepath.Join(t.TempDir(), "nope.img")}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args)
+			if err == nil {
+				t.Fatal("run succeeded, want error")
+			}
+			if got := errors.Is(err, errUsage); got != tc.wantUsage {
+				t.Errorf("errors.Is(err, errUsage) = %v, want %v (err: %v)", got, tc.wantUsage, err)
+			}
+		})
+	}
+}
+
+func TestRunSuccessPaths(t *testing.T) {
+	src := writeSource(t)
+	cpk := filepath.Join(t.TempDir(), "prog.cpk")
+	for _, args := range [][]string{
+		{"compress", "-o", cpk, src},
+		{"verify", src},
+		{"stat", src},
+		{"decompress", "-o", filepath.Join(t.TempDir(), "prog.img"), cpk},
+	} {
+		if err := run(args); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+	}
+}
+
+// TestExitStatus re-executes the test binary as cpack to assert the real
+// process exit codes: 0 on success, 2 for usage errors, 1 otherwise, with
+// every failure prefixed "cpack:" on stderr.
+func TestExitStatus(t *testing.T) {
+	if os.Getenv("CPACK_TEST_MAIN") == "1" {
+		// The real cpack arguments follow the "--" test-flag terminator.
+		args := os.Args
+		for i, a := range args {
+			if a == "--" {
+				args = args[i+1:]
+				break
+			}
+		}
+		os.Args = append([]string{"cpack"}, args...)
+		main()
+		return
+	}
+	src := writeSource(t)
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+	}{
+		{"verify ok", []string{"verify", src}, 0},
+		{"no args", nil, 2},
+		{"unknown command", []string{"frobnicate"}, 2},
+		{"missing file", []string{"stat", filepath.Join(t.TempDir(), "nope.img")}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cmd := exec.Command(exe, append([]string{"-test.run=TestExitStatus", "--"}, tc.args...)...)
+			cmd.Env = append(os.Environ(), "CPACK_TEST_MAIN=1")
+			var stderr strings.Builder
+			cmd.Stderr = &stderr
+			err := cmd.Run()
+			code := 0
+			var exitErr *exec.ExitError
+			if errors.As(err, &exitErr) {
+				code = exitErr.ExitCode()
+			} else if err != nil {
+				t.Fatal(err)
+			}
+			if code != tc.wantCode {
+				t.Errorf("exit code %d, want %d (stderr: %s)", code, tc.wantCode, stderr.String())
+			}
+			if tc.wantCode != 0 && !strings.Contains(stderr.String(), "cpack:") {
+				t.Errorf("stderr %q missing cpack: prefix", stderr.String())
+			}
+		})
+	}
+}

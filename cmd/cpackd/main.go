@@ -1,0 +1,109 @@
+// Command cpackd serves the CodePack codec and the paper's timing
+// simulator over HTTP: compress, decompress, verify and simulate requests
+// plus the six calibrated benchmark workloads, with a content-addressed
+// compression cache, bounded worker pools and /metrics observability.
+//
+// Usage:
+//
+//	cpackd [-addr :8321] [-light-workers N] [-heavy-workers N] ...
+//
+// The daemon drains gracefully on SIGINT/SIGTERM: the listener stops, in
+// flight requests and their pooled work complete (up to -drain-timeout),
+// then the process exits. See docs/SERVER.md for the API contract.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"codepack/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cpackd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", ":8321", "listen address")
+		lightWorkers = flag.Int("light-workers", 0, "codec worker goroutines (0 = auto)")
+		lightQueue   = flag.Int("light-queue", 0, "codec queue capacity (0 = default, <0 none)")
+		heavyWorkers = flag.Int("heavy-workers", 0, "simulation worker goroutines (0 = auto)")
+		heavyQueue   = flag.Int("heavy-queue", 0, "simulation queue capacity (0 = default, <0 none)")
+		cacheEntries = flag.Int("cache", 0, "compression cache entries (0 = default, <0 disable)")
+		maxInstr     = flag.Uint64("max-instr", 0, "per-request instruction budget cap (0 = default)")
+		timeout      = flag.Duration("timeout", 0, "per-request deadline (0 = default)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown drain deadline")
+		logJSON      = flag.Bool("log-json", false, "emit JSON logs instead of text")
+		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
+	)
+	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("bad -log-level: %w", err)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, opts)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, opts)
+	}
+	log := slog.New(handler)
+
+	s := server.New(server.Config{
+		LightWorkers:   *lightWorkers,
+		LightQueue:     *lightQueue,
+		HeavyWorkers:   *heavyWorkers,
+		HeavyQueue:     *heavyQueue,
+		CacheEntries:   *cacheEntries,
+		MaxInstr:       *maxInstr,
+		RequestTimeout: *timeout,
+		Logger:         log,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Info("cpackd listening", "addr", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err // listener failed before any signal
+	case <-ctx.Done():
+	}
+
+	log.Info("shutting down: draining in-flight requests", "timeout", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Warn("shutdown incomplete", "err", err)
+	}
+	// HTTP requests are done (or abandoned); now drain the worker pools.
+	s.Close()
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Info("cpackd stopped")
+	return nil
+}

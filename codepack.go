@@ -27,6 +27,10 @@
 package codepack
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+
 	"codepack/internal/asm"
 	"codepack/internal/core"
 	"codepack/internal/cpu"
@@ -99,6 +103,19 @@ func UnmarshalImage(b []byte) (*Image, error) {
 	return program.Unmarshal(b)
 }
 
+// Digest returns the lowercase-hex SHA-256 of b: the content address used
+// by caching layers (cpackd keys its compressed-image cache on it).
+func Digest(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// ImageDigest returns the content address of an image: the Digest of its
+// canonical serialized form, (*Image).Marshal. Two images with identical
+// text, data and entry point share a digest regardless of Name or symbols
+// (neither is serialized).
+func ImageDigest(im *Image) string { return Digest(im.Marshal()) }
+
 // NewMachine creates a functional emulator with im loaded.
 func NewMachine(im *Image) *Machine { return vm.New(im) }
 
@@ -106,6 +123,13 @@ func NewMachine(im *Image) *Machine { return vm.New(im) }
 // committing at most maxInstr instructions (0 = to completion).
 func Simulate(im *Image, cfg ArchConfig, model FetchModel, maxInstr uint64) (Result, error) {
 	return cpu.Simulate(im, cfg, model, maxInstr)
+}
+
+// SimulateContext is Simulate with cancellation: a run aborts with the
+// context's error at the simulator's next cancellation checkpoint instead
+// of finishing its instruction budget.
+func SimulateContext(ctx context.Context, im *Image, cfg ArchConfig, model FetchModel, maxInstr uint64) (Result, error) {
+	return cpu.SimulateContext(ctx, im, cfg, model, maxInstr)
 }
 
 // Architecture presets from the paper's Table 2.

@@ -1,0 +1,199 @@
+// Loadgen drives a running cpackd with a mixed workload of compress,
+// decompress, verify and simulate requests and reports status-code and
+// latency distributions plus the server-side cache hit rate. Use it to
+// watch the content-addressed cache and the 429 load-shedding path under
+// pressure:
+//
+//	cpackd &
+//	go run ./examples/loadgen -addr http://localhost:8321 -c 8 -n 200
+//
+// Roughly every other compress body is a repeat, so a healthy run shows
+// the cache hit counter climbing in /metrics while p99 latency stays well
+// below the cold-compress cost.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+var sources = []string{
+	`
+main:
+	li   $s0, 50
+	li   $s1, 0
+loop:
+	addu $s1, $s1, $s0
+	addiu $s0, $s0, -1
+	bgtz $s0, loop
+	li   $v0, 10
+	syscall
+`,
+	`
+main:
+	li   $t0, 200
+	li   $t1, 1
+fib:
+	addu $t2, $t0, $t1
+	move $t0, $t1
+	move $t1, $t2
+	addiu $t0, $t0, -1
+	bgtz $t0, fib
+	li   $v0, 10
+	syscall
+`,
+}
+
+type result struct {
+	op      string
+	code    int
+	latency time.Duration
+	err     error
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8321", "cpackd base URL")
+	workers := flag.Int("c", 4, "concurrent clients")
+	requests := flag.Int("n", 100, "requests per client")
+	simulate := flag.Bool("simulate", true, "include heavy simulate requests in the mix")
+	flag.Parse()
+
+	jobs := make(chan int)
+	results := make(chan result, *workers**requests)
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results <- fire(*addr, i, *simulate)
+			}
+		}()
+	}
+	start := time.Now()
+	for i := 0; i < *workers**requests; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	close(results)
+	elapsed := time.Since(start)
+
+	byOp := map[string]map[int]int{}
+	var latencies []time.Duration
+	errs := 0
+	for r := range results {
+		if r.err != nil {
+			errs++
+			continue
+		}
+		if byOp[r.op] == nil {
+			byOp[r.op] = map[int]int{}
+		}
+		byOp[r.op][r.code]++
+		latencies = append(latencies, r.latency)
+	}
+
+	fmt.Printf("%d requests in %v (%.0f req/s), %d transport errors\n",
+		*workers**requests, elapsed.Round(time.Millisecond),
+		float64(*workers**requests)/elapsed.Seconds(), errs)
+	ops := make([]string, 0, len(byOp))
+	for op := range byOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		fmt.Printf("  %-12s", op)
+		codes := make([]int, 0, len(byOp[op]))
+		for c := range byOp[op] {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Printf("  %d×%d", c, byOp[op][c])
+		}
+		fmt.Println()
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		pct := func(p float64) time.Duration {
+			return latencies[int(p*float64(len(latencies)-1))]
+		}
+		fmt.Printf("latency p50 %v  p90 %v  p99 %v\n",
+			pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+			pct(0.99).Round(time.Microsecond))
+	}
+	reportCache(*addr)
+}
+
+// fire issues one request; the op rotates through the endpoint mix and the
+// compress body alternates between two programs so roughly half the
+// compressions are content-addressed repeats.
+func fire(addr string, i int, simulate bool) result {
+	src := sources[i%len(sources)]
+	mix := 3
+	if simulate {
+		mix = 4
+	}
+	var (
+		op   string
+		body any
+	)
+	switch i % mix {
+	case 0, 1:
+		op, body = "compress", map[string]any{"asm": src}
+	case 2:
+		op, body = "verify", map[string]any{"asm": src}
+	default:
+		op, body = "simulate", map[string]any{
+			"asm":       src,
+			"model":     "codepack",
+			"max_instr": 100000,
+		}
+	}
+	b, _ := json.Marshal(body)
+	start := time.Now()
+	resp, err := http.Post(addr+"/v1/"+op, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return result{op: op, err: err}
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return result{op: op, code: resp.StatusCode, latency: time.Since(start)}
+}
+
+var cacheRe = regexp.MustCompile(`(?m)^cpackd_cache_(hits|misses)_total (\d+)`)
+
+// reportCache scrapes /metrics for the cache hit rate.
+func reportCache(addr string) {
+	resp, err := http.Get(addr + "/metrics")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen: metrics scrape:", err)
+		return
+	}
+	defer resp.Body.Close()
+	text, _ := io.ReadAll(resp.Body)
+	var hits, misses int
+	for _, m := range cacheRe.FindAllStringSubmatch(string(text), -1) {
+		n, _ := strconv.Atoi(m[2])
+		if m[1] == "hits" {
+			hits = n
+		} else {
+			misses = n
+		}
+	}
+	if hits+misses > 0 {
+		fmt.Printf("server cache: %d hits / %d misses (%.0f%% hit rate)\n",
+			hits, misses, 100*float64(hits)/float64(hits+misses))
+	}
+}

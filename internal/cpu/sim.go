@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 
 	"codepack/internal/bpred"
@@ -124,12 +125,32 @@ type Observer func(Timestamps)
 // Simulate runs im on the architecture cfg with the given fetch model,
 // committing at most maxInstr instructions (0 = run to completion).
 func Simulate(im *program.Image, cfg Config, model FetchModel, maxInstr uint64) (Result, error) {
-	return SimulateObserved(im, cfg, model, maxInstr, nil)
+	return SimulateObservedContext(context.Background(), im, cfg, model, maxInstr, nil)
+}
+
+// SimulateContext is Simulate with cancellation: the run aborts with the
+// context's error at the next cancellation checkpoint (every few thousand
+// committed instructions) instead of finishing its instruction budget.
+func SimulateContext(ctx context.Context, im *program.Image, cfg Config, model FetchModel, maxInstr uint64) (Result, error) {
+	return SimulateObservedContext(ctx, im, cfg, model, maxInstr, nil)
 }
 
 // SimulateObserved is Simulate with a per-instruction observer for
 // pipeline-level inspection (nil behaves like Simulate).
 func SimulateObserved(im *program.Image, cfg Config, model FetchModel, maxInstr uint64, obs Observer) (Result, error) {
+	return SimulateObservedContext(context.Background(), im, cfg, model, maxInstr, obs)
+}
+
+// cancelCheckMask sets how often the simulation loop polls the context:
+// every cancelCheckMask+1 committed instructions (a power of two so the
+// check compiles to a mask, keeping the hot loop allocation- and
+// branch-cheap between checkpoints).
+const cancelCheckMask = 8192 - 1
+
+// SimulateObservedContext is the full-control entry point: cancellable via
+// ctx and observable via obs (both optional; context.Background() and nil
+// recover Simulate).
+func SimulateObservedContext(ctx context.Context, im *program.Image, cfg Config, model FetchModel, maxInstr uint64, obs Observer) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -183,7 +204,14 @@ func SimulateObserved(im *program.Image, cfg Config, model FetchModel, maxInstr 
 	t.obs = obs
 	machine := vm.New(im)
 	var rec vm.Rec
+	done := ctx.Done() // nil for context.Background(): no per-step polling
 	for !machine.Halted() && (maxInstr == 0 || machine.Executed() < maxInstr) {
+		if done != nil && machine.Executed()&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, fmt.Errorf("cpu: %s on %s aborted after %d instructions: %w",
+					im.Name, cfg.Name, machine.Executed(), err)
+			}
+		}
 		if err := machine.Step(&rec); err != nil {
 			return Result{}, err
 		}

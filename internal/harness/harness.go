@@ -1,9 +1,15 @@
 // Package harness wires workloads, architectures and fetch models into the
 // paper's experiments: one function per table or figure, each returning a
 // rendered Table plus the raw values tests assert against.
+//
+// Every simulation entry point has a Context variant (BenchContext,
+// RunContext, Table5Context, ...) that aborts promptly on cancellation;
+// the context-free methods are thin wrappers over context.Background() so
+// existing callers don't churn.
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -26,13 +32,23 @@ type Bench struct {
 	Comp    *core.Compressed
 }
 
-// Suite caches generated benchmarks and runs simulations.
+// benchEntry is one lazily-built benchmark slot. The per-entry once lets
+// distinct benchmarks generate concurrently (the server fans requests over
+// the suite) while each is still built exactly once.
+type benchEntry struct {
+	once sync.Once
+	b    *Bench
+	err  error
+}
+
+// Suite caches generated benchmarks and runs simulations. It is safe for
+// concurrent use.
 type Suite struct {
 	// MaxInstr caps committed instructions per run (0 = DefaultMaxInstr).
 	MaxInstr uint64
 
 	mu      sync.Mutex
-	benches map[string]*Bench
+	benches map[string]*benchEntry
 }
 
 // NewSuite creates a suite with the given per-run instruction budget
@@ -41,17 +57,34 @@ func NewSuite(maxInstr uint64) *Suite {
 	if maxInstr == 0 {
 		maxInstr = DefaultMaxInstr
 	}
-	return &Suite{MaxInstr: maxInstr, benches: make(map[string]*Bench)}
+	return &Suite{MaxInstr: maxInstr, benches: make(map[string]*benchEntry)}
 }
 
 // Bench returns the named benchmark, generating and compressing it on first
 // use.
 func (s *Suite) Bench(name string) (*Bench, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if b, ok := s.benches[name]; ok {
-		return b, nil
+	return s.BenchContext(context.Background(), name)
+}
+
+// BenchContext is Bench with cancellation. Generation itself is bounded
+// work and runs to completion once started; the context gates entry so a
+// cancelled request never kicks off a build it won't use.
+func (s *Suite) BenchContext(ctx context.Context, name string) (*Bench, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
+	s.mu.Lock()
+	e, ok := s.benches[name]
+	if !ok {
+		e = &benchEntry{}
+		s.benches[name] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() { e.b, e.err = buildBench(name) })
+	return e.b, e.err
+}
+
+func buildBench(name string) (*Bench, error) {
 	p, ok := workload.ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("harness: unknown benchmark %q", name)
@@ -64,16 +97,19 @@ func (s *Suite) Bench(name string) (*Bench, error) {
 	if err != nil {
 		return nil, fmt.Errorf("harness: compress %s: %w", name, err)
 	}
-	b := &Bench{Profile: p, Image: im, Comp: comp}
-	s.benches[name] = b
-	return b, nil
+	return &Bench{Profile: p, Image: im, Comp: comp}, nil
 }
 
 // All returns every benchmark in paper order.
 func (s *Suite) All() ([]*Bench, error) {
+	return s.AllContext(context.Background())
+}
+
+// AllContext is All with cancellation.
+func (s *Suite) AllContext(ctx context.Context) ([]*Bench, error) {
 	var out []*Bench
 	for _, p := range workload.Profiles() {
-		b, err := s.Bench(p.Name)
+		b, err := s.BenchContext(ctx, p.Name)
 		if err != nil {
 			return nil, err
 		}
@@ -85,18 +121,26 @@ func (s *Suite) All() ([]*Bench, error) {
 // Run simulates bench on cfg with the given fetch model, reusing the cached
 // compressed image.
 func (s *Suite) Run(b *Bench, cfg cpu.Config, model cpu.FetchModel) (cpu.Result, error) {
+	return s.RunContext(context.Background(), b, cfg, model)
+}
+
+// RunContext is Run with cancellation: a long simulation aborts at the
+// simulator's next cancellation checkpoint instead of finishing its
+// instruction budget.
+func (s *Suite) RunContext(ctx context.Context, b *Bench, cfg cpu.Config, model cpu.FetchModel) (cpu.Result, error) {
 	if model.Kind == cpu.FetchCodePack && model.Comp == nil {
 		model.Comp = b.Comp
 	}
-	return cpu.Simulate(b.Image, cfg, model, s.MaxInstr)
+	return cpu.SimulateContext(ctx, b.Image, cfg, model, s.MaxInstr)
 }
 
-// runPair runs native and one compressed model and returns both results.
-func (s *Suite) runPair(b *Bench, cfg cpu.Config, model cpu.FetchModel) (native, comp cpu.Result, err error) {
-	native, err = s.Run(b, cfg, cpu.NativeModel())
+// runPairContext runs native and one compressed model and returns both
+// results.
+func (s *Suite) runPairContext(ctx context.Context, b *Bench, cfg cpu.Config, model cpu.FetchModel) (native, comp cpu.Result, err error) {
+	native, err = s.RunContext(ctx, b, cfg, cpu.NativeModel())
 	if err != nil {
 		return
 	}
-	comp, err = s.Run(b, cfg, model)
+	comp, err = s.RunContext(ctx, b, cfg, model)
 	return
 }

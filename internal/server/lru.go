@@ -1,0 +1,106 @@
+package server
+
+import (
+	"sync"
+
+	"codepack"
+)
+
+// compCache is the content-addressed compression cache: SHA-256 digest of
+// the marshalled program image -> its compressed form, so repeat
+// compressions of the same image are served from memory. Eviction reuses
+// the timestamp-scan LRU idiom of internal/cache: every entry carries the
+// clock value of its last touch and the victim scan picks the minimum.
+// The scan is O(entries) per eviction, which at service cache sizes
+// (hundreds of entries, each worth a full dictionary build) is noise next
+// to a compression, and keeps the structure a flat map with no list links.
+type compCache struct {
+	mu      sync.Mutex
+	cap     int
+	clock   uint64
+	entries map[string]*compEntry
+
+	hits, misses, evictions uint64
+	bytes                   int64
+}
+
+type compEntry struct {
+	comp  *codepack.Compressed
+	stamp uint64
+	bytes int64
+}
+
+// cacheStats is a point-in-time view of the cache counters.
+type cacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+}
+
+// newCompCache builds a cache holding at most capEntries compressed
+// programs; capEntries <= 0 disables caching (every get is a miss).
+func newCompCache(capEntries int) *compCache {
+	c := &compCache{cap: capEntries}
+	if capEntries > 0 {
+		c.entries = make(map[string]*compEntry, capEntries)
+	}
+	return c
+}
+
+func (c *compCache) get(key string) (*codepack.Compressed, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.clock++
+	e.stamp = c.clock
+	return e.comp, true
+}
+
+func (c *compCache) put(key string, comp *codepack.Compressed) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap <= 0 {
+		return
+	}
+	if e, ok := c.entries[key]; ok {
+		c.clock++
+		e.stamp = c.clock
+		return
+	}
+	if len(c.entries) >= c.cap {
+		var victim string
+		var oldest uint64
+		first := true
+		for k, e := range c.entries {
+			if first || e.stamp < oldest {
+				victim, oldest, first = k, e.stamp, false
+			}
+		}
+		c.bytes -= c.entries[victim].bytes
+		delete(c.entries, victim)
+		c.evictions++
+	}
+	c.clock++
+	bytes := int64(comp.Stats().CompressedBytes())
+	c.entries[key] = &compEntry{comp: comp, stamp: c.clock, bytes: bytes}
+	c.bytes += bytes
+}
+
+func (c *compCache) stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   len(c.entries),
+		Bytes:     c.bytes,
+	}
+}

@@ -1,0 +1,73 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"codepack"
+)
+
+// makeComp builds a distinct small compressed program for cache tests.
+func makeComp(t *testing.T, seed uint32) *codepack.Compressed {
+	t.Helper()
+	text := make([]uint32, 64)
+	for i := range text {
+		text[i] = 0x24020000 | seed<<6 | uint32(i) // addiu-shaped words
+	}
+	c, err := codepack.CompressWords(fmt.Sprintf("prog%d", seed), 0x00400000, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCompCacheHitMiss(t *testing.T) {
+	c := newCompCache(4)
+	if _, ok := c.get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	comp := makeComp(t, 1)
+	c.put("a", comp)
+	got, ok := c.get("a")
+	if !ok || got != comp {
+		t.Fatal("put entry not returned")
+	}
+	s := c.stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
+		t.Errorf("stats %+v, want hits=1 misses=1 entries=1", s)
+	}
+	if s.Bytes <= 0 {
+		t.Errorf("resident bytes %d, want > 0", s.Bytes)
+	}
+}
+
+func TestCompCacheEvictsLRU(t *testing.T) {
+	c := newCompCache(2)
+	c.put("a", makeComp(t, 1))
+	c.put("b", makeComp(t, 2))
+	c.get("a") // a is now most recently used
+	c.put("c", makeComp(t, 3))
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted as LRU")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a (recently used) was evicted")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("c (just inserted) missing")
+	}
+	if s := c.stats(); s.Evictions != 1 || s.Entries != 2 {
+		t.Errorf("stats %+v, want evictions=1 entries=2", s)
+	}
+}
+
+func TestCompCacheDisabled(t *testing.T) {
+	c := newCompCache(-1)
+	c.put("a", makeComp(t, 1))
+	if _, ok := c.get("a"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if s := c.stats(); s.Entries != 0 || s.Bytes != 0 {
+		t.Errorf("disabled cache holds state: %+v", s)
+	}
+}

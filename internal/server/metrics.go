@@ -1,0 +1,268 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// counter is a monotonically increasing metric.
+type counter struct{ v atomic.Uint64 }
+
+func (c *counter) add(n uint64)  { c.v.Add(n) }
+func (c *counter) value() uint64 { return c.v.Load() }
+
+// latencyBuckets are the histogram upper bounds in seconds. The low end
+// resolves cache-hit compress requests (tens of microseconds); the high
+// end covers full-budget simulations.
+var latencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram.
+type histogram struct {
+	mu     sync.Mutex
+	counts [numBuckets + 1]uint64 // one per bucket, plus +Inf
+	sum    float64
+	n      uint64
+}
+
+// numBuckets must equal len(latencyBuckets); array-sized so histograms embed flat.
+const numBuckets = 16
+
+func (h *histogram) observe(sec float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(latencyBuckets, sec)
+	h.counts[i]++
+	h.sum += sec
+	h.n++
+}
+
+// histSnapshot is one consistent view of a histogram.
+type histSnapshot struct {
+	Counts [numBuckets + 1]uint64 `json:"counts"`
+	Sum    float64                `json:"sum_seconds"`
+	N      uint64                 `json:"count"`
+}
+
+func (h *histogram) snapshot() histSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return histSnapshot{Counts: h.counts, Sum: h.sum, N: h.n}
+}
+
+// endpointStats aggregates one endpoint's request metrics.
+type endpointStats struct {
+	mu       sync.Mutex
+	byCode   map[int]uint64
+	latency  histogram
+	bytesIn  counter
+	bytesOut counter
+}
+
+func (e *endpointStats) record(code int, in, out int64, dur time.Duration) {
+	e.mu.Lock()
+	e.byCode[code]++
+	e.mu.Unlock()
+	e.latency.observe(dur.Seconds())
+	if in > 0 {
+		e.bytesIn.add(uint64(in))
+	}
+	if out > 0 {
+		e.bytesOut.add(uint64(out))
+	}
+}
+
+func (e *endpointStats) codes() map[int]uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[int]uint64, len(e.byCode))
+	for k, v := range e.byCode {
+		out[k] = v
+	}
+	return out
+}
+
+// metrics is the server's observability state, published at /metrics
+// (Prometheus text format) and /debug/vars (expvar-style JSON).
+type metrics struct {
+	start time.Time
+
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+
+	shed     counter // 429s from saturated pools
+	timeouts counter // requests that hit their deadline
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), endpoints: make(map[string]*endpointStats)}
+}
+
+func (m *metrics) endpoint(name string) *endpointStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.endpoints[name]
+	if !ok {
+		e = &endpointStats{byCode: make(map[int]uint64)}
+		m.endpoints[name] = e
+	}
+	return e
+}
+
+func (m *metrics) endpointNames() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.endpoints))
+	for n := range m.endpoints {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// handleMetrics renders the Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.metrics
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	fmt.Fprintf(w, "# HELP cpackd_uptime_seconds Time since the server started.\n")
+	fmt.Fprintf(w, "# TYPE cpackd_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "cpackd_uptime_seconds %g\n", time.Since(m.start).Seconds())
+
+	fmt.Fprintf(w, "# HELP cpackd_requests_total Requests served, by endpoint and status code.\n")
+	fmt.Fprintf(w, "# TYPE cpackd_requests_total counter\n")
+	names := m.endpointNames()
+	for _, name := range names {
+		e := m.endpoint(name)
+		codes := e.codes()
+		sorted := make([]int, 0, len(codes))
+		for c := range codes {
+			sorted = append(sorted, c)
+		}
+		sort.Ints(sorted)
+		for _, c := range sorted {
+			fmt.Fprintf(w, "cpackd_requests_total{endpoint=%q,code=\"%d\"} %d\n", name, c, codes[c])
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP cpackd_request_duration_seconds Request latency, by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE cpackd_request_duration_seconds histogram\n")
+	for _, name := range names {
+		snap := m.endpoint(name).latency.snapshot()
+		var cum uint64
+		for i, bound := range latencyBuckets {
+			cum += snap.Counts[i]
+			fmt.Fprintf(w, "cpackd_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				name, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+		}
+		cum += snap.Counts[numBuckets]
+		fmt.Fprintf(w, "cpackd_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "cpackd_request_duration_seconds_sum{endpoint=%q} %g\n", name, snap.Sum)
+		fmt.Fprintf(w, "cpackd_request_duration_seconds_count{endpoint=%q} %d\n", name, snap.N)
+	}
+
+	fmt.Fprintf(w, "# HELP cpackd_bytes_total Request and response payload bytes, by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE cpackd_bytes_total counter\n")
+	for _, name := range names {
+		e := m.endpoint(name)
+		fmt.Fprintf(w, "cpackd_bytes_total{endpoint=%q,direction=\"in\"} %d\n", name, e.bytesIn.value())
+		fmt.Fprintf(w, "cpackd_bytes_total{endpoint=%q,direction=\"out\"} %d\n", name, e.bytesOut.value())
+	}
+
+	cs := s.cache.stats()
+	fmt.Fprintf(w, "# HELP cpackd_cache_hits_total Content-addressed cache hits.\n")
+	fmt.Fprintf(w, "# TYPE cpackd_cache_hits_total counter\n")
+	fmt.Fprintf(w, "cpackd_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(w, "# HELP cpackd_cache_misses_total Content-addressed cache misses.\n")
+	fmt.Fprintf(w, "# TYPE cpackd_cache_misses_total counter\n")
+	fmt.Fprintf(w, "cpackd_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(w, "# HELP cpackd_cache_evictions_total Entries evicted from the cache.\n")
+	fmt.Fprintf(w, "# TYPE cpackd_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "cpackd_cache_evictions_total %d\n", cs.Evictions)
+	fmt.Fprintf(w, "# HELP cpackd_cache_entries Resident cache entries.\n")
+	fmt.Fprintf(w, "# TYPE cpackd_cache_entries gauge\n")
+	fmt.Fprintf(w, "cpackd_cache_entries %d\n", cs.Entries)
+	fmt.Fprintf(w, "# HELP cpackd_cache_bytes Resident compressed bytes.\n")
+	fmt.Fprintf(w, "# TYPE cpackd_cache_bytes gauge\n")
+	fmt.Fprintf(w, "cpackd_cache_bytes %d\n", cs.Bytes)
+
+	fmt.Fprintf(w, "# HELP cpackd_queue_depth Jobs queued but not yet running, by pool.\n")
+	fmt.Fprintf(w, "# TYPE cpackd_queue_depth gauge\n")
+	fmt.Fprintf(w, "cpackd_queue_depth{pool=\"light\"} %d\n", s.light.depth())
+	fmt.Fprintf(w, "cpackd_queue_depth{pool=\"heavy\"} %d\n", s.heavy.depth())
+
+	fmt.Fprintf(w, "# HELP cpackd_requests_shed_total Requests rejected with 429 because a pool was saturated.\n")
+	fmt.Fprintf(w, "# TYPE cpackd_requests_shed_total counter\n")
+	fmt.Fprintf(w, "cpackd_requests_shed_total %d\n", s.metrics.shed.value())
+	fmt.Fprintf(w, "# HELP cpackd_request_timeouts_total Requests that exceeded their deadline.\n")
+	fmt.Fprintf(w, "# TYPE cpackd_request_timeouts_total counter\n")
+	fmt.Fprintf(w, "cpackd_request_timeouts_total %d\n", s.metrics.timeouts.value())
+}
+
+// varsSnapshot is the /debug/vars document: the expvar JSON shape
+// (cmdline + memstats) plus the cpackd application metrics, rendered
+// without touching the process-global expvar registry so multiple servers
+// can coexist in one process (tests spin several up).
+type varsSnapshot struct {
+	Cmdline  []string         `json:"cmdline"`
+	MemStats runtime.MemStats `json:"memstats"`
+	Cpackd   appVars          `json:"cpackd"`
+}
+
+type appVars struct {
+	UptimeSeconds float64                 `json:"uptime_seconds"`
+	Endpoints     map[string]endpointVars `json:"endpoints"`
+	Cache         cacheStats              `json:"cache"`
+	Queues        map[string]int          `json:"queue_depth"`
+	Shed          uint64                  `json:"requests_shed"`
+	Timeouts      uint64                  `json:"request_timeouts"`
+}
+
+type endpointVars struct {
+	ByCode   map[string]uint64 `json:"requests_by_code"`
+	Latency  histSnapshot      `json:"latency"`
+	BytesIn  uint64            `json:"bytes_in"`
+	BytesOut uint64            `json:"bytes_out"`
+}
+
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	snap := varsSnapshot{
+		Cmdline: os.Args,
+		Cpackd: appVars{
+			UptimeSeconds: time.Since(s.metrics.start).Seconds(),
+			Endpoints:     make(map[string]endpointVars),
+			Cache:         s.cache.stats(),
+			Queues:        map[string]int{"light": s.light.depth(), "heavy": s.heavy.depth()},
+			Shed:          s.metrics.shed.value(),
+			Timeouts:      s.metrics.timeouts.value(),
+		},
+	}
+	runtime.ReadMemStats(&snap.MemStats)
+	for _, name := range s.metrics.endpointNames() {
+		e := s.metrics.endpoint(name)
+		codes := make(map[string]uint64)
+		for c, n := range e.codes() {
+			codes[strconv.Itoa(c)] = n
+		}
+		snap.Cpackd.Endpoints[name] = endpointVars{
+			ByCode:   codes,
+			Latency:  e.latency.snapshot(),
+			BytesIn:  e.bytesIn.value(),
+			BytesOut: e.bytesOut.value(),
+		}
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(snap)
+}

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errSaturated reports a full queue: the caller sheds the request (429)
+// instead of queueing unboundedly.
+var errSaturated = errors.New("server: worker pool saturated")
+
+// errClosed reports a pool that has begun draining for shutdown.
+var errClosed = errors.New("server: worker pool closed")
+
+// job is one unit of pooled work. fn runs on a worker goroutine unless the
+// submitter's context was already cancelled by the time a worker picks the
+// job up (a queued job whose client gave up is skipped, not executed).
+type job struct {
+	ctx  context.Context
+	fn   func()
+	done chan struct{}
+}
+
+// pool is a bounded worker pool: a fixed number of workers drain a
+// fixed-capacity queue. Two pools (light codec work, heavy simulations)
+// keep one class of traffic from starving the other.
+type pool struct {
+	name string
+	jobs chan *job
+	wg   sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+// newPool starts workers goroutines draining a queue of capacity queueLen
+// (0 = no queue: a job is admitted only if a worker is free right now).
+func newPool(name string, workers, queueLen int) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueLen < 0 {
+		queueLen = 0
+	}
+	p := &pool{name: name, jobs: make(chan *job, queueLen)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		if j.ctx.Err() == nil {
+			j.fn()
+		}
+		close(j.done)
+	}
+}
+
+// do submits fn and waits for it to finish or for ctx to end. It never
+// blocks on admission: a full queue returns errSaturated immediately. If
+// ctx ends while the job is queued or running, do returns ctx's error;
+// the job itself is skipped if still queued (a running fn is responsible
+// for honouring ctx, which the simulation path does).
+func (p *pool) do(ctx context.Context, fn func()) error {
+	j := &job{ctx: ctx, fn: fn, done: make(chan struct{})}
+	// The read lock pairs with close()'s write lock so a send can never
+	// race the channel close.
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return errClosed
+	}
+	select {
+	case p.jobs <- j:
+		p.mu.RUnlock()
+	default:
+		p.mu.RUnlock()
+		return errSaturated
+	}
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// depth returns the number of admitted jobs not yet picked up by a worker.
+func (p *pool) depth() int { return len(p.jobs) }
+
+// close drains the pool: no new jobs are admitted, already-admitted jobs
+// run to completion, and close returns once every worker has exited.
+func (p *pool) close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

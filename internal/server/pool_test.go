@@ -1,0 +1,125 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsJobs(t *testing.T) {
+	p := newPool("test", 4, 16)
+	defer p.close()
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.do(context.Background(), func() { n.Add(1) }); err != nil {
+				// Saturation is legal under this load; anything else is not.
+				if !errors.Is(err, errSaturated) {
+					t.Errorf("do: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n.Load() == 0 {
+		t.Fatal("no jobs ran")
+	}
+}
+
+func TestPoolSaturation(t *testing.T) {
+	p := newPool("test", 1, 1)
+	defer p.close()
+	block := make(chan struct{})
+	var once sync.Once
+	defer once.Do(func() { close(block) })
+
+	running := make(chan struct{})
+	go p.do(context.Background(), func() { close(running); <-block })
+	<-running
+	// Fill the single queue slot.
+	done2 := make(chan error, 1)
+	go func() { done2 <- p.do(context.Background(), func() {}) }()
+	waitForCond(t, func() bool { return p.depth() == 1 })
+
+	if err := p.do(context.Background(), func() {}); !errors.Is(err, errSaturated) {
+		t.Fatalf("expected errSaturated, got %v", err)
+	}
+	once.Do(func() { close(block) })
+	if err := <-done2; err != nil {
+		t.Fatalf("queued job failed: %v", err)
+	}
+}
+
+func TestPoolSkipsCancelledQueuedJobs(t *testing.T) {
+	p := newPool("test", 1, 4)
+	defer p.close()
+	block := make(chan struct{})
+	running := make(chan struct{})
+	go p.do(context.Background(), func() { close(running); <-block })
+	<-running
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := false
+	errCh := make(chan error, 1)
+	go func() { errCh <- p.do(ctx, func() { ran = true }) }()
+	waitForCond(t, func() bool { return p.depth() == 1 })
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	close(block)
+	p.close() // drains: the cancelled job is discarded, not run
+	if ran {
+		t.Error("cancelled queued job was executed")
+	}
+}
+
+func TestPoolCloseDrains(t *testing.T) {
+	p := newPool("test", 1, 4)
+	block := make(chan struct{})
+	running := make(chan struct{})
+	var done atomic.Int64
+	go p.do(context.Background(), func() { close(running); <-block; done.Add(1) })
+	<-running
+	// One more admitted behind it.
+	go p.do(context.Background(), func() { done.Add(1) })
+	waitForCond(t, func() bool { return p.depth() == 1 })
+
+	closed := make(chan struct{})
+	go func() { p.close(); close(closed) }()
+	select {
+	case <-closed:
+		t.Fatal("close returned with a job still running")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(block)
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("close never returned")
+	}
+	if done.Load() != 2 {
+		t.Fatalf("drained %d jobs, want 2", done.Load())
+	}
+	if err := p.do(context.Background(), func() {}); !errors.Is(err, errClosed) {
+		t.Fatalf("expected errClosed after close, got %v", err)
+	}
+}
+
+func waitForCond(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}

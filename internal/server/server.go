@@ -1,0 +1,713 @@
+// Package server implements cpackd, the CodePack compression service: an
+// HTTP front end over the codec and the paper's timing simulator.
+//
+// The service is built for sustained concurrent traffic:
+//
+//   - Two bounded worker pools — light (compress, decompress, verify,
+//     bench metadata) and heavy (simulate) — so a burst of long
+//     simulations cannot starve cheap codec calls. A full queue sheds
+//     load with 429 + Retry-After instead of queueing unboundedly.
+//
+//   - A content-addressed LRU cache (SHA-256 of the marshalled image ->
+//     compressed form): the expensive dictionary build runs once per
+//     distinct program, repeats are served from memory.
+//
+//   - Observability: GET /metrics (Prometheus text format) and
+//     GET /debug/vars (expvar-style JSON) publish request counts by
+//     status, cache hit/miss/eviction rates, queue depths, bytes in/out
+//     and per-endpoint latency histograms; every request emits one
+//     structured access-log line via log/slog.
+//
+//   - Graceful shutdown: Close drains the pools so admitted work
+//     finishes; cmd/cpackd pairs it with http.Server.Shutdown on SIGTERM.
+//
+// See docs/SERVER.md for the API contract.
+package server
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"time"
+
+	"codepack"
+	"codepack/internal/harness"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultCacheEntries   = 256
+	DefaultMaxInstr       = 8_000_000
+	DefaultMaxBodyBytes   = 32 << 20
+	DefaultRequestTimeout = 60 * time.Second
+)
+
+// Config parameterizes a Server. The zero value serves with sensible
+// defaults.
+type Config struct {
+	// LightWorkers/LightQueue size the pool serving compress, decompress,
+	// verify and bench-metadata requests; HeavyWorkers/HeavyQueue the
+	// pool serving simulate. Zero picks a default scaled to GOMAXPROCS;
+	// negative queue sizes mean "no queue" (admit only onto an idle
+	// worker).
+	LightWorkers int
+	LightQueue   int
+	HeavyWorkers int
+	HeavyQueue   int
+
+	// CacheEntries caps the content-addressed compression cache
+	// (0 = DefaultCacheEntries, negative disables caching).
+	CacheEntries int
+
+	// MaxInstr caps the committed-instruction budget a simulate request
+	// may ask for (0 = DefaultMaxInstr).
+	MaxInstr uint64
+
+	// MaxBodyBytes caps request bodies (0 = DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+
+	// RequestTimeout bounds a request end to end, queue time included
+	// (0 = DefaultRequestTimeout, negative disables).
+	RequestTimeout time.Duration
+
+	// BenchMaxInstr is the per-run instruction budget of the shared
+	// benchmark suite (0 = harness.DefaultMaxInstr).
+	BenchMaxInstr uint64
+
+	// Logger receives access and lifecycle logs (nil = slog.Default()).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	procs := runtime.GOMAXPROCS(0)
+	if c.LightWorkers == 0 {
+		c.LightWorkers = max(2, procs/2)
+	}
+	if c.LightQueue == 0 {
+		c.LightQueue = 64
+	} else if c.LightQueue < 0 {
+		c.LightQueue = 0
+	}
+	if c.HeavyWorkers == 0 {
+		c.HeavyWorkers = max(1, procs-1)
+	}
+	if c.HeavyQueue == 0 {
+		c.HeavyQueue = 2 * c.HeavyWorkers
+	} else if c.HeavyQueue < 0 {
+		c.HeavyQueue = 0
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = DefaultCacheEntries
+	}
+	if c.MaxInstr == 0 {
+		c.MaxInstr = DefaultMaxInstr
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = DefaultRequestTimeout
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Server is the cpackd HTTP service. Create with New, expose via Handler,
+// and Close on shutdown to drain in-flight work.
+type Server struct {
+	cfg     Config
+	log     *slog.Logger
+	light   *pool
+	heavy   *pool
+	cache   *compCache
+	suite   *harness.Suite
+	metrics *metrics
+	mux     *http.ServeMux
+
+	// testHook, when set (tests only), runs inside every pooled job
+	// before the real work, letting tests hold workers busy
+	// deterministically.
+	testHook func(op string)
+}
+
+// New builds a Server and starts its worker pools.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		log:     cfg.Logger,
+		light:   newPool("light", cfg.LightWorkers, cfg.LightQueue),
+		heavy:   newPool("heavy", cfg.HeavyWorkers, cfg.HeavyQueue),
+		cache:   newCompCache(cfg.CacheEntries),
+		suite:   harness.NewSuite(cfg.BenchMaxInstr),
+		metrics: newMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.Handle("POST /v1/compress", s.instrument("compress", s.handleCompress))
+	s.mux.Handle("POST /v1/decompress", s.instrument("decompress", s.handleDecompress))
+	s.mux.Handle("POST /v1/verify", s.instrument("verify", s.handleVerify))
+	s.mux.Handle("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
+	s.mux.Handle("GET /v1/bench/{name}", s.instrument("bench", s.handleBench))
+	s.mux.Handle("GET /v1/bench", s.instrument("bench_list", s.handleBenchList))
+	s.mux.Handle("GET /metrics", http.HandlerFunc(s.handleMetrics))
+	s.mux.Handle("GET /debug/vars", http.HandlerFunc(s.handleVars))
+	s.mux.Handle("GET /healthz", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, "{\"status\":\"ok\"}\n")
+	}))
+	return s
+}
+
+// Handler returns the root handler for the service.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the worker pools: admitted jobs finish, new submissions
+// fail with 503. Call after http.Server.Shutdown so in-flight HTTP
+// requests complete their pooled work first.
+func (s *Server) Close() {
+	s.light.close()
+	s.heavy.close()
+}
+
+// --- API types -----------------------------------------------------------
+
+// ProgramRef selects the program a request operates on; exactly one field
+// must be set.
+type ProgramRef struct {
+	// Benchmark names one of the six calibrated workloads (GET /v1/bench
+	// lists them).
+	Benchmark string `json:"benchmark,omitempty"`
+	// Asm is SS32 assembly source, assembled server-side.
+	Asm string `json:"asm,omitempty"`
+	// ImageB64 is a base64 (standard encoding) program image as produced
+	// by (*Image).Marshal / `cpack compress` input format.
+	ImageB64 string `json:"image_b64,omitempty"`
+}
+
+// CompressRequest is the body of POST /v1/compress.
+type CompressRequest struct {
+	ProgramRef
+}
+
+// CompressResponse is the body of a successful POST /v1/compress.
+type CompressResponse struct {
+	Name            string  `json:"name"`
+	Digest          string  `json:"digest"` // content address (SHA-256 of the image)
+	OriginalBytes   int     `json:"original_bytes"`
+	CompressedBytes int     `json:"compressed_bytes"`
+	Ratio           float64 `json:"ratio"`
+	Cached          bool    `json:"cached"`
+	CompressedB64   string  `json:"compressed_b64"`
+}
+
+// DecompressRequest is the body of POST /v1/decompress.
+type DecompressRequest struct {
+	// CompressedB64 is a base64 .cpk payload as produced by
+	// (*Compressed).Marshal (the compressed_b64 field of a compress
+	// response round-trips).
+	CompressedB64 string `json:"compressed_b64"`
+}
+
+// DecompressResponse is the body of a successful POST /v1/decompress. The
+// image carries only the text section: the .cpk format has no data
+// segment or entry point.
+type DecompressResponse struct {
+	Instructions int    `json:"instructions"`
+	TextBase     uint32 `json:"text_base"`
+	ImageB64     string `json:"image_b64"`
+}
+
+// VerifyRequest is the body of POST /v1/verify.
+type VerifyRequest struct {
+	ProgramRef
+}
+
+// VerifyResponse is the body of a successful POST /v1/verify: the program
+// compressed, round-tripped through the serialized form and compared
+// word-for-word against the original text section.
+type VerifyResponse struct {
+	OK           bool    `json:"ok"`
+	Digest       string  `json:"digest"`
+	Instructions int     `json:"instructions"`
+	Ratio        float64 `json:"ratio"`
+	Cached       bool    `json:"cached"`
+}
+
+// SimulateRequest is the body of POST /v1/simulate.
+type SimulateRequest struct {
+	ProgramRef
+	// Arch is a Table 2 machine preset: "1-issue", "4-issue" (default)
+	// or "8-issue".
+	Arch string `json:"arch,omitempty"`
+	// Model is the fetch model: "native", "codepack" (baseline),
+	// "optimized" (default) or "software".
+	Model string `json:"model,omitempty"`
+	// MaxInstr caps committed instructions (0 = suite default; clamped
+	// to the server's configured maximum).
+	MaxInstr uint64 `json:"max_instr,omitempty"`
+}
+
+// SimulateResponse is the body of a successful POST /v1/simulate.
+type SimulateResponse struct {
+	Program      string  `json:"program"`
+	Arch         string  `json:"arch"`
+	Model        string  `json:"model"`
+	Instructions uint64  `json:"instructions"`
+	Cycles       uint64  `json:"cycles"`
+	IPC          float64 `json:"ipc"`
+	IMissRate    float64 `json:"imiss_rate"`
+	Ratio        float64 `json:"ratio,omitempty"`
+	Cached       bool    `json:"cached"`
+}
+
+// BenchResponse is the body of GET /v1/bench/{name}: the calibrated
+// workload's static characteristics and compression results.
+type BenchResponse struct {
+	Name            string  `json:"name"`
+	TextBytes       int     `json:"text_bytes"`
+	TargetDynamic   uint64  `json:"target_dynamic_instructions"`
+	Digest          string  `json:"digest"`
+	OriginalBytes   int     `json:"original_bytes"`
+	CompressedBytes int     `json:"compressed_bytes"`
+	Ratio           float64 `json:"ratio"`
+}
+
+// BenchListResponse is the body of GET /v1/bench.
+type BenchListResponse struct {
+	Benchmarks []string `json:"benchmarks"`
+}
+
+// errorResponse is the body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- request plumbing ----------------------------------------------------
+
+// httpError is a handler failure with its response status.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
+}
+
+// statusWriter captures the status code and byte count of a response.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// countReader counts request-body bytes actually consumed.
+type countReader struct {
+	r io.ReadCloser
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countReader) Close() error { return c.r.Close() }
+
+// instrument wraps an endpoint handler with the per-request deadline, the
+// body-size cap, metrics recording and the structured access log.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx := r.Context()
+		if s.cfg.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+			defer cancel()
+		}
+		body := &countReader{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)}
+		r = r.WithContext(ctx)
+		r.Body = body
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+
+		h(sw, r)
+
+		dur := time.Since(start)
+		s.metrics.endpoint(name).record(sw.code, body.n, sw.bytes, dur)
+		s.log.LogAttrs(ctx, slog.LevelInfo, "request",
+			slog.String("endpoint", name),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.code),
+			slog.Int64("bytes_in", body.n),
+			slog.Int64("bytes_out", sw.bytes),
+			slog.Duration("duration", dur),
+		)
+	})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		code = http.StatusInternalServerError
+		b = []byte(`{"error":"response encoding failed"}`)
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	w.Write(append(b, '\n'))
+}
+
+func (s *Server) writeError(w http.ResponseWriter, e *httpError) {
+	s.writeJSON(w, e.code, errorResponse{Error: e.msg})
+}
+
+// dispatch runs fn on the given pool and writes its result, translating
+// pool conditions to statuses: saturated -> 429 + Retry-After, draining ->
+// 503, deadline -> 503.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, p *pool, op string, fn func(ctx context.Context) (any, *httpError)) {
+	ctx := r.Context()
+	var resp any
+	var herr *httpError
+	err := p.do(ctx, func() {
+		if s.testHook != nil {
+			s.testHook(op)
+		}
+		resp, herr = fn(ctx)
+	})
+	switch {
+	case err == nil:
+	case errors.Is(err, errSaturated):
+		s.metrics.shed.add(1)
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, &httpError{http.StatusTooManyRequests,
+			fmt.Sprintf("%s worker pool saturated, retry later", p.name)})
+		return
+	case errors.Is(err, errClosed):
+		s.writeError(w, &httpError{http.StatusServiceUnavailable, "server is shutting down"})
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.timeouts.add(1)
+		s.writeError(w, &httpError{http.StatusServiceUnavailable, "request deadline exceeded"})
+		return
+	default: // context.Canceled: client went away; best-effort status
+		s.writeError(w, &httpError{http.StatusServiceUnavailable, "request canceled"})
+		return
+	}
+	if herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// readJSON decodes the request body into v, reporting malformed input.
+func readJSON(r *http.Request, v any) *httpError {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("malformed request body: %v", err)
+	}
+	return nil
+}
+
+// resolveImage turns a ProgramRef into a loaded image.
+func (s *Server) resolveImage(ctx context.Context, ref ProgramRef) (*codepack.Image, *httpError) {
+	set := 0
+	for _, f := range []string{ref.Benchmark, ref.Asm, ref.ImageB64} {
+		if f != "" {
+			set++
+		}
+	}
+	if set != 1 {
+		return nil, badRequest("exactly one of benchmark, asm, image_b64 must be set")
+	}
+	switch {
+	case ref.Benchmark != "":
+		b, err := s.suite.BenchContext(ctx, ref.Benchmark)
+		if err != nil {
+			return nil, &httpError{http.StatusNotFound, err.Error()}
+		}
+		return b.Image, nil
+	case ref.Asm != "":
+		im, err := codepack.Assemble("request", ref.Asm)
+		if err != nil {
+			return nil, badRequest("assemble: %v", err)
+		}
+		return im, nil
+	default:
+		raw, err := base64.StdEncoding.DecodeString(ref.ImageB64)
+		if err != nil {
+			return nil, badRequest("image_b64: %v", err)
+		}
+		im, err := codepack.UnmarshalImage(raw)
+		if err != nil {
+			return nil, badRequest("image: %v", err)
+		}
+		return im, nil
+	}
+}
+
+// compressImage compresses im through the content-addressed cache.
+func (s *Server) compressImage(im *codepack.Image) (comp *codepack.Compressed, digest string, cached bool, herr *httpError) {
+	marshalled := im.Marshal()
+	digest = codepack.Digest(marshalled)
+	if c, ok := s.cache.get(digest); ok {
+		return c, digest, true, nil
+	}
+	c, err := codepack.Compress(im)
+	if err != nil {
+		return nil, "", false, badRequest("compress: %v", err)
+	}
+	s.cache.put(digest, c)
+	return c, digest, false, nil
+}
+
+// --- endpoint handlers ---------------------------------------------------
+
+func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
+	var req CompressRequest
+	if herr := readJSON(r, &req); herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	s.dispatch(w, r, s.light, "compress", func(ctx context.Context) (any, *httpError) {
+		im, herr := s.resolveImage(ctx, req.ProgramRef)
+		if herr != nil {
+			return nil, herr
+		}
+		comp, digest, cached, herr := s.compressImage(im)
+		if herr != nil {
+			return nil, herr
+		}
+		st := comp.Stats()
+		return CompressResponse{
+			Name:            im.Name,
+			Digest:          digest,
+			OriginalBytes:   st.OriginalBytes,
+			CompressedBytes: st.CompressedBytes(),
+			Ratio:           st.Ratio(),
+			Cached:          cached,
+			CompressedB64:   base64.StdEncoding.EncodeToString(comp.Marshal()),
+		}, nil
+	})
+}
+
+func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
+	var req DecompressRequest
+	if herr := readJSON(r, &req); herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	s.dispatch(w, r, s.light, "decompress", func(ctx context.Context) (any, *httpError) {
+		raw, err := base64.StdEncoding.DecodeString(req.CompressedB64)
+		if err != nil {
+			return nil, badRequest("compressed_b64: %v", err)
+		}
+		comp, err := codepack.UnmarshalCompressed("request", raw)
+		if err != nil {
+			return nil, badRequest("compressed image: %v", err)
+		}
+		text, err := comp.Decompress()
+		if err != nil {
+			return nil, badRequest("decompress: %v", err)
+		}
+		im := &codepack.Image{
+			Name:     "request",
+			Entry:    comp.TextBase,
+			TextBase: comp.TextBase,
+			Text:     text,
+		}
+		return DecompressResponse{
+			Instructions: len(text),
+			TextBase:     comp.TextBase,
+			ImageB64:     base64.StdEncoding.EncodeToString(im.Marshal()),
+		}, nil
+	})
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req VerifyRequest
+	if herr := readJSON(r, &req); herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	s.dispatch(w, r, s.light, "verify", func(ctx context.Context) (any, *httpError) {
+		im, herr := s.resolveImage(ctx, req.ProgramRef)
+		if herr != nil {
+			return nil, herr
+		}
+		comp, digest, cached, herr := s.compressImage(im)
+		if herr != nil {
+			return nil, herr
+		}
+		// Round trip through the serialized form, as the hardware would
+		// see it, and compare word for word.
+		reloaded, err := codepack.UnmarshalCompressed(im.Name, comp.Marshal())
+		if err != nil {
+			return nil, &httpError{http.StatusInternalServerError, fmt.Sprintf("reload: %v", err)}
+		}
+		out, err := reloaded.Decompress()
+		if err != nil {
+			return nil, &httpError{http.StatusInternalServerError, fmt.Sprintf("decompress: %v", err)}
+		}
+		if len(out) != len(im.Text) {
+			return nil, &httpError{http.StatusInternalServerError,
+				fmt.Sprintf("round trip length mismatch: got %d want %d", len(out), len(im.Text))}
+		}
+		for i, word := range out {
+			if word != im.Text[i] {
+				return nil, &httpError{http.StatusInternalServerError,
+					fmt.Sprintf("round trip mismatch at instruction %d", i)}
+			}
+		}
+		return VerifyResponse{
+			OK:           true,
+			Digest:       digest,
+			Instructions: len(im.Text),
+			Ratio:        comp.Stats().Ratio(),
+			Cached:       cached,
+		}, nil
+	})
+}
+
+// archByName maps the wire names to the Table 2 presets.
+func archByName(name string) (codepack.ArchConfig, bool) {
+	switch name {
+	case "", "4-issue":
+		return codepack.FourIssue(), true
+	case "1-issue":
+		return codepack.OneIssue(), true
+	case "8-issue":
+		return codepack.EightIssue(), true
+	}
+	return codepack.ArchConfig{}, false
+}
+
+// modelByName maps the wire names to fetch models.
+func modelByName(name string) (codepack.FetchModel, bool) {
+	switch name {
+	case "native":
+		return codepack.NativeModel(), true
+	case "codepack", "baseline":
+		return codepack.BaselineModel(), true
+	case "", "optimized":
+		return codepack.OptimizedModel(), true
+	case "software":
+		return codepack.SoftwareModel(), true
+	}
+	return codepack.FetchModel{}, false
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if herr := readJSON(r, &req); herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	s.dispatch(w, r, s.heavy, "simulate", func(ctx context.Context) (any, *httpError) {
+		cfg, ok := archByName(req.Arch)
+		if !ok {
+			return nil, badRequest("unknown arch %q (want 1-issue, 4-issue or 8-issue)", req.Arch)
+		}
+		model, ok := modelByName(req.Model)
+		if !ok {
+			return nil, badRequest("unknown model %q (want native, codepack, optimized or software)", req.Model)
+		}
+		im, herr := s.resolveImage(ctx, req.ProgramRef)
+		if herr != nil {
+			return nil, herr
+		}
+		cached := false
+		if model.Kind != codepack.NativeModel().Kind {
+			// Compressed fetch paths need the compressed image; serve it
+			// from the content-addressed cache.
+			comp, _, hit, herr := s.compressImage(im)
+			if herr != nil {
+				return nil, herr
+			}
+			model.Comp = comp
+			cached = hit
+		}
+		budget := req.MaxInstr
+		if budget == 0 {
+			budget = s.suite.MaxInstr
+		}
+		if budget > s.cfg.MaxInstr {
+			budget = s.cfg.MaxInstr
+		}
+		res, err := codepack.SimulateContext(ctx, im, cfg, model, budget)
+		if err != nil {
+			if ctx.Err() != nil {
+				// dispatch translates the context error to 503; returning
+				// it here keeps the pooled fn's result unused.
+				return nil, &httpError{http.StatusServiceUnavailable, err.Error()}
+			}
+			return nil, badRequest("simulate: %v", err)
+		}
+		modelName := req.Model
+		if modelName == "" {
+			modelName = "optimized"
+		}
+		return SimulateResponse{
+			Program:      res.Program,
+			Arch:         res.Arch,
+			Model:        modelName,
+			Instructions: res.Instructions,
+			Cycles:       res.Cycles,
+			IPC:          res.IPC(),
+			IMissRate:    res.IMissRate(),
+			Ratio:        res.Ratio,
+			Cached:       cached,
+		}, nil
+	})
+}
+
+func (s *Server) handleBench(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.dispatch(w, r, s.light, "bench", func(ctx context.Context) (any, *httpError) {
+		b, err := s.suite.BenchContext(ctx, name)
+		if err != nil {
+			return nil, &httpError{http.StatusNotFound, err.Error()}
+		}
+		st := b.Comp.Stats()
+		return BenchResponse{
+			Name:            b.Profile.Name,
+			TextBytes:       b.Image.TextBytes(),
+			TargetDynamic:   b.Profile.TargetDynamic,
+			Digest:          codepack.ImageDigest(b.Image),
+			OriginalBytes:   st.OriginalBytes,
+			CompressedBytes: st.CompressedBytes(),
+			Ratio:           st.Ratio(),
+		}, nil
+	})
+}
+
+func (s *Server) handleBenchList(w http.ResponseWriter, r *http.Request) {
+	var names []string
+	for _, p := range codepack.Benchmarks() {
+		names = append(names, p.Name)
+	}
+	s.writeJSON(w, http.StatusOK, BenchListResponse{Benchmarks: names})
+}
