@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build test race vet bench serve clean
+.PHONY: build test race vet bench fuzz golden serve clean
 
 build:
 	$(GO) build ./...
@@ -17,9 +18,24 @@ vet:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
-# Run the compression service locally (ctrl-C drains gracefully).
+# Short fuzz pass over every fuzz target (FUZZTIME=10s per target).
+fuzz:
+	$(GO) test -run xxx -fuzz 'FuzzAssemble$$' -fuzztime $(FUZZTIME) ./internal/asm
+	$(GO) test -run xxx -fuzz 'FuzzExecute$$' -fuzztime $(FUZZTIME) ./internal/asm
+	$(GO) test -run xxx -fuzz 'FuzzUnmarshalCompressed$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run xxx -fuzz 'FuzzDecodeCorruptRegion$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run xxx -fuzz 'FuzzBitStream$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run xxx -fuzz 'FuzzLoadCacheLog$$' -fuzztime $(FUZZTIME) ./internal/server
+	$(GO) test -run xxx -fuzz 'FuzzRecoverCacheDir$$' -fuzztime $(FUZZTIME) ./internal/server
+
+# Regenerate the pinned experiment tables after an intentional change.
+golden:
+	$(GO) test ./internal/harness -run TestGolden -update-golden
+
+# Run the compression service locally (ctrl-C drains gracefully);
+# the cache persists across restarts in ./.cpackd-cache.
 serve:
-	$(GO) run ./cmd/cpackd -addr :8321
+	$(GO) run ./cmd/cpackd -addr :8321 -cache-dir .cpackd-cache
 
 clean:
 	$(GO) clean ./...

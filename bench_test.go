@@ -446,7 +446,10 @@ func BenchmarkServerCompress(b *testing.B) {
 	}
 	run := func(cacheEntries int) func(*testing.B) {
 		return func(b *testing.B) {
-			s := server.New(server.Config{CacheEntries: cacheEntries, Logger: quiet})
+			s, err := server.New(server.Config{CacheEntries: cacheEntries, Logger: quiet})
+			if err != nil {
+				b.Fatal(err)
+			}
 			defer s.Close()
 			ts := httptest.NewServer(s.Handler())
 			defer ts.Close()

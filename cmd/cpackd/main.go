@@ -5,11 +5,14 @@
 //
 // Usage:
 //
-//	cpackd [-addr :8321] [-light-workers N] [-heavy-workers N] ...
+//	cpackd [-addr :8321] [-cache-dir /var/lib/cpackd] [-light-workers N] ...
 //
-// The daemon drains gracefully on SIGINT/SIGTERM: the listener stops, in
-// flight requests and their pooled work complete (up to -drain-timeout),
-// then the process exits. See docs/SERVER.md for the API contract.
+// With -cache-dir set the compression cache is durable: entries persist
+// to a crash-safe log + snapshot pair and are reloaded on boot, so a
+// restart keeps its warm cache. The daemon drains gracefully on
+// SIGINT/SIGTERM: the listener stops, in-flight requests and their pooled
+// work complete (up to -drain-timeout), the cache is flushed, then the
+// process exits. See docs/SERVER.md for the API contract.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -28,27 +32,31 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "cpackd:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string) error {
+	fs := flag.NewFlagSet("cpackd", flag.ContinueOnError)
 	var (
-		addr         = flag.String("addr", ":8321", "listen address")
-		lightWorkers = flag.Int("light-workers", 0, "codec worker goroutines (0 = auto)")
-		lightQueue   = flag.Int("light-queue", 0, "codec queue capacity (0 = default, <0 none)")
-		heavyWorkers = flag.Int("heavy-workers", 0, "simulation worker goroutines (0 = auto)")
-		heavyQueue   = flag.Int("heavy-queue", 0, "simulation queue capacity (0 = default, <0 none)")
-		cacheEntries = flag.Int("cache", 0, "compression cache entries (0 = default, <0 disable)")
-		maxInstr     = flag.Uint64("max-instr", 0, "per-request instruction budget cap (0 = default)")
-		timeout      = flag.Duration("timeout", 0, "per-request deadline (0 = default)")
-		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown drain deadline")
-		logJSON      = flag.Bool("log-json", false, "emit JSON logs instead of text")
-		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		addr         = fs.String("addr", ":8321", "listen address")
+		lightWorkers = fs.Int("light-workers", 0, "codec worker goroutines (0 = auto)")
+		lightQueue   = fs.Int("light-queue", 0, "codec queue capacity (0 = default, <0 none)")
+		heavyWorkers = fs.Int("heavy-workers", 0, "simulation worker goroutines (0 = auto)")
+		heavyQueue   = fs.Int("heavy-queue", 0, "simulation queue capacity (0 = default, <0 none)")
+		cacheEntries = fs.Int("cache", 0, "compression cache entries (0 = default, <0 disable)")
+		cacheDir     = fs.String("cache-dir", "", "persist the compression cache here (empty = memory only)")
+		maxInstr     = fs.Uint64("max-instr", 0, "per-request instruction budget cap (0 = default)")
+		timeout      = fs.Duration("timeout", 0, "per-request deadline (0 = default)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "shutdown drain deadline")
+		logJSON      = fs.Bool("log-json", false, "emit JSON logs instead of text")
+		logLevel     = fs.String("log-level", "info", "log level: debug, info, warn, error")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var level slog.Level
 	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
@@ -61,19 +69,28 @@ func run() error {
 	}
 	log := slog.New(handler)
 
-	s := server.New(server.Config{
+	s, err := server.New(server.Config{
 		LightWorkers:   *lightWorkers,
 		LightQueue:     *lightQueue,
 		HeavyWorkers:   *heavyWorkers,
 		HeavyQueue:     *heavyQueue,
 		CacheEntries:   *cacheEntries,
+		CacheDir:       *cacheDir,
 		MaxInstr:       *maxInstr,
 		RequestTimeout: *timeout,
 		Logger:         log,
 	})
+	if err != nil {
+		return err
+	}
 
+	// Listen explicitly so ":0" reports the kernel-assigned port in the
+	// startup log (the restart tests depend on it).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -83,8 +100,8 @@ func run() error {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Info("cpackd listening", "addr", *addr)
-		errCh <- httpSrv.ListenAndServe()
+		log.Info("cpackd listening", "addr", ln.Addr().String())
+		errCh <- httpSrv.Serve(ln)
 	}()
 
 	select {
@@ -99,7 +116,8 @@ func run() error {
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		log.Warn("shutdown incomplete", "err", err)
 	}
-	// HTTP requests are done (or abandoned); now drain the worker pools.
+	// HTTP requests are done (or abandoned); now drain the worker pools
+	// and flush the persistent cache.
 	s.Close()
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err

@@ -1,0 +1,253 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+const testAsm = `
+main:
+	li   $s0, 50
+	li   $s1, 0
+loop:
+	addu $s1, $s1, $s0
+	addiu $s0, $s0, -1
+	bgtz $s0, loop
+	li   $v0, 10
+	syscall
+`
+
+// TestFlagErrors exercises run()'s own error paths in-process.
+func TestFlagErrors(t *testing.T) {
+	if err := run([]string{"-nonsense"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-log-level", "loud"}); err == nil {
+		t.Error("bad log level accepted")
+	}
+	if err := run([]string{"-addr", "not:a:listen:addr"}); err == nil {
+		t.Error("bad listen address accepted")
+	}
+}
+
+// daemon is one cpackd subprocess re-executed from the test binary.
+type daemon struct {
+	cmd    *exec.Cmd
+	url    string
+	stderr *bytes.Buffer
+}
+
+var listenRE = regexp.MustCompile(`msg="cpackd listening" addr=([^\s]+)`)
+
+// startDaemon re-executes the test binary as cpackd and waits for its
+// listening log line to learn the kernel-assigned port.
+func startDaemon(t *testing.T, args ...string) *daemon {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, append([]string{"-test.run=TestKillRestartRecoversCache", "--"}, args...)...)
+	cmd.Env = append(os.Environ(), "CPACKD_TEST_MAIN=1")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd, stderr: &bytes.Buffer{}}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(io.TeeReader(stderr, d.stderr))
+		for sc.Scan() {
+			if m := listenRE.FindStringSubmatch(sc.Text()); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		d.url = "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatalf("cpackd did not report a listening address; stderr:\n%s", d.stderr.String())
+	}
+	return d
+}
+
+type compressReply struct {
+	Digest        string `json:"digest"`
+	Cached        bool   `json:"cached"`
+	CompressedB64 string `json:"compressed_b64"`
+}
+
+func (d *daemon) compress(t *testing.T) compressReply {
+	t.Helper()
+	body, err := json.Marshal(map[string]string{"asm": testAsm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(d.url+"/v1/compress", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("compress: %v; stderr:\n%s", err, d.stderr.String())
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress status %d: %s", resp.StatusCode, raw)
+	}
+	var out compressReply
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func (d *daemon) metrics(t *testing.T) string {
+	t.Helper()
+	resp, err := http.Get(d.url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return string(raw)
+}
+
+// TestKillRestartRecoversCache is the acceptance-criteria test: a real
+// cpackd process is populated over HTTP, killed with SIGKILL (no drain,
+// no flush), its log is given a torn tail as if the kill had landed
+// mid-write, and a second process on the same -cache-dir must serve the
+// same program from cache with zero recompression, then drain cleanly on
+// SIGTERM.
+func TestKillRestartRecoversCache(t *testing.T) {
+	if os.Getenv("CPACKD_TEST_MAIN") == "1" {
+		args := os.Args
+		for i, a := range args {
+			if a == "--" {
+				args = args[i+1:]
+				break
+			}
+		}
+		os.Args = append([]string{"cpackd"}, args...)
+		main()
+		os.Exit(0) // don't fall through to the testing framework's own exit
+	}
+	if testing.Short() {
+		t.Skip("subprocess round trip")
+	}
+
+	dir := t.TempDir()
+	args := []string{"-addr", "127.0.0.1:0", "-cache-dir", dir, "-cache", "64"}
+
+	d1 := startDaemon(t, args...)
+	first := d1.compress(t)
+	if first.Cached {
+		t.Fatal("first compression reported cached")
+	}
+	if again := d1.compress(t); !again.Cached {
+		t.Fatal("second compression in the same process not cached")
+	}
+
+	// SIGKILL: no graceful drain, no final snapshot — recovery must work
+	// from the append-only log alone.
+	if err := d1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	d1.cmd.Wait()
+
+	// Make the crash as rude as possible: a torn half-record at the tail,
+	// as if the kill had landed mid-append.
+	logPath := filepath.Join(dir, "cache.log")
+	f, err := os.OpenFile(logPath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("cache log missing after kill: %v", err)
+	}
+	torn := make([]byte, 21)
+	for i := range torn {
+		torn[i] = 0x5A
+	}
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	d2 := startDaemon(t, args...)
+	second := d2.compress(t)
+	if !second.Cached {
+		t.Fatal("restarted cpackd recompressed a persisted program")
+	}
+	if second.Digest != first.Digest || second.CompressedB64 != first.CompressedB64 {
+		t.Error("restored entry differs from the original compression")
+	}
+	m := d2.metrics(t)
+	for _, want := range []string{
+		"cpackd_cache_persist_restored_entries 1",
+		"cpackd_cache_persist_tail_truncations_total 1",
+		"cpackd_cache_misses_total 0",
+	} {
+		if !strings.Contains(m, want) {
+			t.Errorf("metrics missing %q after restart", want)
+		}
+	}
+
+	// And the survivor still shuts down gracefully.
+	if err := d2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d2.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("graceful shutdown exited with %v; stderr:\n%s", err, d2.stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cpackd did not exit after SIGTERM")
+	}
+	if !strings.Contains(d2.stderr.String(), "cpackd stopped") {
+		t.Errorf("missing clean-stop log line; stderr:\n%s", d2.stderr.String())
+	}
+}
+
+// TestListenAddrReported pins the contract startDaemon depends on: with
+// -addr :0 the startup log carries the real port, not the flag value.
+func TestListenAddrReported(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess round trip")
+	}
+	d := startDaemon(t, "-addr", "127.0.0.1:0")
+	if strings.HasSuffix(d.url, ":0") {
+		t.Fatalf("listening log reported the unresolved flag address %s", d.url)
+	}
+	resp, err := http.Get(d.url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Golden regression tests: the rendered experiment tables are pinned
+// byte-for-byte under testdata/, so any drift in the simulator, the
+// codec or the workload generator fails `go test ./...` immediately
+// instead of surfacing as a silent shift in the paper reproduction.
+// The shape tests in harness_test.go assert the physics stays in the
+// paper's bands; these assert the numbers stay put at all.
+//
+// Regenerate after an intentional change with:
+//
+//	go test ./internal/harness -run TestGolden -update-golden
+//
+// and review the diff like any other code change.
+var updateGolden = flag.Bool("update-golden", false, "rewrite the harness golden files")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (regenerate with -update-golden): %v", path, err)
+	}
+	if got == string(want) {
+		return
+	}
+	// Report the first diverging line so drift is diagnosable from CI logs.
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		g, w := "", ""
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("%s drifted at line %d:\n  got:  %q\n  want: %q\n(rerun with -update-golden if intentional)",
+				path, i+1, g, w)
+		}
+	}
+	t.Fatalf("%s drifted (same lines, different bytes?)", path)
+}
+
+// TestGoldenTable2 pins the static architecture table.
+func TestGoldenTable2(t *testing.T) {
+	checkGolden(t, "table2", Table2().String())
+}
+
+// TestGoldenTable3 pins the per-benchmark compression ratios — the
+// codec's headline numbers. Cheap (no simulation), so it always runs.
+func TestGoldenTable3(t *testing.T) {
+	tb, err := suite.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table3", tb.String())
+}
+
+// TestGoldenTable4 pins the compressed-region composition, catching
+// encoding drift that happens to keep the total ratio stable.
+func TestGoldenTable4(t *testing.T) {
+	tb, err := suite.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table4", tb.String())
+}
+
+// TestGoldenFigure2 pins the paper's worked decompression timeline.
+func TestGoldenFigure2(t *testing.T) {
+	tb, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure2", tb.String())
+}
+
+// TestGoldenTable5 pins the full IPC matrix — the simulator's headline
+// output. It reruns 54 simulations, so -short skips it for CI speed.
+func TestGoldenTable5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full IPC matrix")
+	}
+	tb, err := suite.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table5", tb.String())
+}
+
+// TestGoldenDeterminism guards the premise golden pinning rests on: the
+// whole pipeline (generation, compression, rendering) must be
+// reproducible within a process. A fresh suite must render Table 3
+// identically to the shared one.
+func TestGoldenDeterminism(t *testing.T) {
+	a, err := suite.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSuite(suite.MaxInstr).Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("Table3 not deterministic across suites:\n%s\nvs\n%s", a, b)
+	}
+	if fmt.Sprint(a.Values) != fmt.Sprint(b.Values) {
+		t.Fatal("Table3 raw values differ across suites")
+	}
+}

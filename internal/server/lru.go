@@ -1,6 +1,9 @@
 package server
 
 import (
+	"crypto/sha256"
+	"log/slog"
+	"sort"
 	"sync"
 
 	"codepack"
@@ -14,6 +17,15 @@ import (
 // The scan is O(entries) per eviction, which at service cache sizes
 // (hundreds of entries, each worth a full dictionary build) is noise next
 // to a compression, and keeps the structure a flat map with no list links.
+//
+// With a diskStore attached the cache is durable: every newly inserted
+// entry is appended to the store's log (outside the cache lock, so disk
+// latency never blocks readers), a background goroutine cuts compacted
+// snapshots when the log outgrows them, and close flushes a final
+// snapshot. Lock order is always cache.mu before store.mu is NOT allowed:
+// the cache lock is released before any store call, and compaction's
+// collect callback is the one place the store holds its own lock while
+// briefly taking the cache lock.
 type compCache struct {
 	mu      sync.Mutex
 	cap     int
@@ -22,6 +34,14 @@ type compCache struct {
 
 	hits, misses, evictions uint64
 	bytes                   int64
+
+	// Persistence (nil store = memory only).
+	store     *diskStore
+	log       *slog.Logger
+	compactCh chan struct{}
+	stopCh    chan struct{}
+	loopDone  chan struct{}
+	closeOnce sync.Once
 }
 
 type compEntry struct {
@@ -42,11 +62,46 @@ type cacheStats struct {
 // newCompCache builds a cache holding at most capEntries compressed
 // programs; capEntries <= 0 disables caching (every get is a miss).
 func newCompCache(capEntries int) *compCache {
-	c := &compCache{cap: capEntries}
+	c := &compCache{cap: capEntries, log: slog.Default()}
 	if capEntries > 0 {
 		c.entries = make(map[string]*compEntry, capEntries)
 	}
 	return c
+}
+
+// attachStore makes the cache durable: recovered entries are loaded in
+// replay order (so their relative recency survives the restart) and the
+// background compactor starts. Returns the number of entries actually
+// restored into the cache; entries whose payloads no longer parse are
+// skipped, and entries beyond the cache capacity evict oldest-first.
+func (c *compCache) attachStore(st *diskStore, recovered []storedEntry, logger *slog.Logger) int {
+	if c.cap <= 0 || st == nil {
+		return 0
+	}
+	if logger != nil {
+		c.log = logger
+	}
+	restored := 0
+	for _, e := range recovered {
+		comp, err := codepack.UnmarshalCompressed("cached", e.payload)
+		if err != nil {
+			c.log.Warn("restored cache record does not parse, skipping",
+				"key", e.key, "err", err)
+			st.mu.Lock()
+			st.stats.RecordsSkipped++
+			st.stats.RestoredEntries--
+			st.mu.Unlock()
+			continue
+		}
+		c.putMem(e.key, comp)
+		restored++
+	}
+	c.store = st
+	c.compactCh = make(chan struct{}, 1)
+	c.stopCh = make(chan struct{})
+	c.loopDone = make(chan struct{})
+	go c.compactLoop()
+	return restored
 }
 
 func (c *compCache) get(key string) (*codepack.Compressed, bool) {
@@ -64,15 +119,34 @@ func (c *compCache) get(key string) (*codepack.Compressed, bool) {
 }
 
 func (c *compCache) put(key string, comp *codepack.Compressed) {
+	if !c.putMem(key, comp) || c.store == nil {
+		return
+	}
+	// Persist outside the cache lock: a slow disk must not block gets.
+	if err := c.store.append(key, comp.Marshal()); err != nil {
+		c.log.Warn("cache persist failed", "key", key, "err", err)
+		return
+	}
+	if c.store.needCompact() {
+		select {
+		case c.compactCh <- struct{}{}:
+		default: // a compaction signal is already pending
+		}
+	}
+}
+
+// putMem inserts into the in-memory map and reports whether key was newly
+// added (false for refreshes of a resident entry and for a disabled cache).
+func (c *compCache) putMem(key string, comp *codepack.Compressed) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.cap <= 0 {
-		return
+		return false
 	}
 	if e, ok := c.entries[key]; ok {
 		c.clock++
 		e.stamp = c.clock
-		return
+		return false
 	}
 	if len(c.entries) >= c.cap {
 		var victim string
@@ -91,6 +165,68 @@ func (c *compCache) put(key string, comp *codepack.Compressed) {
 	bytes := int64(comp.Stats().CompressedBytes())
 	c.entries[key] = &compEntry{comp: comp, stamp: c.clock, bytes: bytes}
 	c.bytes += bytes
+	return true
+}
+
+// compactLoop runs snapshot compactions off the request path.
+func (c *compCache) compactLoop() {
+	defer close(c.loopDone)
+	for {
+		select {
+		case <-c.compactCh:
+			if err := c.compactNow(); err != nil {
+				c.log.Warn("cache compaction failed", "err", err)
+			}
+		case <-c.stopCh:
+			return
+		}
+	}
+}
+
+// compactNow cuts a snapshot of the live entries, oldest first so replay
+// order preserves recency on the next boot.
+func (c *compCache) compactNow() error {
+	return c.store.compact(func() []storedEntry {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		out := make([]storedEntry, 0, len(c.entries))
+		type aged struct {
+			key   string
+			stamp uint64
+		}
+		order := make([]aged, 0, len(c.entries))
+		for k, e := range c.entries {
+			order = append(order, aged{k, e.stamp})
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i].stamp < order[j].stamp })
+		for _, a := range order {
+			payload := c.entries[a.key].comp.Marshal()
+			out = append(out, storedEntry{
+				key:     a.key,
+				payload: payload,
+				sum:     sha256.Sum256(payload),
+			})
+		}
+		return out
+	})
+}
+
+// close stops the compactor, flushes a final snapshot (the SIGTERM flush)
+// and closes the store. Safe to call multiple times and with no store.
+func (c *compCache) close() {
+	c.closeOnce.Do(func() {
+		if c.store == nil {
+			return
+		}
+		close(c.stopCh)
+		<-c.loopDone
+		if err := c.compactNow(); err != nil {
+			c.log.Warn("final cache flush failed", "err", err)
+		}
+		if err := c.store.close(); err != nil {
+			c.log.Warn("cache store close failed", "err", err)
+		}
+	})
 }
 
 func (c *compCache) stats() cacheStats {

@@ -196,6 +196,37 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE cpackd_cache_bytes gauge\n")
 	fmt.Fprintf(w, "cpackd_cache_bytes %d\n", cs.Bytes)
 
+	if st := s.cache.store; st != nil {
+		ss := st.statsSnapshot()
+		fmt.Fprintf(w, "# HELP cpackd_cache_persist_restored_entries Cache entries restored from disk at startup.\n")
+		fmt.Fprintf(w, "# TYPE cpackd_cache_persist_restored_entries gauge\n")
+		fmt.Fprintf(w, "cpackd_cache_persist_restored_entries %d\n", ss.RestoredEntries)
+		fmt.Fprintf(w, "# HELP cpackd_cache_persist_replayed_bytes Log and snapshot bytes replayed at startup.\n")
+		fmt.Fprintf(w, "# TYPE cpackd_cache_persist_replayed_bytes gauge\n")
+		fmt.Fprintf(w, "cpackd_cache_persist_replayed_bytes %d\n", ss.BytesReplayed)
+		fmt.Fprintf(w, "# HELP cpackd_cache_persist_records_skipped_total Persisted records rejected during recovery.\n")
+		fmt.Fprintf(w, "# TYPE cpackd_cache_persist_records_skipped_total counter\n")
+		fmt.Fprintf(w, "cpackd_cache_persist_records_skipped_total %d\n", ss.RecordsSkipped)
+		fmt.Fprintf(w, "# HELP cpackd_cache_persist_tail_truncations_total Torn log tails truncated during recovery.\n")
+		fmt.Fprintf(w, "# TYPE cpackd_cache_persist_tail_truncations_total counter\n")
+		fmt.Fprintf(w, "cpackd_cache_persist_tail_truncations_total %d\n", ss.TailTruncations)
+		fmt.Fprintf(w, "# HELP cpackd_cache_persist_appends_total Entries appended to the cache log.\n")
+		fmt.Fprintf(w, "# TYPE cpackd_cache_persist_appends_total counter\n")
+		fmt.Fprintf(w, "cpackd_cache_persist_appends_total %d\n", ss.Appends)
+		fmt.Fprintf(w, "# HELP cpackd_cache_persist_append_errors_total Cache log append failures.\n")
+		fmt.Fprintf(w, "# TYPE cpackd_cache_persist_append_errors_total counter\n")
+		fmt.Fprintf(w, "cpackd_cache_persist_append_errors_total %d\n", ss.AppendErrors)
+		fmt.Fprintf(w, "# HELP cpackd_cache_persist_compactions_total Snapshot compactions completed.\n")
+		fmt.Fprintf(w, "# TYPE cpackd_cache_persist_compactions_total counter\n")
+		fmt.Fprintf(w, "cpackd_cache_persist_compactions_total %d\n", ss.Compactions)
+		fmt.Fprintf(w, "# HELP cpackd_cache_persist_log_bytes Current cache log size.\n")
+		fmt.Fprintf(w, "# TYPE cpackd_cache_persist_log_bytes gauge\n")
+		fmt.Fprintf(w, "cpackd_cache_persist_log_bytes %d\n", ss.LogBytes)
+		fmt.Fprintf(w, "# HELP cpackd_cache_persist_snapshot_bytes Last compacted snapshot size.\n")
+		fmt.Fprintf(w, "# TYPE cpackd_cache_persist_snapshot_bytes gauge\n")
+		fmt.Fprintf(w, "cpackd_cache_persist_snapshot_bytes %d\n", ss.SnapshotBytes)
+	}
+
 	fmt.Fprintf(w, "# HELP cpackd_queue_depth Jobs queued but not yet running, by pool.\n")
 	fmt.Fprintf(w, "# TYPE cpackd_queue_depth gauge\n")
 	fmt.Fprintf(w, "cpackd_queue_depth{pool=\"light\"} %d\n", s.light.depth())
@@ -223,6 +254,7 @@ type appVars struct {
 	UptimeSeconds float64                 `json:"uptime_seconds"`
 	Endpoints     map[string]endpointVars `json:"endpoints"`
 	Cache         cacheStats              `json:"cache"`
+	CacheStore    *storeStats             `json:"cache_store,omitempty"`
 	Queues        map[string]int          `json:"queue_depth"`
 	Shed          uint64                  `json:"requests_shed"`
 	Timeouts      uint64                  `json:"request_timeouts"`
@@ -246,6 +278,10 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 			Shed:          s.metrics.shed.value(),
 			Timeouts:      s.metrics.timeouts.value(),
 		},
+	}
+	if st := s.cache.store; st != nil {
+		ss := st.statsSnapshot()
+		snap.Cpackd.CacheStore = &ss
 	}
 	runtime.ReadMemStats(&snap.MemStats)
 	for _, name := range s.metrics.endpointNames() {

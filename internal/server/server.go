@@ -10,7 +10,11 @@
 //
 //   - A content-addressed LRU cache (SHA-256 of the marshalled image ->
 //     compressed form): the expensive dictionary build runs once per
-//     distinct program, repeats are served from memory.
+//     distinct program, repeats are served from memory. With CacheDir
+//     set the cache is durable: entries append to a CRC-framed log,
+//     compacted snapshots are cut in the background, and a restart
+//     replays both (tolerating torn tails and corrupt records) so a
+//     warm cache survives deploys. See docs/SERVER.md "Persistence".
 //
 //   - Observability: GET /metrics (Prometheus text format) and
 //     GET /debug/vars (expvar-style JSON) publish request counts by
@@ -64,6 +68,11 @@ type Config struct {
 	// CacheEntries caps the content-addressed compression cache
 	// (0 = DefaultCacheEntries, negative disables caching).
 	CacheEntries int
+
+	// CacheDir, when non-empty, persists the compression cache there
+	// (an append-only log plus compacted snapshots) and reloads it on
+	// startup. Ignored when caching is disabled.
+	CacheDir string
 
 	// MaxInstr caps the committed-instruction budget a simulate request
 	// may ask for (0 = DefaultMaxInstr).
@@ -138,15 +147,35 @@ type Server struct {
 	testHook func(op string)
 }
 
-// New builds a Server and starts its worker pools.
-func New(cfg Config) *Server {
+// New builds a Server and starts its worker pools. With Config.CacheDir
+// set it also restores the persisted compression cache (tolerating any
+// corruption it finds there) and starts the background compactor; the
+// only error paths are filesystem ones — opening the cache directory or
+// its log for writing.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	cache := newCompCache(cfg.CacheEntries)
+	if cfg.CacheDir != "" && cfg.CacheEntries > 0 {
+		st, recovered, err := openStore(cfg.CacheDir, cfg.Logger)
+		if err != nil {
+			return nil, fmt.Errorf("server: open cache store: %w", err)
+		}
+		restored := cache.attachStore(st, recovered, cfg.Logger)
+		ss := st.statsSnapshot()
+		cfg.Logger.Info("compression cache restored",
+			"dir", cfg.CacheDir,
+			"entries_restored", restored,
+			"bytes_replayed", ss.BytesReplayed,
+			"records_skipped", ss.RecordsSkipped,
+			"tail_truncations", ss.TailTruncations,
+		)
+	}
 	s := &Server{
 		cfg:     cfg,
 		log:     cfg.Logger,
 		light:   newPool("light", cfg.LightWorkers, cfg.LightQueue),
 		heavy:   newPool("heavy", cfg.HeavyWorkers, cfg.HeavyQueue),
-		cache:   newCompCache(cfg.CacheEntries),
+		cache:   cache,
 		suite:   harness.NewSuite(cfg.BenchMaxInstr),
 		metrics: newMetrics(),
 		mux:     http.NewServeMux(),
@@ -163,18 +192,20 @@ func New(cfg Config) *Server {
 		w.Header().Set("Content-Type", "application/json")
 		io.WriteString(w, "{\"status\":\"ok\"}\n")
 	}))
-	return s
+	return s, nil
 }
 
 // Handler returns the root handler for the service.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close drains the worker pools: admitted jobs finish, new submissions
-// fail with 503. Call after http.Server.Shutdown so in-flight HTTP
-// requests complete their pooled work first.
+// Close drains the worker pools — admitted jobs finish, new submissions
+// fail with 503 — then flushes the persistent cache (final compacted
+// snapshot + fsync) if one is configured. Call after http.Server.Shutdown
+// so in-flight HTTP requests complete their pooled work first.
 func (s *Server) Close() {
 	s.light.close()
 	s.heavy.close()
+	s.cache.close()
 }
 
 // --- API types -----------------------------------------------------------

@@ -40,7 +40,10 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	if cfg.Logger == nil {
 		cfg.Logger = quietLogger()
 	}
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -355,7 +358,10 @@ func TestMetricsAdvance(t *testing.T) {
 // request blocked inside a worker completes with 200 while Close is
 // underway, and Close returns only after it finishes.
 func TestGracefulShutdownDrains(t *testing.T) {
-	s := New(Config{Logger: quietLogger(), BenchMaxInstr: 10_000})
+	s, err := New(Config{Logger: quietLogger(), BenchMaxInstr: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
