@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet bench fuzz golden serve clean
+.PHONY: build test race vet bench fuzz golden serve cluster-smoke clean
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,13 @@ golden:
 # the cache persists across restarts in ./.cpackd-cache.
 serve:
 	$(GO) run ./cmd/cpackd -addr :8321 -cache-dir .cpackd-cache
+
+# Boot two real cpackd processes as a warm-cache cluster and assert the
+# tier serves cross-instance with zero recompression, then degrades
+# cleanly when one instance is killed.
+cluster-smoke:
+	$(GO) test -race -count=1 -run 'TestTwoInstanceCluster' ./cmd/cpackd
+	$(GO) test -race -count=1 -run 'TestPeer' ./internal/server
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"codepack"
+	"codepack/internal/peer"
+)
+
+// freeURL reserves a kernel-assigned loopback port and releases it so a
+// daemon can bind it. The address must be known before either daemon
+// starts: both appear in each other's -peers flag.
+func freeURL(t *testing.T) (addr, url string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr = ln.Addr().String()
+	ln.Close()
+	return addr, "http://" + addr
+}
+
+// asmOwnedBy generates assembly variants until one's image digest lands
+// on the wanted ring member. The server assembles inline asm under the
+// fixed name "request", but the digest covers only the marshalled image
+// (entry, bases, text, data), so the test can predict it with any name.
+func asmOwnedBy(t *testing.T, ring *peer.Ring, owner string, salt int) string {
+	t.Helper()
+	for i := 0; i < 10_000; i++ {
+		asm := strings.Replace(testAsm, "li   $s0, 50",
+			fmt.Sprintf("li   $s0, %d", 50+salt*10_000+i), 1)
+		im, err := codepack.Assemble("request", asm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ring.Owner(codepack.ImageDigest(im)) == owner {
+			return asm
+		}
+	}
+	t.Fatalf("no generated program hashed to owner %s", owner)
+	return ""
+}
+
+// compressAsm is daemon.compress for an arbitrary program.
+func (d *daemon) compressAsm(t *testing.T, asm string) compressReply {
+	t.Helper()
+	body, err := json.Marshal(map[string]string{"asm": asm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(d.url+"/v1/compress", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("compress: %v; stderr:\n%s", err, d.stderr.String())
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress status %d: %s", resp.StatusCode, raw)
+	}
+	var out compressReply
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func metricNumber(t *testing.T, body, name string) float64 {
+	t.Helper()
+	re := regexp.MustCompile("(?m)^" + regexp.QuoteMeta(name) + ` ([0-9.e+-]+)$`)
+	m := re.FindStringSubmatch(body)
+	if m == nil {
+		t.Fatalf("metric %q not found in scrape:\n%s", name, body)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("metric %q: %v", name, err)
+	}
+	return v
+}
+
+// TestPeerFlagErrors exercises run()'s cluster-flag validation.
+func TestPeerFlagErrors(t *testing.T) {
+	if err := run([]string{"-peers", "http://127.0.0.1:1"}); err == nil {
+		t.Error("-peers without -peer-self accepted")
+	}
+	if err := run([]string{"-peer-self", "http://127.0.0.1:1"}); err == nil {
+		t.Error("-peer-self without -peers accepted")
+	}
+	if err := run([]string{"-addr", "127.0.0.1:0",
+		"-peer-self", "http://127.0.0.1:1", "-peers", "not a url"}); err == nil {
+		t.Error("malformed peer URL accepted")
+	}
+	if err := run([]string{"-addr", "127.0.0.1:0", "-cache", "-1",
+		"-peer-self", "http://127.0.0.1:1", "-peers", "http://127.0.0.1:2"}); err == nil {
+		t.Error("clustering with a disabled cache accepted")
+	}
+}
+
+// TestTwoInstanceCluster is the cluster acceptance test: two real
+// cpackd processes form a warm tier — a digest compressed on its owner
+// is served by the other instance with zero recompression — and
+// SIGKILLing one degrades the survivor to local compression with no
+// failed requests and an opened breaker.
+func TestTwoInstanceCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess round trip")
+	}
+
+	addrA, urlA := freeURL(t)
+	addrB, urlB := freeURL(t)
+	ring := peer.NewRing([]string{urlA, urlB}, peer.DefaultReplicas)
+
+	dA := startDaemon(t, "-addr", addrA, "-peer-self", urlA, "-peers", urlB,
+		"-peer-timeout", "500ms")
+	dB := startDaemon(t, "-addr", addrB, "-peer-self", urlB, "-peers", urlA,
+		"-peer-timeout", "500ms")
+
+	// Warm tier: compress on the owner, read from the peer.
+	warmAsm := asmOwnedBy(t, ring, urlA, 0)
+	first := dA.compressAsm(t, warmAsm)
+	if first.Cached {
+		t.Fatal("first compression on the owner reported cached")
+	}
+	second := dB.compressAsm(t, warmAsm)
+	if !second.Cached {
+		t.Error("peer-served compression did not report cached (recompressed?)")
+	}
+	if second.Digest != first.Digest || second.CompressedB64 != first.CompressedB64 {
+		t.Error("peer-served payload differs from the owner's compression")
+	}
+	mB := dB.metrics(t)
+	if got := metricNumber(t, mB, "cpackd_peer_hits_total"); got != 1 {
+		t.Errorf("cpackd_peer_hits_total on B = %v, want 1", got)
+	}
+
+	// Kill the owner mid-run: the survivor must keep answering every
+	// request by compressing locally, and its breaker must open.
+	if err := dA.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	dA.cmd.Wait()
+
+	for i := 1; i <= 4; i++ {
+		reply := dB.compressAsm(t, asmOwnedBy(t, ring, urlA, i))
+		if reply.Cached {
+			t.Errorf("request %d reported cached with its owner dead", i)
+		}
+	}
+	mB = dB.metrics(t)
+	if got := metricNumber(t, mB, "cpackd_peer_errors_total"); got < 1 {
+		t.Errorf("cpackd_peer_errors_total on B = %v, want >= 1", got)
+	}
+	opens := fmt.Sprintf("cpackd_peer_breaker_opens_total{peer=%q}", urlA)
+	if got := metricNumber(t, mB, opens); got < 1 {
+		t.Errorf("%s = %v, want >= 1", opens, got)
+	}
+
+	// The survivor still drains cleanly.
+	if err := dB.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- dB.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("graceful shutdown exited with %v; stderr:\n%s", err, dB.stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("surviving instance did not exit after SIGTERM")
+	}
+}

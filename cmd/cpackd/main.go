@@ -13,6 +13,13 @@
 // SIGINT/SIGTERM: the listener stops, in-flight requests and their pooled
 // work complete (up to -drain-timeout), the cache is flushed, then the
 // process exits. See docs/SERVER.md for the API contract.
+//
+// With -peers and -peer-self set, instances form a shared warm cache
+// tier: a consistent-hash ring assigns each content digest an owning
+// instance, cache misses try the owner before compressing locally, and
+// new entries replicate asynchronously to their owner. Peer failures
+// degrade to local compression (circuit breaker, never a failed
+// request); peer-served bytes are re-verified before being trusted.
 package main
 
 import (
@@ -25,9 +32,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"codepack/internal/peer"
 	"codepack/internal/server"
 )
 
@@ -53,6 +62,9 @@ func run(args []string) error {
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "shutdown drain deadline")
 		logJSON      = fs.Bool("log-json", false, "emit JSON logs instead of text")
 		logLevel     = fs.String("log-level", "info", "log level: debug, info, warn, error")
+		peers        = fs.String("peers", "", "comma-separated peer base URLs forming the warm-cache ring")
+		peerSelf     = fs.String("peer-self", "", "this instance's advertised base URL (required with -peers)")
+		peerTimeout  = fs.Duration("peer-timeout", 0, "per-attempt peer fetch timeout (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,7 +81,7 @@ func run(args []string) error {
 	}
 	log := slog.New(handler)
 
-	s, err := server.New(server.Config{
+	cfg := server.Config{
 		LightWorkers:   *lightWorkers,
 		LightQueue:     *lightQueue,
 		HeavyWorkers:   *heavyWorkers,
@@ -79,7 +91,24 @@ func run(args []string) error {
 		MaxInstr:       *maxInstr,
 		RequestTimeout: *timeout,
 		Logger:         log,
-	})
+	}
+	if *peers != "" || *peerSelf != "" {
+		if *peers == "" || *peerSelf == "" {
+			return errors.New("-peers and -peer-self must be set together")
+		}
+		var members []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				members = append(members, p)
+			}
+		}
+		cfg.Peer = &peer.Config{
+			Self:         *peerSelf,
+			Peers:        members,
+			FetchTimeout: *peerTimeout,
+		}
+	}
+	s, err := server.New(cfg)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,321 @@
+package peer
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"codepack/internal/trace"
+)
+
+// Peer-protocol wire details, shared by client and Handler.
+const (
+	// CachePathPrefix is the internal cache endpoint; the digest is the
+	// final path element.
+	CachePathPrefix = "/internal/v1/cache/"
+	// OfferPath is the anti-entropy offer endpoint.
+	OfferPath = "/internal/v1/cache/offer"
+	// SumHeader carries the hex SHA-256 of the payload end to end — the
+	// same per-record sum the durable store keeps — so a corrupted or
+	// substituted body is rejected before it is even parsed.
+	SumHeader = "X-Cpackd-Sum"
+)
+
+// FetchOutcome classifies one warm-tier lookup.
+type FetchOutcome int
+
+const (
+	// FetchSelf: this instance owns the digest; there is no one to ask.
+	FetchSelf FetchOutcome = iota
+	// FetchHit: the owner returned a payload whose transport checksum
+	// verified. (The caller still verifies it against the program.)
+	FetchHit
+	// FetchMiss: the owner answered definitively that it does not hold
+	// the digest.
+	FetchMiss
+	// FetchUnavailable: the owner could not be asked — breaker open, or
+	// every attempt failed.
+	FetchUnavailable
+)
+
+// Fetch asks the owner of digest for its cached payload. It returns the
+// payload (FetchHit only), the owner's URL ("" when self-owned), and
+// the outcome. Transport errors are retried with jittered backoff up to
+// the configured attempt budget; an open breaker skips the peer
+// entirely so a dead owner costs nothing after the breaker trips.
+func (c *Cluster) Fetch(ctx context.Context, digest string) ([]byte, string, FetchOutcome) {
+	owner := c.ring.Owner(digest)
+	if owner == "" || owner == c.self {
+		return nil, "", FetchSelf
+	}
+	b := c.breakers[owner]
+	if !b.allow() {
+		c.stats.breakerSkips.Add(1)
+		return nil, owner, FetchUnavailable
+	}
+	attempts := 1 + c.cfg.Retries
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			if !sleepCtx(ctx, backoff(c.cfg.BackoffBase, i-1)) {
+				c.stats.fetchErrors.Add(1)
+				return nil, owner, FetchUnavailable
+			}
+			// Re-check the breaker between attempts: another request's
+			// failures may have tripped it while we were backing off.
+			if !b.allow() {
+				c.stats.breakerSkips.Add(1)
+				return nil, owner, FetchUnavailable
+			}
+		}
+		payload, found, err := c.fetchOnce(ctx, owner, digest)
+		if err != nil {
+			b.failure()
+			c.stats.fetchErrors.Add(1)
+			c.log.Debug("peer fetch attempt failed",
+				"peer", owner, "digest", digest, "attempt", i+1, "err", err)
+			continue
+		}
+		b.success()
+		if !found {
+			c.stats.fetchMisses.Add(1)
+			return nil, owner, FetchMiss
+		}
+		c.stats.fetchHits.Add(1)
+		return payload, owner, FetchHit
+	}
+	return nil, owner, FetchUnavailable
+}
+
+// fetchOnce is one GET against the owner. found=false reports a clean
+// 404 (the peer is healthy, it just lacks the entry).
+func (c *Cluster) fetchOnce(ctx context.Context, owner, digest string) (payload []byte, found bool, err error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.FetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, owner+CachePathPrefix+digest, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	c.setTraceHeader(req, ctx)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("peer: owner returned %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxPayloadBytes+1))
+	if err != nil {
+		return nil, false, err
+	}
+	if len(body) > maxPayloadBytes {
+		return nil, false, fmt.Errorf("peer: payload exceeds %d bytes", maxPayloadBytes)
+	}
+	sum := sha256.Sum256(body)
+	if got := resp.Header.Get(SumHeader); got != hex.EncodeToString(sum[:]) {
+		return nil, false, fmt.Errorf("peer: payload checksum mismatch (header %q)", got)
+	}
+	return body, true, nil
+}
+
+// Replicate enqueues an async best-effort push of a newly compressed
+// entry to its ring owner. Self-owned digests are kept local; a full
+// queue drops the job (anti-entropy repairs the gap later) so the
+// request path never blocks on replication.
+func (c *Cluster) Replicate(digest string, payload []byte) {
+	owner := c.ring.Owner(digest)
+	if owner == "" || owner == c.self {
+		return
+	}
+	select {
+	case c.replCh <- replJob{owner: owner, digest: digest, payload: payload}:
+		c.stats.replEnqueued.Add(1)
+	default:
+		c.stats.replDropped.Add(1)
+	}
+}
+
+func (c *Cluster) replWorker() {
+	defer c.replWG.Done()
+	for j := range c.replCh {
+		if err := c.push(context.Background(), j.owner, j.digest, j.payload); err != nil {
+			c.stats.replErrors.Add(1)
+			c.log.Debug("replication push failed",
+				"peer", j.owner, "digest", j.digest, "err", err)
+		} else {
+			c.stats.replSent.Add(1)
+		}
+	}
+}
+
+// push PUTs one payload to owner, breaker-gated, one attempt.
+func (c *Cluster) push(ctx context.Context, owner, digest string, payload []byte) error {
+	b := c.breakers[owner]
+	if !b.allow() {
+		c.stats.breakerSkips.Add(1)
+		return fmt.Errorf("peer: breaker open for %s", owner)
+	}
+	actx, cancel := context.WithTimeout(ctx, c.cfg.FetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPut,
+		owner+CachePathPrefix+digest, bytes.NewReader(payload))
+	if err != nil {
+		b.failure()
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	sum := sha256.Sum256(payload)
+	req.Header.Set(SumHeader, hex.EncodeToString(sum[:]))
+	c.setTraceHeader(req, ctx)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		b.failure()
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		// The peer answered, so it is alive; only 5xx counts against it.
+		if resp.StatusCode >= 500 {
+			b.failure()
+		} else {
+			b.success()
+		}
+		return fmt.Errorf("peer: replication target returned %d", resp.StatusCode)
+	}
+	b.success()
+	return nil
+}
+
+// AntiEntropy offers every locally held digest to its ring owner and
+// pushes the ones each owner asks for; payload resolves a digest to its
+// marshalled bytes at push time (an entry evicted meanwhile is skipped).
+// Run it in a goroutine at startup: it is synchronous, breaker-gated
+// and abandons a peer on the first error rather than retrying — the
+// next restart, or normal write-replication, closes any remaining gap.
+func (c *Cluster) AntiEntropy(ctx context.Context, digests []string, payload func(string) ([]byte, bool)) {
+	byOwner := make(map[string][]string)
+	for _, d := range digests {
+		if owner := c.ring.Owner(d); owner != "" && owner != c.self {
+			byOwner[owner] = append(byOwner[owner], d)
+		}
+	}
+	for owner, ds := range byOwner {
+		for len(ds) > 0 && ctx.Err() == nil {
+			batch := ds
+			if len(batch) > c.cfg.OfferBatch {
+				batch = batch[:c.cfg.OfferBatch]
+			}
+			ds = ds[len(batch):]
+			want, err := c.offer(ctx, owner, batch)
+			if err != nil {
+				c.stats.offerErrors.Add(1)
+				c.log.Debug("anti-entropy offer failed", "peer", owner, "err", err)
+				break
+			}
+			c.stats.offeredDigests.Add(uint64(len(batch)))
+			for _, d := range want {
+				p, ok := payload(d)
+				if !ok {
+					continue
+				}
+				if err := c.push(ctx, owner, d, p); err != nil {
+					c.stats.replErrors.Add(1)
+				} else {
+					c.stats.replSent.Add(1)
+				}
+			}
+		}
+	}
+}
+
+// offer POSTs a digest batch to owner and returns the subset it wants.
+func (c *Cluster) offer(ctx context.Context, owner string, digests []string) ([]string, error) {
+	b := c.breakers[owner]
+	if !b.allow() {
+		c.stats.breakerSkips.Add(1)
+		return nil, fmt.Errorf("peer: breaker open for %s", owner)
+	}
+	body, err := json.Marshal(offerRequest{Digests: digests})
+	if err != nil {
+		return nil, err
+	}
+	actx, cancel := context.WithTimeout(ctx, c.cfg.FetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, owner+OfferPath, bytes.NewReader(body))
+	if err != nil {
+		b.failure()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	c.setTraceHeader(req, ctx)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		b.failure()
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode >= 500 {
+			b.failure()
+		} else {
+			b.success()
+		}
+		return nil, fmt.Errorf("peer: offer returned %d", resp.StatusCode)
+	}
+	var or offerResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&or); err != nil {
+		b.failure()
+		return nil, err
+	}
+	b.success()
+	return or.Want, nil
+}
+
+// setTraceHeader forwards the originating request's trace ID (minting
+// one for background work) so one logical request logs the same ID on
+// every instance it touches.
+func (c *Cluster) setTraceHeader(req *http.Request, ctx context.Context) {
+	id := trace.ID(ctx)
+	if id == "" {
+		id = trace.NewID()
+	}
+	req.Header.Set(trace.Header, id)
+}
+
+// backoff returns the nth retry delay: base doubled per step with up to
+// 50% added jitter, so synchronized retry storms de-correlate.
+func backoff(base time.Duration, n int) time.Duration {
+	d := base << uint(n)
+	return d + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// sleepCtx sleeps for d or until ctx ends; it reports whether the full
+// sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,295 @@
+// Package peer turns independent cpackd instances into a cooperative
+// compression cache cluster — a shared warm tier over the service's
+// content-addressed cache.
+//
+// Every member runs the same static member list through a
+// consistent-hash Ring keyed by the SHA-256 content digest, so the
+// fleet agrees on one owner per digest with no coordination. On a local
+// cache miss an instance first asks the digest's owner over HTTP
+// (GET /internal/v1/cache/{digest}) before paying for a compression;
+// when it does compress something new, it replicates the entry to the
+// owner asynchronously, off the request path. A freshly (re)started
+// instance runs an anti-entropy pass, offering every digest it holds to
+// the ring so warm state flows back to its owners.
+//
+// Failure handling is local and bounded: per-attempt timeouts, a small
+// number of retries with jittered backoff, and a per-peer circuit
+// breaker that opens after consecutive failures (requests then skip the
+// peer entirely and fall back to local compression) and probes the peer
+// back to health after a cooldown. A slow or dead peer can cost one
+// fetch timeout per cooldown, never availability.
+//
+// Trust: the transport checks an end-to-end SHA-256 of every payload
+// (the same per-record sum the durable store uses), and the caller in
+// internal/server decompresses each peer-served payload and compares it
+// word-for-word against the program it is about to answer for — so a
+// misbehaving peer can waste work but can never poison a cache.
+package peer
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultFetchTimeout       = 2 * time.Second
+	DefaultRetries            = 1
+	DefaultBackoffBase        = 25 * time.Millisecond
+	DefaultBreakerThreshold   = 3
+	DefaultBreakerCooldown    = 5 * time.Second
+	DefaultReplicationQueue   = 256
+	DefaultReplicationWorkers = 2
+	DefaultOfferBatch         = 256
+)
+
+// maxPayloadBytes caps a peer-served payload read; it matches the
+// durable store's per-record sanity cap.
+const maxPayloadBytes = 64 << 20
+
+// Config parameterizes a Cluster. Self and Peers are required; zero
+// values elsewhere pick the defaults above.
+type Config struct {
+	// Self is this instance's advertised base URL (scheme://host:port),
+	// the identity under which it appears in the ring.
+	Self string
+	// Peers lists the other members' base URLs. It may also include
+	// Self; the ring is always built over the union. Every member must
+	// be configured with the same resulting set or owners will disagree.
+	Peers []string
+
+	// Replicas is the virtual-node count per member (0 = DefaultReplicas).
+	Replicas int
+
+	// FetchTimeout bounds one fetch or replication attempt.
+	FetchTimeout time.Duration
+	// Retries is the number of extra attempts after the first for an
+	// owner fetch (negative = none).
+	Retries int
+	// BackoffBase is the first retry's backoff; it doubles per attempt
+	// with up to 50% added jitter.
+	BackoffBase time.Duration
+
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// peer's circuit breaker; BreakerCooldown how long it stays open
+	// before a probe.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// ReplicationQueue and ReplicationWorkers size the async
+	// write-replication stage; a full queue drops (replication is
+	// best-effort — anti-entropy repairs the gaps).
+	ReplicationQueue   int
+	ReplicationWorkers int
+
+	// OfferBatch caps the digests per anti-entropy offer request.
+	OfferBatch int
+
+	// Logger receives peer-traffic warnings (nil = slog.Default()).
+	Logger *slog.Logger
+	// Transport overrides the HTTP transport (tests).
+	Transport http.RoundTripper
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = DefaultReplicas
+	}
+	if c.FetchTimeout <= 0 {
+		c.FetchTimeout = DefaultFetchTimeout
+	}
+	if c.Retries == 0 {
+		c.Retries = DefaultRetries
+	} else if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = DefaultBackoffBase
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if c.ReplicationQueue <= 0 {
+		c.ReplicationQueue = DefaultReplicationQueue
+	}
+	if c.ReplicationWorkers <= 0 {
+		c.ReplicationWorkers = DefaultReplicationWorkers
+	}
+	if c.OfferBatch <= 0 {
+		c.OfferBatch = DefaultOfferBatch
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Cluster is one instance's view of the warm tier: the ring, one
+// breaker and HTTP client per peer, and the async replication stage.
+type Cluster struct {
+	cfg    Config
+	self   string
+	ring   *Ring
+	client *http.Client
+	log    *slog.Logger
+
+	breakers map[string]*breaker // keyed by peer URL; static after NewCluster
+
+	replCh    chan replJob
+	replWG    sync.WaitGroup
+	closeOnce sync.Once
+
+	stats clusterStats
+}
+
+type replJob struct {
+	owner   string
+	digest  string
+	payload []byte
+}
+
+// clusterStats are the Cluster's lifetime counters; read via Stats.
+type clusterStats struct {
+	fetchHits    atomic.Uint64
+	fetchMisses  atomic.Uint64
+	fetchErrors  atomic.Uint64
+	breakerSkips atomic.Uint64
+
+	replEnqueued atomic.Uint64
+	replSent     atomic.Uint64
+	replDropped  atomic.Uint64
+	replErrors   atomic.Uint64
+
+	offeredDigests atomic.Uint64
+	offerErrors    atomic.Uint64
+}
+
+// Stats is a point-in-time snapshot of the cluster counters.
+type Stats struct {
+	FetchHits    uint64 `json:"fetch_hits"`
+	FetchMisses  uint64 `json:"fetch_misses"`
+	FetchErrors  uint64 `json:"fetch_errors"`
+	BreakerSkips uint64 `json:"breaker_skips"`
+
+	ReplicationsEnqueued uint64 `json:"replications_enqueued"`
+	ReplicationsSent     uint64 `json:"replications_sent"`
+	ReplicationsDropped  uint64 `json:"replications_dropped"`
+	ReplicationErrors    uint64 `json:"replication_errors"`
+
+	OfferedDigests uint64 `json:"offered_digests"`
+	OfferErrors    uint64 `json:"offer_errors"`
+}
+
+// NewCluster validates the member list, builds the ring and starts the
+// replication workers.
+func NewCluster(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("peer: Self is required")
+	}
+	members := append([]string{cfg.Self}, cfg.Peers...)
+	for _, m := range members {
+		u, err := url.Parse(m)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("peer: member %q is not a base URL (want scheme://host:port)", m)
+		}
+	}
+	ring := NewRing(members, cfg.Replicas)
+	if len(ring.Members()) < 2 {
+		return nil, fmt.Errorf("peer: need at least one peer besides Self")
+	}
+	c := &Cluster{
+		cfg:      cfg,
+		self:     cfg.Self,
+		ring:     ring,
+		client:   &http.Client{Transport: cfg.Transport},
+		log:      cfg.Logger,
+		breakers: make(map[string]*breaker),
+		replCh:   make(chan replJob, cfg.ReplicationQueue),
+	}
+	for _, m := range ring.Members() {
+		if m != c.self {
+			c.breakers[m] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+		}
+	}
+	c.replWG.Add(cfg.ReplicationWorkers)
+	for i := 0; i < cfg.ReplicationWorkers; i++ {
+		go c.replWorker()
+	}
+	return c, nil
+}
+
+// Self returns this instance's ring identity.
+func (c *Cluster) Self() string { return c.self }
+
+// Owner returns the ring owner of digest.
+func (c *Cluster) Owner(digest string) string { return c.ring.Owner(digest) }
+
+// Members returns the full member list (including Self).
+func (c *Cluster) Members() []string { return c.ring.Members() }
+
+// Close stops the replication workers; queued jobs are drained (each is
+// one bounded HTTP attempt, breaker-gated, so this terminates quickly
+// even with dead peers).
+func (c *Cluster) Close() {
+	c.closeOnce.Do(func() {
+		close(c.replCh)
+		c.replWG.Wait()
+	})
+}
+
+// Stats returns a snapshot of the cluster counters.
+func (c *Cluster) Stats() Stats {
+	return Stats{
+		FetchHits:            c.stats.fetchHits.Load(),
+		FetchMisses:          c.stats.fetchMisses.Load(),
+		FetchErrors:          c.stats.fetchErrors.Load(),
+		BreakerSkips:         c.stats.breakerSkips.Load(),
+		ReplicationsEnqueued: c.stats.replEnqueued.Load(),
+		ReplicationsSent:     c.stats.replSent.Load(),
+		ReplicationsDropped:  c.stats.replDropped.Load(),
+		ReplicationErrors:    c.stats.replErrors.Load(),
+		OfferedDigests:       c.stats.offeredDigests.Load(),
+		OfferErrors:          c.stats.offerErrors.Load(),
+	}
+}
+
+// PeerHealth is one peer's breaker view for metrics.
+type PeerHealth struct {
+	URL   string `json:"url"`
+	State string `json:"state"`
+	Fails int    `json:"consecutive_failures"`
+	Opens uint64 `json:"opens"`
+}
+
+// Health returns the breaker state of every peer, sorted by URL.
+func (c *Cluster) Health() []PeerHealth {
+	out := make([]PeerHealth, 0, len(c.breakers))
+	for _, m := range c.ring.Members() {
+		b, ok := c.breakers[m]
+		if !ok {
+			continue // self
+		}
+		snap := b.snapshot()
+		out = append(out, PeerHealth{URL: m, State: snap.State, Fails: snap.Fails, Opens: snap.Opens})
+	}
+	return out
+}
+
+// ReportBadPayload records that owner served a payload that failed the
+// caller's verification — it counts as a breaker failure exactly like a
+// transport error, so a peer serving garbage gets cut off.
+func (c *Cluster) ReportBadPayload(owner string) {
+	if b, ok := c.breakers[owner]; ok {
+		b.failure()
+	}
+	c.stats.fetchErrors.Add(1)
+}

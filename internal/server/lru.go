@@ -48,15 +48,25 @@ type compEntry struct {
 	comp  *codepack.Compressed
 	stamp uint64
 	bytes int64
+
+	// verified marks entries whose payload is known to decompress to
+	// the program their digest names: everything compressed locally or
+	// restored from the durable store. Entries replicated from peers
+	// arrive unverified (quarantined): they are served to peers — who
+	// verify for themselves — but a local request must prove the entry
+	// against its own program (confirm) before trusting it, and only
+	// verified entries are ever persisted.
+	verified bool
 }
 
 // cacheStats is a point-in-time view of the cache counters.
 type cacheStats struct {
-	Hits      uint64 `json:"hits"`
-	Misses    uint64 `json:"misses"`
-	Evictions uint64 `json:"evictions"`
-	Entries   int    `json:"entries"`
-	Bytes     int64  `json:"bytes"`
+	Hits       uint64 `json:"hits"`
+	Misses     uint64 `json:"misses"`
+	Evictions  uint64 `json:"evictions"`
+	Entries    int    `json:"entries"`
+	Bytes      int64  `json:"bytes"`
+	Unverified int    `json:"unverified"`
 }
 
 // newCompCache builds a cache holding at most capEntries compressed
@@ -93,7 +103,9 @@ func (c *compCache) attachStore(st *diskStore, recovered []storedEntry, logger *
 			st.mu.Unlock()
 			continue
 		}
-		c.putMem(e.key, comp)
+		// Only verified entries are persisted, so restored entries are
+		// trusted as verified.
+		c.putMem(e.key, comp, true)
 		restored++
 	}
 	c.store = st
@@ -105,24 +117,87 @@ func (c *compCache) attachStore(st *diskStore, recovered []storedEntry, logger *
 }
 
 func (c *compCache) get(key string) (*codepack.Compressed, bool) {
+	comp, _, ok := c.getEntry(key)
+	return comp, ok
+}
+
+// getEntry is get plus the entry's verification state; callers holding
+// the program the digest names use it to prove quarantined replicas
+// before trusting them.
+func (c *compCache) getEntry(key string) (comp *codepack.Compressed, verified, ok bool) {
+	return c.lookup(key, true)
+}
+
+// recheck is getEntry without the miss accounting: the singleflight
+// leader re-probes the cache after acquiring the flight key, and that
+// probe must not count the same request's miss twice. A hit still
+// counts (the fill was satisfied from memory after all).
+func (c *compCache) recheck(key string) (comp *codepack.Compressed, verified, ok bool) {
+	return c.lookup(key, false)
+}
+
+func (c *compCache) lookup(key string, countMiss bool) (comp *codepack.Compressed, verified, ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.entries[key]
 	if !ok {
-		c.misses++
-		return nil, false
+		if countMiss {
+			c.misses++
+		}
+		return nil, false, false
 	}
 	c.hits++
 	c.clock++
 	e.stamp = c.clock
-	return e.comp, true
+	return e.comp, e.verified, true
 }
 
 func (c *compCache) put(key string, comp *codepack.Compressed) {
-	if !c.putMem(key, comp) || c.store == nil {
+	if !c.putMem(key, comp, true) {
 		return
 	}
-	// Persist outside the cache lock: a slow disk must not block gets.
+	c.persist(key, comp)
+}
+
+// putReplicated quarantines an entry pushed by a peer: resident and
+// servable to other peers, but unverified — never persisted and never
+// trusted by a local request until confirm proves it.
+func (c *compCache) putReplicated(key string, comp *codepack.Compressed) {
+	c.putMem(key, comp, false)
+}
+
+// confirm marks a quarantined entry as verified (the caller has proved
+// its payload against the program) and persists it.
+func (c *compCache) confirm(key string) {
+	c.mu.Lock()
+	var comp *codepack.Compressed
+	if e, ok := c.entries[key]; ok && !e.verified {
+		e.verified = true
+		comp = e.comp
+	}
+	c.mu.Unlock()
+	if comp != nil {
+		c.persist(key, comp)
+	}
+}
+
+// drop removes an entry outright (a quarantined replica that failed
+// verification).
+func (c *compCache) drop(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.bytes -= e.bytes
+		delete(c.entries, key)
+	}
+}
+
+// persist appends one verified entry to the durable store, outside the
+// cache lock: a slow disk must not block gets.
+func (c *compCache) persist(key string, comp *codepack.Compressed) {
+	if c.store == nil {
+		return
+	}
 	if err := c.store.append(key, comp.Marshal()); err != nil {
 		c.log.Warn("cache persist failed", "key", key, "err", err)
 		return
@@ -137,7 +212,9 @@ func (c *compCache) put(key string, comp *codepack.Compressed) {
 
 // putMem inserts into the in-memory map and reports whether key was newly
 // added (false for refreshes of a resident entry and for a disabled cache).
-func (c *compCache) putMem(key string, comp *codepack.Compressed) bool {
+// Refreshing an entry never downgrades it: a verified entry stays verified
+// even if a peer replicates the same digest again.
+func (c *compCache) putMem(key string, comp *codepack.Compressed, verified bool) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.cap <= 0 {
@@ -146,6 +223,7 @@ func (c *compCache) putMem(key string, comp *codepack.Compressed) bool {
 	if e, ok := c.entries[key]; ok {
 		c.clock++
 		e.stamp = c.clock
+		e.verified = e.verified || verified
 		return false
 	}
 	if len(c.entries) >= c.cap {
@@ -163,9 +241,49 @@ func (c *compCache) putMem(key string, comp *codepack.Compressed) bool {
 	}
 	c.clock++
 	bytes := int64(comp.Stats().CompressedBytes())
-	c.entries[key] = &compEntry{comp: comp, stamp: c.clock, bytes: bytes}
+	c.entries[key] = &compEntry{comp: comp, stamp: c.clock, bytes: bytes, verified: verified}
 	c.bytes += bytes
 	return true
+}
+
+// payload returns the marshalled bytes cached under key for the peer
+// protocol — quarantined entries included, since the requesting peer
+// verifies payloads against its own program. It refreshes recency but
+// does not count toward hit/miss rates (peer traffic would skew them).
+func (c *compCache) payload(key string) ([]byte, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	var comp *codepack.Compressed
+	if ok {
+		c.clock++
+		e.stamp = c.clock
+		comp = e.comp
+	}
+	c.mu.Unlock()
+	if comp == nil {
+		return nil, false
+	}
+	// Marshal outside the lock: payloads can be large.
+	return comp.Marshal(), true
+}
+
+// has reports residency with no side effects (anti-entropy offers).
+func (c *compCache) has(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// keys snapshots the resident digests (the startup anti-entropy pass).
+func (c *compCache) keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		out = append(out, k)
+	}
+	return out
 }
 
 // compactLoop runs snapshot compactions off the request path.
@@ -232,11 +350,18 @@ func (c *compCache) close() {
 func (c *compCache) stats() cacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	unverified := 0
+	for _, e := range c.entries {
+		if !e.verified {
+			unverified++
+		}
+	}
 	return cacheStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Entries:   len(c.entries),
-		Bytes:     c.bytes,
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Evictions:  c.evictions,
+		Entries:    len(c.entries),
+		Bytes:      c.bytes,
+		Unverified: unverified,
 	}
 }

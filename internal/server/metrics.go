@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"codepack/internal/peer"
 )
 
 // counter is a monotonically increasing metric.
@@ -102,6 +104,13 @@ type metrics struct {
 
 	shed     counter // 429s from saturated pools
 	timeouts counter // requests that hit their deadline
+
+	coalesced counter // compressions served by riding an in-flight fill
+
+	// Warm-tier counters (only exported while a cluster is configured).
+	peerHits   counter // peer-served payloads that verified and were used
+	peerMisses counter // owner definitively lacked the digest
+	peerErrors counter // fetch failures, breaker skips, failed verifications
 }
 
 func newMetrics() *metrics {
@@ -195,6 +204,50 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP cpackd_cache_bytes Resident compressed bytes.\n")
 	fmt.Fprintf(w, "# TYPE cpackd_cache_bytes gauge\n")
 	fmt.Fprintf(w, "cpackd_cache_bytes %d\n", cs.Bytes)
+	fmt.Fprintf(w, "# HELP cpackd_cache_unverified_entries Quarantined replicated entries awaiting verification.\n")
+	fmt.Fprintf(w, "# TYPE cpackd_cache_unverified_entries gauge\n")
+	fmt.Fprintf(w, "cpackd_cache_unverified_entries %d\n", cs.Unverified)
+
+	fmt.Fprintf(w, "# HELP cpackd_compress_coalesced_total Requests served by riding another request's in-flight compression.\n")
+	fmt.Fprintf(w, "# TYPE cpackd_compress_coalesced_total counter\n")
+	fmt.Fprintf(w, "cpackd_compress_coalesced_total %d\n", s.metrics.coalesced.value())
+
+	if c := s.cluster; c != nil {
+		st := c.Stats()
+		fmt.Fprintf(w, "# HELP cpackd_peer_hits_total Cache fills served by a peer (verified).\n")
+		fmt.Fprintf(w, "# TYPE cpackd_peer_hits_total counter\n")
+		fmt.Fprintf(w, "cpackd_peer_hits_total %d\n", s.metrics.peerHits.value())
+		fmt.Fprintf(w, "# HELP cpackd_peer_misses_total Warm-tier lookups the owner answered empty.\n")
+		fmt.Fprintf(w, "# TYPE cpackd_peer_misses_total counter\n")
+		fmt.Fprintf(w, "cpackd_peer_misses_total %d\n", s.metrics.peerMisses.value())
+		fmt.Fprintf(w, "# HELP cpackd_peer_errors_total Peer fetch failures, breaker skips and failed payload verifications.\n")
+		fmt.Fprintf(w, "# TYPE cpackd_peer_errors_total counter\n")
+		fmt.Fprintf(w, "cpackd_peer_errors_total %d\n", s.metrics.peerErrors.value())
+		fmt.Fprintf(w, "# HELP cpackd_peer_replications_total Entries pushed to their ring owner (async replication + anti-entropy).\n")
+		fmt.Fprintf(w, "# TYPE cpackd_peer_replications_total counter\n")
+		fmt.Fprintf(w, "cpackd_peer_replications_total %d\n", st.ReplicationsSent)
+		fmt.Fprintf(w, "# HELP cpackd_peer_replications_dropped_total Replication jobs dropped because the queue was full.\n")
+		fmt.Fprintf(w, "# TYPE cpackd_peer_replications_dropped_total counter\n")
+		fmt.Fprintf(w, "cpackd_peer_replications_dropped_total %d\n", st.ReplicationsDropped)
+		fmt.Fprintf(w, "# HELP cpackd_peer_offered_digests_total Digests offered to ring owners during anti-entropy.\n")
+		fmt.Fprintf(w, "# TYPE cpackd_peer_offered_digests_total counter\n")
+		fmt.Fprintf(w, "cpackd_peer_offered_digests_total %d\n", st.OfferedDigests)
+		fmt.Fprintf(w, "# HELP cpackd_peer_breaker_state Per-peer breaker state: 0 closed, 1 half-open, 2 open.\n")
+		fmt.Fprintf(w, "# TYPE cpackd_peer_breaker_state gauge\n")
+		fmt.Fprintf(w, "# HELP cpackd_peer_breaker_opens_total Times each peer's breaker has opened.\n")
+		fmt.Fprintf(w, "# TYPE cpackd_peer_breaker_opens_total counter\n")
+		for _, h := range c.Health() {
+			state := 0
+			switch h.State {
+			case "half-open":
+				state = 1
+			case "open":
+				state = 2
+			}
+			fmt.Fprintf(w, "cpackd_peer_breaker_state{peer=%q} %d\n", h.URL, state)
+			fmt.Fprintf(w, "cpackd_peer_breaker_opens_total{peer=%q} %d\n", h.URL, h.Opens)
+		}
+	}
 
 	if st := s.cache.store; st != nil {
 		ss := st.statsSnapshot()
@@ -258,6 +311,19 @@ type appVars struct {
 	Queues        map[string]int          `json:"queue_depth"`
 	Shed          uint64                  `json:"requests_shed"`
 	Timeouts      uint64                  `json:"request_timeouts"`
+	Coalesced     uint64                  `json:"compress_coalesced"`
+	Peer          *peerVars               `json:"peer,omitempty"`
+}
+
+// peerVars is the warm-tier section of /debug/vars.
+type peerVars struct {
+	Self     string            `json:"self"`
+	Members  []string          `json:"members"`
+	Hits     uint64            `json:"hits"`
+	Misses   uint64            `json:"misses"`
+	Errors   uint64            `json:"errors"`
+	Cluster  peer.Stats        `json:"cluster"`
+	Breakers []peer.PeerHealth `json:"breakers"`
 }
 
 type endpointVars struct {
@@ -277,11 +343,23 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 			Queues:        map[string]int{"light": s.light.depth(), "heavy": s.heavy.depth()},
 			Shed:          s.metrics.shed.value(),
 			Timeouts:      s.metrics.timeouts.value(),
+			Coalesced:     s.metrics.coalesced.value(),
 		},
 	}
 	if st := s.cache.store; st != nil {
 		ss := st.statsSnapshot()
 		snap.Cpackd.CacheStore = &ss
+	}
+	if c := s.cluster; c != nil {
+		snap.Cpackd.Peer = &peerVars{
+			Self:     c.Self(),
+			Members:  c.Members(),
+			Hits:     s.metrics.peerHits.value(),
+			Misses:   s.metrics.peerMisses.value(),
+			Errors:   s.metrics.peerErrors.value(),
+			Cluster:  c.Stats(),
+			Breakers: c.Health(),
+		}
 	}
 	runtime.ReadMemStats(&snap.MemStats)
 	for _, name := range s.metrics.endpointNames() {

@@ -26,9 +26,10 @@ type job struct {
 // fixed-capacity queue. Two pools (light codec work, heavy simulations)
 // keep one class of traffic from starving the other.
 type pool struct {
-	name string
-	jobs chan *job
-	wg   sync.WaitGroup
+	name    string
+	workers int
+	jobs    chan *job
+	wg      sync.WaitGroup
 
 	mu     sync.RWMutex
 	closed bool
@@ -43,7 +44,7 @@ func newPool(name string, workers, queueLen int) *pool {
 	if queueLen < 0 {
 		queueLen = 0
 	}
-	p := &pool{name: name, jobs: make(chan *job, queueLen)}
+	p := &pool{name: name, workers: workers, jobs: make(chan *job, queueLen)}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go p.worker()
@@ -92,6 +93,19 @@ func (p *pool) do(ctx context.Context, fn func()) error {
 
 // depth returns the number of admitted jobs not yet picked up by a worker.
 func (p *pool) depth() int { return len(p.jobs) }
+
+// retryAfterSecs is the Retry-After value for a shed request, derived
+// from the live backlog instead of a constant: the queue drains at
+// roughly one job per worker per unit time, so a client should wait
+// about one unit plus the backlog-per-worker ahead of it. Clamped so a
+// pathological backlog never tells clients to go away for minutes.
+func (p *pool) retryAfterSecs() int {
+	secs := 1 + p.depth()/max(p.workers, 1)
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
 
 // close drains the pool: no new jobs are admitted, already-admitted jobs
 // run to completion, and close returns once every worker has exited.

@@ -25,6 +25,15 @@
 //   - Graceful shutdown: Close drains the pools so admitted work
 //     finishes; cmd/cpackd pairs it with http.Server.Shutdown on SIGTERM.
 //
+//   - A shared warm tier: with Config.Peer set, instances form a
+//     consistent-hash cluster over the content digests. A local miss
+//     first asks the digest's ring owner (internal/peer) before paying
+//     for a compression, new entries replicate asynchronously to their
+//     owners, and a restart offers its persisted entries back to the
+//     ring. Peer-served payloads are verified word-for-word against the
+//     requested program before they are trusted, so a misbehaving peer
+//     can never poison a cache. See docs/SERVER.md "Replication".
+//
 // See docs/SERVER.md for the API contract.
 package server
 
@@ -38,10 +47,13 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
 	"time"
 
 	"codepack"
 	"codepack/internal/harness"
+	"codepack/internal/peer"
+	"codepack/internal/trace"
 )
 
 // Defaults for Config zero values.
@@ -88,6 +100,12 @@ type Config struct {
 	// BenchMaxInstr is the per-run instruction budget of the shared
 	// benchmark suite (0 = harness.DefaultMaxInstr).
 	BenchMaxInstr uint64
+
+	// Peer, when non-nil, joins this instance to a warm-tier cache
+	// cluster (see internal/peer): Peer.Self is this instance's
+	// advertised URL and Peer.Peers the other members. Ignored when
+	// caching is disabled.
+	Peer *peer.Config
 
 	// Logger receives access and lifecycle logs (nil = slog.Default()).
 	Logger *slog.Logger
@@ -141,6 +159,12 @@ type Server struct {
 	metrics *metrics
 	mux     *http.ServeMux
 
+	// Warm-tier state (nil cluster = standalone instance).
+	cluster    *peer.Cluster
+	flights    flightGroup
+	peerCancel context.CancelFunc
+	aeDone     chan struct{}
+
 	// testHook, when set (tests only), runs inside every pooled job
 	// before the real work, letting tests hold workers busy
 	// deterministically.
@@ -192,7 +216,89 @@ func New(cfg Config) (*Server, error) {
 		w.Header().Set("Content-Type", "application/json")
 		io.WriteString(w, "{\"status\":\"ok\"}\n")
 	}))
+	if cfg.Peer != nil {
+		err := errors.New("peer replication requires the compression cache (CacheEntries > 0)")
+		if cfg.CacheEntries > 0 {
+			err = s.joinCluster(*cfg.Peer)
+		}
+		if err != nil {
+			s.light.close()
+			s.heavy.close()
+			s.cache.close()
+			return nil, fmt.Errorf("server: join peer cluster: %w", err)
+		}
+	}
 	return s, nil
+}
+
+// joinCluster wires the warm tier: the ring/client/breakers, the peer
+// protocol endpoints, and the startup anti-entropy pass that offers
+// every restored entry back to its ring owner.
+func (s *Server) joinCluster(pc peer.Config) error {
+	if pc.Logger == nil {
+		pc.Logger = s.log
+	}
+	cluster, err := peer.NewCluster(pc)
+	if err != nil {
+		return err
+	}
+	s.cluster = cluster
+	h := peer.NewHandler(peerSource{s}, s.log)
+	s.mux.Handle("GET "+peer.CachePathPrefix+"{digest}", s.instrument("peer_get", h.Get))
+	s.mux.Handle("PUT "+peer.CachePathPrefix+"{digest}", s.instrument("peer_put", h.Put))
+	s.mux.Handle("POST "+peer.OfferPath, s.instrument("peer_offer", h.Offer))
+	s.log.Info("joined peer cache cluster",
+		"self", cluster.Self(), "members", len(cluster.Members()))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s.peerCancel = cancel
+	s.aeDone = make(chan struct{})
+	digests := s.cache.keys()
+	go func() {
+		defer close(s.aeDone)
+		if len(digests) == 0 {
+			return
+		}
+		s.cluster.AntiEntropy(ctx, digests, func(d string) ([]byte, bool) {
+			return s.cache.payload(d)
+		})
+		st := s.cluster.Stats()
+		s.log.Info("anti-entropy pass finished",
+			"local_digests", len(digests),
+			"offered", st.OfferedDigests,
+			"pushed", st.ReplicationsSent,
+			"offer_errors", st.OfferErrors)
+	}()
+	return nil
+}
+
+// peerSource adapts the compression cache to the peer protocol.
+type peerSource struct{ s *Server }
+
+func (ps peerSource) Payload(digest string) ([]byte, bool) {
+	return ps.s.cache.payload(digest)
+}
+
+// Accept quarantines a replicated payload: it must parse as a
+// compressed program now, and a local request must verify it against
+// the actual program before it is ever served to a client.
+func (ps peerSource) Accept(digest string, payload []byte) error {
+	comp, err := codepack.UnmarshalCompressed("replicated", payload)
+	if err != nil {
+		return err
+	}
+	ps.s.cache.putReplicated(digest, comp)
+	return nil
+}
+
+func (ps peerSource) Missing(digests []string) []string {
+	var out []string
+	for _, d := range digests {
+		if !ps.s.cache.has(d) {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // Handler returns the root handler for the service.
@@ -203,6 +309,13 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // snapshot + fsync) if one is configured. Call after http.Server.Shutdown
 // so in-flight HTTP requests complete their pooled work first.
 func (s *Server) Close() {
+	if s.peerCancel != nil {
+		s.peerCancel()
+		<-s.aeDone
+	}
+	if s.cluster != nil {
+		s.cluster.Close()
+	}
 	s.light.close()
 	s.heavy.close()
 	s.cache.close()
@@ -368,7 +481,8 @@ func (c *countReader) Read(p []byte) (int, error) {
 func (c *countReader) Close() error { return c.r.Close() }
 
 // instrument wraps an endpoint handler with the per-request deadline, the
-// body-size cap, metrics recording and the structured access log.
+// body-size cap, request-ID tracing, metrics recording and the structured
+// access log.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -378,6 +492,15 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
 			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
 			defer cancel()
 		}
+		// Accept the caller's request ID (a peer or a tracing client) or
+		// mint one; it is echoed on the response, logged, and forwarded
+		// on any outbound peer call this request triggers.
+		reqID := trace.Sanitize(r.Header.Get(trace.Header))
+		if reqID == "" {
+			reqID = trace.NewID()
+		}
+		ctx = trace.WithID(ctx, reqID)
+		w.Header().Set(trace.Header, reqID)
 		body := &countReader{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)}
 		r = r.WithContext(ctx)
 		r.Body = body
@@ -391,6 +514,7 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
 			slog.String("endpoint", name),
 			slog.String("method", r.Method),
 			slog.String("path", r.URL.Path),
+			slog.String("request_id", reqID),
 			slog.Int("status", sw.code),
 			slog.Int64("bytes_in", body.n),
 			slog.Int64("bytes_out", sw.bytes),
@@ -431,7 +555,7 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, p *pool, op st
 	case err == nil:
 	case errors.Is(err, errSaturated):
 		s.metrics.shed.add(1)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(p.retryAfterSecs()))
 		s.writeError(w, &httpError{http.StatusTooManyRequests,
 			fmt.Sprintf("%s worker pool saturated, retry later", p.name)})
 		return
@@ -500,19 +624,128 @@ func (s *Server) resolveImage(ctx context.Context, ref ProgramRef) (*codepack.Im
 	}
 }
 
-// compressImage compresses im through the content-addressed cache.
-func (s *Server) compressImage(im *codepack.Image) (comp *codepack.Compressed, digest string, cached bool, herr *httpError) {
-	marshalled := im.Marshal()
-	digest = codepack.Digest(marshalled)
-	if c, ok := s.cache.get(digest); ok {
+// compressImage resolves im's compressed form through the tiered
+// lookup: local cache, then the warm tier's ring owner, then a local
+// compression — with concurrent misses for the same digest coalesced
+// into one fill. cached reports whether the response was served without
+// running a compression here (a cache hit, a peer hit, or riding a
+// coalesced in-flight fill).
+func (s *Server) compressImage(ctx context.Context, im *codepack.Image) (comp *codepack.Compressed, digest string, cached bool, herr *httpError) {
+	digest = codepack.Digest(im.Marshal())
+	if c, ok := s.cachedVerified(digest, im, false); ok {
 		return c, digest, true, nil
 	}
-	c, err := codepack.Compress(im)
-	if err != nil {
-		return nil, "", false, badRequest("compress: %v", err)
+	c, cached, follower, herr := s.flights.do(ctx, digest, func() (*codepack.Compressed, bool, *httpError) {
+		return s.fillMiss(ctx, digest, im)
+	})
+	if follower {
+		s.metrics.coalesced.add(1)
 	}
-	s.cache.put(digest, c)
-	return c, digest, false, nil
+	if herr != nil {
+		return nil, "", false, herr
+	}
+	return c, digest, cached, nil
+}
+
+// fillMiss is the singleflight leader's path: try the digest's ring
+// owner, fall back to compressing locally, and replicate anything new
+// to its owner.
+func (s *Server) fillMiss(ctx context.Context, digest string, im *codepack.Image) (*codepack.Compressed, bool, *httpError) {
+	// Re-check under the flight: a previous leader may have finished
+	// filling this digest between our cache miss and acquiring the key.
+	// The probe skips miss accounting — this request's miss was already
+	// counted on the way in.
+	if c, ok := s.cachedVerified(digest, im, true); ok {
+		return c, true, nil
+	}
+	if s.cluster != nil {
+		payload, owner, outcome := s.cluster.Fetch(ctx, digest)
+		switch outcome {
+		case peer.FetchHit:
+			if comp := s.verifyPeerPayload(digest, owner, payload, im); comp != nil {
+				s.metrics.peerHits.add(1)
+				s.cache.put(digest, comp)
+				return comp, true, nil
+			}
+			// Verified-bad payload: fall through and compress locally.
+		case peer.FetchMiss:
+			s.metrics.peerMisses.add(1)
+		case peer.FetchUnavailable:
+			s.metrics.peerErrors.add(1)
+		}
+	}
+	comp, err := codepack.Compress(im)
+	if err != nil {
+		return nil, false, badRequest("compress: %v", err)
+	}
+	s.cache.put(digest, comp)
+	if s.cluster != nil {
+		s.cluster.Replicate(digest, comp.Marshal())
+	}
+	return comp, false, nil
+}
+
+// cachedVerified returns the resident entry for digest if it can be
+// trusted for im: verified entries directly, and quarantined replicas
+// only after proving they decompress to exactly im's text (the entry is
+// then confirmed and persisted; a failed proof drops it). isRecheck
+// suppresses duplicate miss accounting for the singleflight re-probe.
+func (s *Server) cachedVerified(digest string, im *codepack.Image, isRecheck bool) (*codepack.Compressed, bool) {
+	lookup := s.cache.getEntry
+	if isRecheck {
+		lookup = s.cache.recheck
+	}
+	comp, verified, ok := lookup(digest)
+	if !ok {
+		return nil, false
+	}
+	if verified {
+		return comp, true
+	}
+	if compMatchesImage(comp, im) {
+		s.cache.confirm(digest)
+		return comp, true
+	}
+	s.metrics.peerErrors.add(1)
+	s.log.Warn("quarantined replica failed verification, dropping", "digest", digest)
+	s.cache.drop(digest)
+	return nil, false
+}
+
+// verifyPeerPayload turns a peer-served payload into a trusted entry,
+// or reports the owner to the breaker and returns nil. The payload must
+// parse and decompress to exactly the program being requested — the
+// transport checksum already held, so a failure here means the owner
+// mapped this digest to the wrong program.
+func (s *Server) verifyPeerPayload(digest, owner string, payload []byte, im *codepack.Image) *codepack.Compressed {
+	comp, err := codepack.UnmarshalCompressed(im.Name, payload)
+	if err == nil && compMatchesImage(comp, im) {
+		return comp
+	}
+	s.metrics.peerErrors.add(1)
+	s.cluster.ReportBadPayload(owner)
+	s.log.Warn("peer payload failed verification, compressing locally",
+		"digest", digest, "peer", owner, "err", err)
+	return nil
+}
+
+// compMatchesImage reports whether comp decompresses word-for-word to
+// im's text section — the poisoning-proof check applied to every byte
+// that did not come from a local compression or the verified store.
+func compMatchesImage(comp *codepack.Compressed, im *codepack.Image) bool {
+	if comp.TextBase != im.TextBase {
+		return false
+	}
+	text, err := comp.Decompress()
+	if err != nil || len(text) != len(im.Text) {
+		return false
+	}
+	for i, w := range text {
+		if w != im.Text[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // --- endpoint handlers ---------------------------------------------------
@@ -528,7 +761,7 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 		if herr != nil {
 			return nil, herr
 		}
-		comp, digest, cached, herr := s.compressImage(im)
+		comp, digest, cached, herr := s.compressImage(ctx, im)
 		if herr != nil {
 			return nil, herr
 		}
@@ -589,7 +822,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		if herr != nil {
 			return nil, herr
 		}
-		comp, digest, cached, herr := s.compressImage(im)
+		comp, digest, cached, herr := s.compressImage(ctx, im)
 		if herr != nil {
 			return nil, herr
 		}
@@ -674,7 +907,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		if model.Kind != codepack.NativeModel().Kind {
 			// Compressed fetch paths need the compressed image; serve it
 			// from the content-addressed cache.
-			comp, _, hit, herr := s.compressImage(im)
+			comp, _, hit, herr := s.compressImage(ctx, im)
 			if herr != nil {
 				return nil, herr
 			}

@@ -1,0 +1,62 @@
+// Package trace carries the per-request ID that ties one request's
+// access-log lines together across cpackd instances. The ID arrives on
+// (or is minted for) every inbound request, rides the request context
+// through handlers and worker pools, and is forwarded on outbound peer
+// calls, so a cache fill that touches two instances logs the same ID on
+// both.
+package trace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// Header is the HTTP header the request ID travels in, both inbound
+// (client- or peer-supplied) and outbound (echoed on every response,
+// forwarded on every peer call).
+const Header = "X-Request-ID"
+
+// maxIDLen bounds accepted IDs so a hostile client cannot bloat logs.
+const maxIDLen = 64
+
+type ctxKey struct{}
+
+// NewID returns a fresh 16-hex-character request ID.
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; a fixed
+		// fallback keeps tracing non-fatal by construction.
+		return "rand-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithID returns ctx carrying the request ID.
+func WithID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// ID returns the request ID carried by ctx, or "" if there is none.
+func ID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKey{}).(string)
+	return id
+}
+
+// Sanitize validates a client-supplied ID: printable ASCII minus
+// whitespace and quotes, at most maxIDLen characters. Anything else
+// returns "" and the caller mints a fresh ID instead — a malformed
+// header must never be able to corrupt a log line.
+func Sanitize(id string) string {
+	if id == "" || len(id) > maxIDLen {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' || c == '"' || c == '\\' {
+			return ""
+		}
+	}
+	return id
+}

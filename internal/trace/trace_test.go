@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestNewIDShapeAndUniqueness(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 64; i++ {
+		id := NewID()
+		if len(id) != 16 {
+			t.Fatalf("NewID() = %q, want 16 hex chars", id)
+		}
+		if Sanitize(id) != id {
+			t.Fatalf("NewID() = %q does not survive Sanitize", id)
+		}
+		if seen[id] {
+			t.Fatalf("NewID() repeated %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if got := ID(ctx); got != "" {
+		t.Errorf("ID(empty ctx) = %q, want \"\"", got)
+	}
+	ctx = WithID(ctx, "abc-123")
+	if got := ID(ctx); got != "abc-123" {
+		t.Errorf("ID = %q, want abc-123", got)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"", ""},
+		{"abc-123_X.z", "abc-123_X.z"},
+		{"has space", ""},
+		{"new\nline", ""},
+		{"quo\"te", ""},
+		{"back\\slash", ""},
+		{"ünïcode", ""},
+		{strings.Repeat("a", 64), strings.Repeat("a", 64)},
+		{strings.Repeat("a", 65), ""},
+	} {
+		if got := Sanitize(tc.in); got != tc.want {
+			t.Errorf("Sanitize(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
