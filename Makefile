@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet bench fuzz golden serve cluster-smoke clean
+.PHONY: build test race vet bench fuzz golden serve cluster-smoke sim-smoke clean
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,7 @@ fuzz:
 	$(GO) test -run xxx -fuzz 'FuzzBitStream$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run xxx -fuzz 'FuzzLoadCacheLog$$' -fuzztime $(FUZZTIME) ./internal/server
 	$(GO) test -run xxx -fuzz 'FuzzRecoverCacheDir$$' -fuzztime $(FUZZTIME) ./internal/server
+	$(GO) test -run xxx -fuzz 'FuzzMembershipMessage$$' -fuzztime $(FUZZTIME) ./internal/peer
 
 # Regenerate the pinned experiment tables after an intentional change.
 golden:
@@ -41,8 +42,14 @@ serve:
 # tier serves cross-instance with zero recompression, then degrades
 # cleanly when one instance is killed.
 cluster-smoke:
-	$(GO) test -race -count=1 -run 'TestTwoInstanceCluster' ./cmd/cpackd
+	$(GO) test -race -count=1 -run 'TestTwoInstanceCluster|TestDynamicJoinAndLeave' ./cmd/cpackd
 	$(GO) test -race -count=1 -run 'TestPeer' ./internal/server
+
+# Replay the pinned deterministic fault schedules — partition,
+# crash/restart, message duplication — against the real membership and
+# ring code in virtual time, plus the impostor and determinism checks.
+sim-smoke:
+	$(GO) test -race -count=1 ./internal/peer/sim
 
 clean:
 	$(GO) clean ./...

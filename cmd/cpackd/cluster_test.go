@@ -93,6 +93,119 @@ func metricNumber(t *testing.T, body, name string) float64 {
 	return v
 }
 
+// waitDaemonMetric polls a daemon's /metrics until the named metric
+// reaches want.
+func waitDaemonMetric(t *testing.T, d *daemon, name string, want float64) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	var got float64
+	for time.Now().Before(deadline) {
+		if got = metricNumber(t, d.metrics(t), name); got == want {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("%s = %v, want %v (timed out); stderr:\n%s", name, got, want, d.stderr.String())
+}
+
+// TestDynamicJoinAndLeave is the dynamic-membership acceptance test
+// against real processes: a third instance joins a running two-node
+// cluster (its seed list names only one member) and serves a
+// pre-existing digest warm with zero recompression, then leaves
+// gracefully — and a digest only it held stays fetchable because the
+// shutdown handoff moved it to the new owner.
+func TestDynamicJoinAndLeave(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess round trip")
+	}
+
+	addrA, urlA := freeURL(t)
+	addrB, urlB := freeURL(t)
+	addrC, urlC := freeURL(t)
+	ring3 := peer.NewRing([]string{urlA, urlB, urlC}, peer.DefaultReplicas)
+
+	// A and B know only each other; C is nobody's seed.
+	clusterFlags := []string{"-peer-timeout", "500ms", "-peer-heartbeat", "100ms"}
+	dA := startDaemon(t, append([]string{"-addr", addrA, "-peer-self", urlA, "-peers", urlB}, clusterFlags...)...)
+	dB := startDaemon(t, append([]string{"-addr", addrB, "-peer-self", urlB, "-peers", urlA}, clusterFlags...)...)
+	waitDaemonMetric(t, dA, "cpackd_peer_members", 2)
+
+	// Compressed on A before C exists: in the eventual three-member ring
+	// this digest belongs to C.
+	joinAsm := asmOwnedBy(t, ring3, urlC, 20)
+	first := dA.compressAsm(t, joinAsm)
+	if first.Cached {
+		t.Fatal("first compression reported cached")
+	}
+
+	// C joins the running cluster through its single seed A.
+	dC := startDaemon(t, append([]string{"-addr", addrC, "-peer-self", urlC, "-peers", urlA}, clusterFlags...)...)
+	waitDaemonMetric(t, dC, "cpackd_peer_members", 3)
+	waitDaemonMetric(t, dA, "cpackd_peer_members", 3)
+	waitDaemonMetric(t, dB, "cpackd_peer_members", 3)
+
+	// The join was a ring change on A, so anti-entropy hands the digest
+	// to its new owner C; the joiner then serves it warm.
+	deadline := time.Now().Add(15 * time.Second)
+	var onC compressReply
+	for {
+		if onC = dC.compressAsm(t, joinAsm); onC.Cached || !time.Now().Before(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !onC.Cached {
+		t.Error("joiner did not serve the rebalanced digest warm (recompressed)")
+	}
+	if onC.Digest != first.Digest || onC.CompressedB64 != first.CompressedB64 {
+		t.Error("joiner served a different payload than the original compression")
+	}
+
+	// A digest owned and held only by C: compressed on its owner, it is
+	// never replicated anywhere else.
+	leaveAsm := asmOwnedBy(t, ring3, urlC, 21)
+	leaveFirst := dC.compressAsm(t, leaveAsm)
+	if leaveFirst.Cached {
+		t.Fatal("first compression of the leave digest reported cached")
+	}
+
+	// Graceful departure: SIGTERM drains C, whose shutdown handoff must
+	// push its digests to their post-departure owners.
+	if err := dC.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- dC.cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("graceful leave exited with %v; stderr:\n%s", err, dC.stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("leaving instance did not exit after SIGTERM")
+	}
+	waitDaemonMetric(t, dA, "cpackd_peer_members", 2)
+	waitDaemonMetric(t, dB, "cpackd_peer_members", 2)
+
+	// The survivors serve C's digest warm from the handoff.
+	ring2 := peer.NewRing([]string{urlA, urlB}, peer.DefaultReplicas)
+	im, err := codepack.Assemble("request", leaveAsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := dA
+	if ring2.Owner(codepack.ImageDigest(im)) == urlB {
+		owner = dB
+	}
+	after := owner.compressAsm(t, leaveAsm)
+	if !after.Cached {
+		t.Error("digest held only by the departed member was recompressed; leave handoff failed")
+	}
+	if after.Digest != leaveFirst.Digest || after.CompressedB64 != leaveFirst.CompressedB64 {
+		t.Error("survivor served a different payload than the departed member's compression")
+	}
+}
+
 // TestPeerFlagErrors exercises run()'s cluster-flag validation.
 func TestPeerFlagErrors(t *testing.T) {
 	if err := run([]string{"-peers", "http://127.0.0.1:1"}); err == nil {

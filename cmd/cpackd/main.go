@@ -17,9 +17,12 @@
 // With -peers and -peer-self set, instances form a shared warm cache
 // tier: a consistent-hash ring assigns each content digest an owning
 // instance, cache misses try the owner before compressing locally, and
-// new entries replicate asynchronously to their owner. Peer failures
-// degrade to local compression (circuit breaker, never a failed
-// request); peer-served bytes are re-verified before being trusted.
+// new entries replicate asynchronously to their owner. -peers is a seed
+// list, not a frozen topology: membership is gossiped, instances can
+// join a running cluster, failed members age out of the ring, and a
+// graceful shutdown hands its entries to their new owners. Peer
+// failures degrade to local compression (circuit breaker, never a
+// failed request); peer-served bytes are re-verified before trusted.
 package main
 
 import (
@@ -62,9 +65,12 @@ func run(args []string) error {
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "shutdown drain deadline")
 		logJSON      = fs.Bool("log-json", false, "emit JSON logs instead of text")
 		logLevel     = fs.String("log-level", "info", "log level: debug, info, warn, error")
-		peers        = fs.String("peers", "", "comma-separated peer base URLs forming the warm-cache ring")
+		peers        = fs.String("peers", "", "comma-separated seed peer base URLs for the warm-cache cluster")
 		peerSelf     = fs.String("peer-self", "", "this instance's advertised base URL (required with -peers)")
 		peerTimeout  = fs.Duration("peer-timeout", 0, "per-attempt peer fetch timeout (0 = default)")
+		peerHB       = fs.Duration("peer-heartbeat", 0, "membership heartbeat interval (0 = default)")
+		peerSuspect  = fs.Duration("peer-suspect-after", 0, "silence before a member is suspected (0 = default)")
+		peerDead     = fs.Duration("peer-dead-after", 0, "silence before a suspect is declared dead (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,9 +109,12 @@ func run(args []string) error {
 			}
 		}
 		cfg.Peer = &peer.Config{
-			Self:         *peerSelf,
-			Peers:        members,
-			FetchTimeout: *peerTimeout,
+			Self:              *peerSelf,
+			Peers:             members,
+			FetchTimeout:      *peerTimeout,
+			HeartbeatInterval: *peerHB,
+			SuspectAfter:      *peerSuspect,
+			DeadAfter:         *peerDead,
 		}
 	}
 	s, err := server.New(cfg)

@@ -82,19 +82,24 @@ func (b *breaker) success() {
 }
 
 // failure records a transport failure, timeout, or a response the
-// caller rejected (bad checksum, payload that failed verification).
-func (b *breaker) failure() {
+// caller rejected (bad checksum, payload that failed verification). It
+// reports whether this failure opened the breaker — the signal the
+// membership failure detector listens to.
+func (b *breaker) failure() (opened bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case breakerHalfOpen:
 		b.trip()
+		return true
 	case breakerClosed:
 		b.fails++
 		if b.fails >= b.threshold {
 			b.trip()
+			return true
 		}
 	}
+	return false
 }
 
 // trip opens the breaker; callers hold b.mu.

@@ -51,11 +51,11 @@ const (
 // the configured attempt budget; an open breaker skips the peer
 // entirely so a dead owner costs nothing after the breaker trips.
 func (c *Cluster) Fetch(ctx context.Context, digest string) ([]byte, string, FetchOutcome) {
-	owner := c.ring.Owner(digest)
+	owner := c.ring.Load().Owner(digest)
 	if owner == "" || owner == c.self {
 		return nil, "", FetchSelf
 	}
-	b := c.breakers[owner]
+	b := c.breakerFor(owner)
 	if !b.allow() {
 		c.stats.breakerSkips.Add(1)
 		return nil, owner, FetchUnavailable
@@ -76,13 +76,13 @@ func (c *Cluster) Fetch(ctx context.Context, digest string) ([]byte, string, Fet
 		}
 		payload, found, err := c.fetchOnce(ctx, owner, digest)
 		if err != nil {
-			b.failure()
+			c.noteFailure(owner, b)
 			c.stats.fetchErrors.Add(1)
 			c.log.Debug("peer fetch attempt failed",
 				"peer", owner, "digest", digest, "attempt", i+1, "err", err)
 			continue
 		}
-		b.success()
+		c.noteSuccess(owner, b)
 		if !found {
 			c.stats.fetchMisses.Add(1)
 			return nil, owner, FetchMiss
@@ -136,13 +136,16 @@ func (c *Cluster) fetchOnce(ctx context.Context, owner, digest string) (payload 
 // entry to its ring owner. Self-owned digests are kept local; a full
 // queue drops the job (anti-entropy repairs the gap later) so the
 // request path never blocks on replication.
+//
+// The owner is resolved when the push is sent, not here: a job that
+// waits out a membership change drains to the owner of the ring as it
+// is then, so the queue never feeds departed members.
 func (c *Cluster) Replicate(digest string, payload []byte) {
-	owner := c.ring.Owner(digest)
-	if owner == "" || owner == c.self {
+	if owner := c.ring.Load().Owner(digest); owner == "" || owner == c.self {
 		return
 	}
 	select {
-	case c.replCh <- replJob{owner: owner, digest: digest, payload: payload}:
+	case c.replCh <- replJob{digest: digest, payload: payload}:
 		c.stats.replEnqueued.Add(1)
 	default:
 		c.stats.replDropped.Add(1)
@@ -152,10 +155,14 @@ func (c *Cluster) Replicate(digest string, payload []byte) {
 func (c *Cluster) replWorker() {
 	defer c.replWG.Done()
 	for j := range c.replCh {
-		if err := c.push(context.Background(), j.owner, j.digest, j.payload); err != nil {
+		owner := c.ring.Load().Owner(j.digest)
+		if owner == "" || owner == c.self {
+			continue // ownership moved to us while the job was queued
+		}
+		if err := c.push(context.Background(), owner, j.digest, j.payload); err != nil {
 			c.stats.replErrors.Add(1)
 			c.log.Debug("replication push failed",
-				"peer", j.owner, "digest", j.digest, "err", err)
+				"peer", owner, "digest", j.digest, "err", err)
 		} else {
 			c.stats.replSent.Add(1)
 		}
@@ -164,7 +171,7 @@ func (c *Cluster) replWorker() {
 
 // push PUTs one payload to owner, breaker-gated, one attempt.
 func (c *Cluster) push(ctx context.Context, owner, digest string, payload []byte) error {
-	b := c.breakers[owner]
+	b := c.breakerFor(owner)
 	if !b.allow() {
 		c.stats.breakerSkips.Add(1)
 		return fmt.Errorf("peer: breaker open for %s", owner)
@@ -174,7 +181,7 @@ func (c *Cluster) push(ctx context.Context, owner, digest string, payload []byte
 	req, err := http.NewRequestWithContext(actx, http.MethodPut,
 		owner+CachePathPrefix+digest, bytes.NewReader(payload))
 	if err != nil {
-		b.failure()
+		c.noteFailure(owner, b)
 		return err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
@@ -183,7 +190,7 @@ func (c *Cluster) push(ctx context.Context, owner, digest string, payload []byte
 	c.setTraceHeader(req, ctx)
 	resp, err := c.client.Do(req)
 	if err != nil {
-		b.failure()
+		c.noteFailure(owner, b)
 		return err
 	}
 	io.Copy(io.Discard, resp.Body)
@@ -191,26 +198,33 @@ func (c *Cluster) push(ctx context.Context, owner, digest string, payload []byte
 	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
 		// The peer answered, so it is alive; only 5xx counts against it.
 		if resp.StatusCode >= 500 {
-			b.failure()
+			c.noteFailure(owner, b)
 		} else {
-			b.success()
+			c.noteSuccess(owner, b)
 		}
 		return fmt.Errorf("peer: replication target returned %d", resp.StatusCode)
 	}
-	b.success()
+	c.noteSuccess(owner, b)
 	return nil
 }
 
 // AntiEntropy offers every locally held digest to its ring owner and
 // pushes the ones each owner asks for; payload resolves a digest to its
 // marshalled bytes at push time (an entry evicted meanwhile is skipped).
-// Run it in a goroutine at startup: it is synchronous, breaker-gated
-// and abandons a peer on the first error rather than retrying — the
-// next restart, or normal write-replication, closes any remaining gap.
+// Run it in a goroutine at startup and after every ring change: it is
+// synchronous, breaker-gated and abandons a peer on the first error
+// rather than retrying — the next ring change, restart, or normal
+// write-replication closes any remaining gap.
 func (c *Cluster) AntiEntropy(ctx context.Context, digests []string, payload func(string) ([]byte, bool)) {
+	c.antiEntropyRing(ctx, c.ring.Load(), digests, payload)
+}
+
+// antiEntropyRing is AntiEntropy against an explicit ring — Leave hands
+// off over the ring that excludes self.
+func (c *Cluster) antiEntropyRing(ctx context.Context, ring *Ring, digests []string, payload func(string) ([]byte, bool)) {
 	byOwner := make(map[string][]string)
 	for _, d := range digests {
-		if owner := c.ring.Owner(d); owner != "" && owner != c.self {
+		if owner := ring.Owner(d); owner != "" && owner != c.self {
 			byOwner[owner] = append(byOwner[owner], d)
 		}
 	}
@@ -245,7 +259,7 @@ func (c *Cluster) AntiEntropy(ctx context.Context, digests []string, payload fun
 
 // offer POSTs a digest batch to owner and returns the subset it wants.
 func (c *Cluster) offer(ctx context.Context, owner string, digests []string) ([]string, error) {
-	b := c.breakers[owner]
+	b := c.breakerFor(owner)
 	if !b.allow() {
 		c.stats.breakerSkips.Add(1)
 		return nil, fmt.Errorf("peer: breaker open for %s", owner)
@@ -258,14 +272,14 @@ func (c *Cluster) offer(ctx context.Context, owner string, digests []string) ([]
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, http.MethodPost, owner+OfferPath, bytes.NewReader(body))
 	if err != nil {
-		b.failure()
+		c.noteFailure(owner, b)
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	c.setTraceHeader(req, ctx)
 	resp, err := c.client.Do(req)
 	if err != nil {
-		b.failure()
+		c.noteFailure(owner, b)
 		return nil, err
 	}
 	defer func() {
@@ -274,18 +288,18 @@ func (c *Cluster) offer(ctx context.Context, owner string, digests []string) ([]
 	}()
 	if resp.StatusCode != http.StatusOK {
 		if resp.StatusCode >= 500 {
-			b.failure()
+			c.noteFailure(owner, b)
 		} else {
-			b.success()
+			c.noteSuccess(owner, b)
 		}
 		return nil, fmt.Errorf("peer: offer returned %d", resp.StatusCode)
 	}
 	var or offerResponse
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&or); err != nil {
-		b.failure()
+		c.noteFailure(owner, b)
 		return nil, err
 	}
-	b.success()
+	c.noteSuccess(owner, b)
 	return or.Want, nil
 }
 

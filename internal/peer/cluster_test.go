@@ -11,6 +11,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -74,18 +75,23 @@ func testDigestOf(b []byte) string {
 }
 
 // newTestCluster builds a 2-member cluster whose only peer is the given
-// URL; self is a URL that is never dialed.
+// URL; self is a URL that is never dialed. The membership loop is made
+// quiescent (hour-scale heartbeats and timeouts) so these tests see the
+// static seed topology; membership dynamics have their own tests.
 func newTestCluster(t *testing.T, peerURL string, tweak func(*Config)) *Cluster {
 	t.Helper()
 	cfg := Config{
-		Self:             "http://self.invalid:1",
-		Peers:            []string{peerURL},
-		FetchTimeout:     2 * time.Second,
-		Retries:          1,
-		BackoffBase:      time.Millisecond,
-		BreakerThreshold: 2,
-		BreakerCooldown:  50 * time.Millisecond,
-		Logger:           quiet(),
+		Self:              "http://self.invalid:1",
+		Peers:             []string{peerURL},
+		FetchTimeout:      2 * time.Second,
+		Retries:           1,
+		BackoffBase:       time.Millisecond,
+		BreakerThreshold:  2,
+		BreakerCooldown:   50 * time.Millisecond,
+		HeartbeatInterval: time.Hour,
+		SuspectAfter:      time.Hour,
+		DeadAfter:         2 * time.Hour,
+		Logger:            quiet(),
 	}
 	if tweak != nil {
 		tweak(&cfg)
@@ -177,6 +183,10 @@ func TestFetchRetriesThenSucceeds(t *testing.T) {
 	inner := mountHandler(NewHandler(src, quiet()))
 	var calls atomic.Int64
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, MembershipPathPrefix) {
+			http.NotFound(w, r) // startup join burst; not under test here
+			return
+		}
 		if calls.Add(1) == 1 {
 			http.Error(w, "transient", http.StatusInternalServerError)
 			return
@@ -425,7 +435,9 @@ func TestHandlerRejectsBadRequests(t *testing.T) {
 func TestFetchForwardsTraceID(t *testing.T) {
 	var gotID atomic.Value
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		gotID.Store(r.Header.Get(trace.Header))
+		if strings.HasPrefix(r.URL.Path, CachePathPrefix) {
+			gotID.Store(r.Header.Get(trace.Header))
+		}
 		http.Error(w, "not cached", http.StatusNotFound)
 	}))
 	defer ts.Close()

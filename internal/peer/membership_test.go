@@ -1,0 +1,361 @@
+package peer
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"slices"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newFakeClock reuses breaker_test's manual clock for the membership
+// state machine.
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func newTestMembership(clk *fakeClock, seeds ...string) *Membership {
+	m := NewMembership("http://self:1", MembershipConfig{
+		SuspectAfter: 3 * time.Second,
+		DeadAfter:    10 * time.Second,
+		ReapAfter:    time.Minute,
+		Now:          clk.now,
+	})
+	for _, s := range seeds {
+		m.AddSeed(s)
+	}
+	return m
+}
+
+func wantState(t *testing.T, m *Membership, url string, want MemberState) {
+	t.Helper()
+	got, ok := m.State(url)
+	if !ok {
+		t.Fatalf("member %s unknown, want state %v", url, want)
+	}
+	if got != want {
+		t.Errorf("member %s state = %v, want %v", url, got, want)
+	}
+}
+
+// TestMembershipLifecycle walks one member through the full silence
+// lifecycle: alive → suspect at SuspectAfter → dead at DeadAfter →
+// reaped at ReapAfter, with the ring epoch moving exactly when ring
+// membership changes.
+func TestMembershipLifecycle(t *testing.T) {
+	clk := newFakeClock()
+	m := newTestMembership(clk, "http://a:1")
+	wantState(t, m, "http://a:1", StateAlive)
+	v0 := m.Version()
+
+	clk.advance(3 * time.Second) // SuspectAfter
+	if m.Tick() {
+		t.Error("alive→suspect reported a ring change; suspects keep their arcs")
+	}
+	wantState(t, m, "http://a:1", StateSuspect)
+	if m.Version() != v0 {
+		t.Errorf("ring epoch moved on suspect: %d → %d", v0, m.Version())
+	}
+
+	clk.advance(7 * time.Second) // total silence = DeadAfter
+	if !m.Tick() {
+		t.Error("suspect→dead did not report a ring change")
+	}
+	wantState(t, m, "http://a:1", StateDead)
+	if m.Version() == v0 {
+		t.Error("ring epoch did not move when the member died")
+	}
+	if live := m.Live(); len(live) != 1 || live[0] != "http://self:1" {
+		t.Errorf("Live() = %v, want only self", live)
+	}
+	if nr := m.NonRing(); !slices.Equal(nr, []string{"http://a:1"}) {
+		t.Errorf("NonRing() = %v, want the dead member", nr)
+	}
+
+	clk.advance(time.Minute) // ReapAfter since death
+	m.Tick()
+	if _, ok := m.State("http://a:1"); ok {
+		t.Error("tombstone not reaped after ReapAfter")
+	}
+}
+
+// TestMembershipObserveAlive: direct contact resets the detector and
+// re-admits a suspect without a generation bump.
+func TestMembershipObserveAlive(t *testing.T) {
+	clk := newFakeClock()
+	m := newTestMembership(clk, "http://a:1")
+
+	clk.advance(3 * time.Second)
+	m.Tick()
+	wantState(t, m, "http://a:1", StateSuspect)
+
+	m.ObserveAlive("http://a:1")
+	wantState(t, m, "http://a:1", StateAlive)
+
+	// The detector restarted from the contact, not from the old silence.
+	clk.advance(2 * time.Second)
+	m.Tick()
+	wantState(t, m, "http://a:1", StateAlive)
+
+	// Dead members do not come back via ObserveAlive — only a fresh
+	// incarnation through Merge revives them. (Tick moves one state per
+	// call, like the real one-per-heartbeat loop.)
+	clk.advance(20 * time.Second)
+	m.Tick()
+	m.Tick()
+	wantState(t, m, "http://a:1", StateDead)
+	m.ObserveAlive("http://a:1")
+	wantState(t, m, "http://a:1", StateDead)
+}
+
+// TestMembershipObserveSuspect: a breaker-open signal suspects the
+// member immediately and backdates the silence clock, so death arrives
+// DeadAfter−SuspectAfter later instead of a full DeadAfter.
+func TestMembershipObserveSuspect(t *testing.T) {
+	clk := newFakeClock()
+	m := newTestMembership(clk, "http://a:1")
+
+	m.ObserveSuspect("http://a:1")
+	wantState(t, m, "http://a:1", StateSuspect)
+
+	clk.advance(7 * time.Second) // backdated silence now = DeadAfter
+	m.Tick()
+	wantState(t, m, "http://a:1", StateDead)
+}
+
+// TestMembershipGossipIsNotEvidenceOfLife pins the partition-liveness
+// rule: a relayed alive record at the member's current incarnation does
+// not reset the failure detector — otherwise two partitioned nodes
+// vouching for everyone's stale liveness would keep the whole fleet
+// alive forever.
+func TestMembershipGossipIsNotEvidenceOfLife(t *testing.T) {
+	clk := newFakeClock()
+	m := newTestMembership(clk)
+	m.Merge([]MemberInfo{{URL: "http://a:1", Generation: 4, State: StateAlive}})
+
+	for i := 0; i < 12; i++ {
+		clk.advance(time.Second)
+		m.Tick()
+		// The same stale record keeps arriving the whole time.
+		m.Merge([]MemberInfo{{URL: "http://a:1", Generation: 4, State: StateAlive}})
+	}
+	wantState(t, m, "http://a:1", StateDead)
+}
+
+// TestMembershipMergeOrdering is the generation/state tie-break table:
+// higher generation always wins, equal generation resolves by state
+// finality (left > dead > suspect > alive), lower generation is noise.
+func TestMembershipMergeOrdering(t *testing.T) {
+	const url = "http://a:1"
+	cases := []struct {
+		name    string
+		have    MemberInfo
+		in      MemberInfo
+		want    MemberState
+		wantGen uint64
+	}{
+		{"higher gen alive revives dead", MemberInfo{url, 3, StateDead}, MemberInfo{url, 4, StateAlive}, StateAlive, 4},
+		{"higher gen dead kills alive", MemberInfo{url, 3, StateAlive}, MemberInfo{url, 5, StateDead}, StateDead, 5},
+		{"equal gen: dead beats alive", MemberInfo{url, 3, StateAlive}, MemberInfo{url, 3, StateDead}, StateDead, 3},
+		{"equal gen: dead beats suspect", MemberInfo{url, 3, StateSuspect}, MemberInfo{url, 3, StateDead}, StateDead, 3},
+		{"equal gen: left beats dead", MemberInfo{url, 3, StateDead}, MemberInfo{url, 3, StateLeft}, StateLeft, 3},
+		{"equal gen: suspect beats alive", MemberInfo{url, 3, StateAlive}, MemberInfo{url, 3, StateSuspect}, StateSuspect, 3},
+		{"equal gen: alive does not unsuspect", MemberInfo{url, 3, StateSuspect}, MemberInfo{url, 3, StateAlive}, StateSuspect, 3},
+		{"lower gen dead is noise", MemberInfo{url, 3, StateAlive}, MemberInfo{url, 2, StateDead}, StateAlive, 3},
+		{"lower gen left is noise", MemberInfo{url, 3, StateAlive}, MemberInfo{url, 1, StateLeft}, StateAlive, 3},
+		{"seed gen zero superseded", MemberInfo{url, 0, StateAlive}, MemberInfo{url, 1, StateAlive}, StateAlive, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clk := newFakeClock()
+			m := newTestMembership(clk)
+			m.Merge([]MemberInfo{tc.have})
+			m.Merge([]MemberInfo{tc.in})
+			wantState(t, m, url, tc.want)
+			for _, mi := range m.Snapshot() {
+				if mi.URL == url && mi.Generation != tc.wantGen {
+					t.Errorf("generation = %d, want %d", mi.Generation, tc.wantGen)
+				}
+			}
+		})
+	}
+}
+
+// TestMembershipSelfRefutation: damning gossip about self is out-bid
+// with a fresh incarnation, so a restarted or wrongly-suspected member
+// supersedes its own tombstone everywhere it gossips.
+func TestMembershipSelfRefutation(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      MemberInfo
+		wantGen uint64
+	}{
+		{"dead at my generation", MemberInfo{"http://self:1", 1, StateDead}, 2},
+		{"suspect at my generation", MemberInfo{"http://self:1", 1, StateSuspect}, 2},
+		{"dead at a future generation", MemberInfo{"http://self:1", 7, StateDead}, 8},
+		{"alive at a future generation", MemberInfo{"http://self:1", 5, StateAlive}, 6},
+		{"alive at my generation is fine", MemberInfo{"http://self:1", 1, StateAlive}, 1},
+		{"anything at an old generation is noise", MemberInfo{"http://self:1", 0, StateDead}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := newTestMembership(newFakeClock())
+			m.Merge([]MemberInfo{tc.in})
+			if got := m.SelfInfo(); got.Generation != tc.wantGen || got.State != StateAlive {
+				t.Errorf("SelfInfo() = %+v, want alive at generation %d", got, tc.wantGen)
+			}
+		})
+	}
+}
+
+// TestMembershipFlappingNode: a node that dies and rejoins repeatedly
+// must win each rejoin by incarnation and die again by silence, with
+// the ring epoch tracking every flap.
+func TestMembershipFlappingNode(t *testing.T) {
+	clk := newFakeClock()
+	m := newTestMembership(clk, "http://flappy:1")
+	gen := uint64(0)
+	for flap := 0; flap < 3; flap++ {
+		clk.advance(10 * time.Second)
+		m.Tick() // alive → suspect
+		m.Tick() // suspect → dead (silence is already past DeadAfter)
+		wantState(t, m, "http://flappy:1", StateDead)
+		before := m.Version()
+
+		// The node restarts: it refutes its tombstone with a higher
+		// incarnation (what its own Merge self-refutation produces).
+		gen += 2
+		if !m.Merge([]MemberInfo{{URL: "http://flappy:1", Generation: gen, State: StateAlive}}) {
+			t.Fatalf("flap %d: rejoin did not change the ring", flap)
+		}
+		wantState(t, m, "http://flappy:1", StateAlive)
+		if m.Version() == before {
+			t.Fatalf("flap %d: ring epoch did not move on rejoin", flap)
+		}
+	}
+}
+
+// TestMembershipLeave: leaving removes self from the ring, bumps the
+// incarnation so the departure out-bids any alive record in flight, and
+// pins the view against later gossip about self.
+func TestMembershipLeave(t *testing.T) {
+	clk := newFakeClock()
+	m := newTestMembership(clk, "http://a:1")
+	v0 := m.Version()
+
+	view := m.Leave()
+	if got := m.SelfInfo(); got.State != StateLeft || got.Generation != 2 {
+		t.Errorf("SelfInfo() after Leave = %+v, want left at generation 2", got)
+	}
+	if slices.Contains(m.Live(), "http://self:1") {
+		t.Error("Live() still lists self after Leave")
+	}
+	if m.Version() == v0 {
+		t.Error("ring epoch did not move on Leave")
+	}
+	found := false
+	for _, mi := range view {
+		if mi.URL == "http://self:1" && mi.State == StateLeft {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Leave view %+v does not announce the departure", view)
+	}
+
+	// Stale alive gossip about self must not resurrect the membership.
+	m.Merge([]MemberInfo{{URL: "http://self:1", Generation: 99, State: StateAlive}})
+	if got := m.SelfInfo(); got.State != StateLeft {
+		t.Errorf("gossip resurrected a left member: %+v", got)
+	}
+}
+
+// FuzzMembershipMessage feeds arbitrary bytes through the wire decoder
+// and merges whatever survives: the decoder must never panic, never
+// accept an invalid member URL or an oversized view, and a merge of any
+// accepted message must leave the member list well-formed.
+func FuzzMembershipMessage(f *testing.F) {
+	valid, _ := json.Marshal(MembershipMsg{
+		From: MemberInfo{URL: "http://a:1", Generation: 3, State: StateAlive},
+		Members: []MemberInfo{
+			{URL: "http://b:1", Generation: 1, State: StateSuspect},
+			{URL: "http://c:1", Generation: 9, State: StateLeft},
+		},
+	})
+	f.Add(valid)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"from":{"url":"http://a:1"}}`))
+	f.Add([]byte(`{"from":{"url":"nonsense"}}`))
+	f.Add([]byte(`{"from":{"url":"http://a:1","state":"zombie"}}`))
+	f.Add([]byte(`{"from":{"url":"http://a:1","generation":-1}}`))
+	f.Add([]byte(`{"from":{"url":"http://a:1"},"members":[{"url":""}]}`))
+	f.Add([]byte(`{"from":{"url":"http://a:1"},"extra":true}`))
+	f.Add([]byte(strings.Repeat("[", 10_000)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := DecodeMembershipMsg(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Decoder accepted it: the validation contract must hold.
+		if verr := validMemberURL(msg.From.URL); verr != nil {
+			t.Fatalf("decoder accepted invalid sender %q: %v", msg.From.URL, verr)
+		}
+		if len(msg.Members) > maxMembershipMembers {
+			t.Fatalf("decoder accepted %d members", len(msg.Members))
+		}
+		for _, mi := range msg.Members {
+			if verr := validMemberURL(mi.URL); verr != nil {
+				t.Fatalf("decoder accepted invalid member %q: %v", mi.URL, verr)
+			}
+		}
+
+		// Any accepted message must merge without corrupting the list.
+		m := newTestMembership(newFakeClock(), "http://seed:1")
+		m.Merge(append(msg.Members, msg.From))
+		live := m.Live()
+		if !slices.IsSorted(live) {
+			t.Fatalf("Live() unsorted after merge: %v", live)
+		}
+		if !slices.Contains(live, "http://self:1") {
+			t.Fatalf("merge evicted self from the ring: %v", live)
+		}
+		seen := make(map[string]bool)
+		for _, mi := range m.Snapshot() {
+			if seen[mi.URL] {
+				t.Fatalf("duplicate member %q after merge", mi.URL)
+			}
+			seen[mi.URL] = true
+			if verr := validMemberURL(mi.URL); verr != nil {
+				t.Fatalf("invalid URL %q entered the member list", mi.URL)
+			}
+		}
+	})
+}
+
+// TestMemberStateJSON round-trips every state by name and rejects
+// unknown names and raw numbers.
+func TestMemberStateJSON(t *testing.T) {
+	for _, s := range []MemberState{StateAlive, StateSuspect, StateDead, StateLeft} {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", s, err)
+		}
+		if want := fmt.Sprintf("%q", s.String()); string(b) != want {
+			t.Errorf("marshal %v = %s, want %s", s, b, want)
+		}
+		var back MemberState
+		if err := json.Unmarshal(b, &back); err != nil || back != s {
+			t.Errorf("round-trip %v = %v, %v", s, back, err)
+		}
+	}
+	var s MemberState
+	if err := json.Unmarshal([]byte(`"zombie"`), &s); err == nil {
+		t.Error("unknown state name accepted")
+	}
+	if err := json.Unmarshal([]byte(`2`), &s); err == nil {
+		t.Error("numeric state accepted")
+	}
+}

@@ -1,0 +1,308 @@
+package sim
+
+import (
+	"bytes"
+	"sort"
+
+	"codepack/internal/peer"
+)
+
+// entry is one cached payload; unverified entries are quarantined
+// replicas, exactly as in internal/server's compCache.
+type entry struct {
+	payload  []byte
+	verified bool
+}
+
+// node is one simulated cpackd instance: the real membership state
+// machine on the world's virtual clock, the real ring over its live
+// view, and a two-tier cache (volatile map + durable store of verified
+// entries that survives a crash, the -cache-dir analogue).
+type node struct {
+	w     *World
+	url   string
+	seeds []string
+
+	up      bool
+	incarn  int // bumped per start; stale timers and callbacks check it
+	mem     *peer.Membership
+	ring    *peer.Ring
+	ringVer uint64
+	cache   map[string]entry
+	durable map[string][]byte
+}
+
+// gossipMsg mirrors peer.MembershipMsg for the in-memory transport.
+type gossipMsg struct {
+	From    peer.MemberInfo
+	Members []peer.MemberInfo
+}
+
+func stateInRing(s peer.MemberState) bool {
+	return s == peer.StateAlive || s == peer.StateSuspect
+}
+
+// start boots (or reboots) the node: fresh membership at generation 1,
+// cache reloaded from the durable store, join burst to the seeds, then
+// the heartbeat timer chain.
+func (n *node) start() {
+	n.up = true
+	n.incarn++
+	n.mem = peer.NewMembership(n.url, peer.MembershipConfig{
+		SuspectAfter: n.w.cfg.SuspectAfter,
+		DeadAfter:    n.w.cfg.DeadAfter,
+		Now:          n.w.clock,
+	})
+	for _, s := range n.seeds {
+		n.mem.AddSeed(s)
+	}
+	n.ringVer = 0
+	n.cache = make(map[string]entry, len(n.durable))
+	for d, p := range n.durable {
+		n.cache[d] = entry{payload: p, verified: true}
+	}
+	n.checkRing() // builds the first ring and schedules the startup AE pass
+	for _, s := range n.seeds {
+		n.gossipTo(s)
+	}
+	n.scheduleTick()
+}
+
+// crash stops the node hard: volatile cache and membership are gone
+// (the durable store stays), and every pending timer or callback is
+// orphaned by the incarnation bump.
+func (n *node) crash() {
+	n.up = false
+	n.incarn++
+	n.cache = nil
+}
+
+func (n *node) scheduleTick() {
+	incarn := n.incarn
+	n.w.schedule(n.w.cfg.HeartbeatInterval, func() {
+		if !n.up || n.incarn != incarn {
+			return
+		}
+		n.tick()
+		n.scheduleTick()
+	})
+}
+
+// tick is one heartbeat round, mirroring Cluster.heartbeatRound:
+// advance the failure detector, gossip to a random fan-out of live
+// peers, probe one member outside the ring so healed partitions and
+// restarted nodes are rediscovered.
+func (n *node) tick() {
+	n.mem.Tick()
+	n.checkRing()
+	var peers []string
+	for _, m := range n.mem.Live() {
+		if m != n.url {
+			peers = append(peers, m)
+		}
+	}
+	n.w.rng.Shuffle(len(peers), func(i, j int) { peers[i], peers[j] = peers[j], peers[i] })
+	if len(peers) > n.w.cfg.GossipFanout {
+		peers = peers[:n.w.cfg.GossipFanout]
+	}
+	for _, p := range peers {
+		n.gossipTo(p)
+	}
+	candidates := n.mem.NonRing()
+	for _, s := range n.seeds {
+		if _, known := n.mem.State(s); !known {
+			candidates = append(candidates, s)
+		}
+	}
+	if len(candidates) > 0 {
+		n.gossipTo(candidates[n.w.rng.Intn(len(candidates))])
+	}
+}
+
+// gossipTo is one view exchange with target over the faulty transport,
+// mirroring Cluster.exchange + handleMembership.
+func (n *node) gossipTo(target string) {
+	req := gossipMsg{From: n.mem.SelfInfo(), Members: n.mem.Snapshot()}
+	incarn := n.incarn
+	n.w.rpc(n.url, target,
+		func(tn *node) any { return tn.handleGossip(req) },
+		func(resp any, ok bool) {
+			if !ok || !n.up || n.incarn != incarn {
+				return
+			}
+			r := resp.(gossipMsg)
+			n.mem.Merge(append(r.Members, r.From))
+			if r.From.URL == target && stateInRing(r.From.State) {
+				n.mem.ObserveAlive(target)
+			}
+			n.checkRing()
+		})
+}
+
+// handleGossip is the receiving side of a view exchange.
+func (n *node) handleGossip(msg gossipMsg) gossipMsg {
+	n.mem.Merge(append(msg.Members, msg.From))
+	if stateInRing(msg.From.State) {
+		n.mem.ObserveAlive(msg.From.URL)
+	}
+	n.checkRing()
+	return gossipMsg{From: n.mem.SelfInfo(), Members: n.mem.Snapshot()}
+}
+
+// checkRing rebuilds the ring when the membership version moved and
+// schedules an anti-entropy pass for the new ring — the sim analogue of
+// Cluster.refreshRing firing the server's OnRingChange trigger.
+func (n *node) checkRing() {
+	v := n.mem.Version()
+	if v == n.ringVer {
+		return
+	}
+	n.ringVer = v
+	n.ring = peer.NewRing(n.mem.Live(), n.w.cfg.Replicas)
+	n.w.stats.RingChanges++
+	incarn := n.incarn
+	n.w.schedule(n.w.cfg.MinDelay, func() {
+		if n.up && n.incarn == incarn && n.ringVer == v {
+			n.runAE()
+		}
+	})
+}
+
+// runAE is one offer/want/push pass: every locally held digest is
+// offered to its current ring owner, which asks for the ones it lacks.
+// Pushes travel the faulty transport and land in the owner's
+// quarantine.
+func (n *node) runAE() {
+	byOwner := make(map[string][]string)
+	var digests []string
+	for d := range n.cache {
+		digests = append(digests, d)
+	}
+	sort.Strings(digests)
+	for _, d := range digests {
+		if o := n.ring.Owner(d); o != "" && o != n.url {
+			byOwner[o] = append(byOwner[o], d)
+		}
+	}
+	owners := make([]string, 0, len(byOwner))
+	for o := range byOwner {
+		owners = append(owners, o)
+	}
+	sort.Strings(owners)
+	for _, owner := range owners {
+		ds := byOwner[owner]
+		incarn := n.incarn
+		target := owner
+		n.w.rpc(n.url, target,
+			func(tn *node) any { return tn.handleOffer(ds) },
+			func(resp any, ok bool) {
+				if !ok || !n.up || n.incarn != incarn {
+					return
+				}
+				for _, d := range resp.([]string) {
+					if e, held := n.cache[d]; held {
+						n.sendPut(target, d, e.payload)
+					}
+				}
+			})
+	}
+}
+
+// handleOffer returns the subset of offered digests the node lacks.
+func (n *node) handleOffer(digests []string) []string {
+	var want []string
+	for _, d := range digests {
+		if _, ok := n.cache[d]; !ok {
+			want = append(want, d)
+		}
+	}
+	return want
+}
+
+// sendPut replicates one payload over the faulty transport (async
+// best-effort, like the replication queue).
+func (n *node) sendPut(target, digest string, payload []byte) {
+	n.w.rpc(n.url, target,
+		func(tn *node) any { tn.handlePut(digest, payload); return nil },
+		func(any, bool) {})
+}
+
+// handlePut quarantines a replicated payload: stored unverified, and
+// never replacing an entry already held — putMem's no-downgrade rule.
+func (n *node) handlePut(digest string, payload []byte) {
+	if _, ok := n.cache[digest]; ok {
+		return
+	}
+	n.cache[digest] = entry{payload: payload}
+}
+
+// compress is the client-facing tiered lookup, mirroring
+// Server.compressImage/fillMiss: verified local entry, quarantined
+// entry proven against the program (confirm or drop), owner fetch with
+// verify-before-trust, then local compression + async replication.
+func (n *node) compress(digest string) {
+	truth := canonical(digest)
+	if e, ok := n.cache[digest]; ok {
+		if e.verified {
+			n.serve(digest, e)
+			return
+		}
+		if bytes.Equal(e.payload, truth) {
+			e.verified = true
+			n.cache[digest] = e
+			n.durable[digest] = e.payload
+			n.serve(digest, e)
+			return
+		}
+		delete(n.cache, digest) // quarantined replica failed verification
+	}
+	owner := n.ring.Owner(digest)
+	if owner != "" && owner != n.url {
+		if payload, ok := n.w.syncFetch(n.url, owner, digest); ok {
+			if bytes.Equal(payload, truth) {
+				e := entry{payload: payload, verified: true}
+				n.cache[digest] = e
+				n.durable[digest] = payload
+				n.serve(digest, e)
+				return
+			}
+			// Owner served a wrong payload: never trusted, compress
+			// locally instead.
+		}
+	}
+	n.w.stats.Recompressions++
+	e := entry{payload: truth, verified: true}
+	n.cache[digest] = e
+	n.durable[digest] = truth
+	n.serve(digest, e)
+	if owner != "" && owner != n.url {
+		n.sendPut(owner, digest, truth)
+	}
+}
+
+// serve records what a client was answered with and checks the
+// invariants: only verified, only correct.
+func (n *node) serve(digest string, e entry) {
+	if !e.verified {
+		n.w.stats.UnverifiedServed++
+	}
+	if !bytes.Equal(e.payload, canonical(digest)) {
+		n.w.stats.WrongServed++
+	}
+}
+
+// syncFetch models the synchronous owner GET on the request path: it
+// fails if the owner is down, partitioned away, or rolls a drop; an
+// owner serves whatever it holds, verified or not — the fetcher's
+// verification is the trust boundary, as in the real handler.
+func (w *World) syncFetch(from, to, digest string) ([]byte, bool) {
+	tn := w.nodes[to]
+	if tn == nil || !tn.up || w.blocked(from, to) || w.rng.Float64() < w.cfg.DropProb {
+		return nil, false
+	}
+	e, ok := tn.cache[digest]
+	if !ok {
+		return nil, false
+	}
+	return e.payload, true
+}

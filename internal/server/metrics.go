@@ -108,9 +108,11 @@ type metrics struct {
 	coalesced counter // compressions served by riding an in-flight fill
 
 	// Warm-tier counters (only exported while a cluster is configured).
-	peerHits   counter // peer-served payloads that verified and were used
-	peerMisses counter // owner definitively lacked the digest
-	peerErrors counter // fetch failures, breaker skips, failed verifications
+	peerHits    counter // peer-served payloads that verified and were used
+	peerMisses  counter // owner definitively lacked the digest
+	peerErrors  counter // fetch failures, breaker skips, failed verifications
+	ringChanges counter // ring rebuilds driven by membership changes
+	aePasses    counter // anti-entropy passes completed (startup + ring changes)
 }
 
 func newMetrics() *metrics {
@@ -232,10 +234,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# HELP cpackd_peer_offered_digests_total Digests offered to ring owners during anti-entropy.\n")
 		fmt.Fprintf(w, "# TYPE cpackd_peer_offered_digests_total counter\n")
 		fmt.Fprintf(w, "cpackd_peer_offered_digests_total %d\n", st.OfferedDigests)
+		fmt.Fprintf(w, "# HELP cpackd_peer_members Ring members in the current view (including self).\n")
+		fmt.Fprintf(w, "# TYPE cpackd_peer_members gauge\n")
+		fmt.Fprintf(w, "cpackd_peer_members %d\n", len(c.Members()))
+		fmt.Fprintf(w, "# HELP cpackd_peer_ring_epoch Membership version the current ring reflects.\n")
+		fmt.Fprintf(w, "# TYPE cpackd_peer_ring_epoch gauge\n")
+		fmt.Fprintf(w, "cpackd_peer_ring_epoch %d\n", c.RingEpoch())
+		fmt.Fprintf(w, "# HELP cpackd_peer_ring_changes_total Ring rebuilds driven by membership changes.\n")
+		fmt.Fprintf(w, "# TYPE cpackd_peer_ring_changes_total counter\n")
+		fmt.Fprintf(w, "cpackd_peer_ring_changes_total %d\n", s.metrics.ringChanges.value())
+		fmt.Fprintf(w, "# HELP cpackd_peer_antientropy_passes_total Anti-entropy passes completed (startup + ring changes).\n")
+		fmt.Fprintf(w, "# TYPE cpackd_peer_antientropy_passes_total counter\n")
+		fmt.Fprintf(w, "cpackd_peer_antientropy_passes_total %d\n", s.metrics.aePasses.value())
+		fmt.Fprintf(w, "# HELP cpackd_peer_heartbeats_total Successful membership gossip exchanges sent.\n")
+		fmt.Fprintf(w, "# TYPE cpackd_peer_heartbeats_total counter\n")
+		fmt.Fprintf(w, "cpackd_peer_heartbeats_total %d\n", st.Heartbeats)
 		fmt.Fprintf(w, "# HELP cpackd_peer_breaker_state Per-peer breaker state: 0 closed, 1 half-open, 2 open.\n")
 		fmt.Fprintf(w, "# TYPE cpackd_peer_breaker_state gauge\n")
 		fmt.Fprintf(w, "# HELP cpackd_peer_breaker_opens_total Times each peer's breaker has opened.\n")
 		fmt.Fprintf(w, "# TYPE cpackd_peer_breaker_opens_total counter\n")
+		fmt.Fprintf(w, "# HELP cpackd_peer_member_state Per-peer membership state: 0 alive, 1 suspect, 2 dead, 3 left.\n")
+		fmt.Fprintf(w, "# TYPE cpackd_peer_member_state gauge\n")
 		for _, h := range c.Health() {
 			state := 0
 			switch h.State {
@@ -246,6 +265,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			}
 			fmt.Fprintf(w, "cpackd_peer_breaker_state{peer=%q} %d\n", h.URL, state)
 			fmt.Fprintf(w, "cpackd_peer_breaker_opens_total{peer=%q} %d\n", h.URL, h.Opens)
+			ms := 0
+			switch h.Member {
+			case "suspect":
+				ms = 1
+			case "dead":
+				ms = 2
+			case "left":
+				ms = 3
+			}
+			fmt.Fprintf(w, "cpackd_peer_member_state{peer=%q} %d\n", h.URL, ms)
 		}
 	}
 
@@ -317,13 +346,16 @@ type appVars struct {
 
 // peerVars is the warm-tier section of /debug/vars.
 type peerVars struct {
-	Self     string            `json:"self"`
-	Members  []string          `json:"members"`
-	Hits     uint64            `json:"hits"`
-	Misses   uint64            `json:"misses"`
-	Errors   uint64            `json:"errors"`
-	Cluster  peer.Stats        `json:"cluster"`
-	Breakers []peer.PeerHealth `json:"breakers"`
+	Self       string            `json:"self"`
+	Members    []string          `json:"members"`
+	RingEpoch  uint64            `json:"ring_epoch"`
+	Membership []peer.MemberInfo `json:"membership"`
+	Hits       uint64            `json:"hits"`
+	Misses     uint64            `json:"misses"`
+	Errors     uint64            `json:"errors"`
+	AEPasses   uint64            `json:"antientropy_passes"`
+	Cluster    peer.Stats        `json:"cluster"`
+	Breakers   []peer.PeerHealth `json:"breakers"`
 }
 
 type endpointVars struct {
@@ -352,13 +384,16 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	}
 	if c := s.cluster; c != nil {
 		snap.Cpackd.Peer = &peerVars{
-			Self:     c.Self(),
-			Members:  c.Members(),
-			Hits:     s.metrics.peerHits.value(),
-			Misses:   s.metrics.peerMisses.value(),
-			Errors:   s.metrics.peerErrors.value(),
-			Cluster:  c.Stats(),
-			Breakers: c.Health(),
+			Self:       c.Self(),
+			Members:    c.Members(),
+			RingEpoch:  c.RingEpoch(),
+			Membership: c.MembershipView(),
+			Hits:       s.metrics.peerHits.value(),
+			Misses:     s.metrics.peerMisses.value(),
+			Errors:     s.metrics.peerErrors.value(),
+			AEPasses:   s.metrics.aePasses.value(),
+			Cluster:    c.Stats(),
+			Breakers:   c.Health(),
 		}
 	}
 	runtime.ReadMemStats(&snap.MemStats)

@@ -31,16 +31,22 @@ func reserveURL(t *testing.T) (net.Listener, string) {
 }
 
 // fastPeerConfig keeps cluster tests snappy: tight timeouts, one retry,
-// a two-failure breaker with a short cooldown.
+// a two-failure breaker with a short cooldown. The membership loop is
+// made quiescent (hour-scale heartbeats and timeouts) so these tests
+// exercise the static seed topology; dynamic membership has its own
+// tests.
 func fastPeerConfig(self string, peers ...string) *peer.Config {
 	return &peer.Config{
-		Self:             self,
-		Peers:            peers,
-		FetchTimeout:     500 * time.Millisecond,
-		Retries:          -1,
-		BackoffBase:      time.Millisecond,
-		BreakerThreshold: 2,
-		BreakerCooldown:  50 * time.Millisecond,
+		Self:              self,
+		Peers:             peers,
+		FetchTimeout:      500 * time.Millisecond,
+		Retries:           -1,
+		BackoffBase:       time.Millisecond,
+		BreakerThreshold:  2,
+		BreakerCooldown:   50 * time.Millisecond,
+		HeartbeatInterval: time.Hour,
+		SuspectAfter:      time.Hour,
+		DeadAfter:         2 * time.Hour,
 	}
 }
 

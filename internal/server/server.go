@@ -231,12 +231,21 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// joinCluster wires the warm tier: the ring/client/breakers, the peer
-// protocol endpoints, and the startup anti-entropy pass that offers
-// every restored entry back to its ring owner.
+// joinCluster wires the warm tier: the membership layer and ring, the
+// peer protocol endpoints, and the anti-entropy loop — one pass at
+// startup offering every restored entry back to its ring owner, and one
+// pass after every ring change so entries whose owner moved follow it.
 func (s *Server) joinCluster(pc peer.Config) error {
 	if pc.Logger == nil {
 		pc.Logger = s.log
+	}
+	aeCh := make(chan uint64, 1)
+	pc.OnRingChange = func(epoch uint64, members []string) {
+		s.metrics.ringChanges.add(1)
+		select {
+		case aeCh <- epoch:
+		default: // a pass is already pending; it will see the newest ring
+		}
 	}
 	cluster, err := peer.NewCluster(pc)
 	if err != nil {
@@ -247,29 +256,53 @@ func (s *Server) joinCluster(pc peer.Config) error {
 	s.mux.Handle("GET "+peer.CachePathPrefix+"{digest}", s.instrument("peer_get", h.Get))
 	s.mux.Handle("PUT "+peer.CachePathPrefix+"{digest}", s.instrument("peer_put", h.Put))
 	s.mux.Handle("POST "+peer.OfferPath, s.instrument("peer_offer", h.Offer))
+	s.mux.Handle("POST "+peer.JoinPath, s.instrument("peer_membership", cluster.HandleJoin))
+	s.mux.Handle("POST "+peer.HeartbeatPath, s.instrument("peer_membership", cluster.HandleHeartbeat))
+	s.mux.Handle("POST "+peer.LeavePath, s.instrument("peer_membership", cluster.HandleLeave))
 	s.log.Info("joined peer cache cluster",
-		"self", cluster.Self(), "members", len(cluster.Members()))
+		"self", cluster.Self(), "seeds", len(cluster.Members())-1)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	s.peerCancel = cancel
 	s.aeDone = make(chan struct{})
-	digests := s.cache.keys()
-	go func() {
-		defer close(s.aeDone)
+	go s.antiEntropyLoop(ctx, aeCh)
+	return nil
+}
+
+// antiEntropyLoop runs one offer/want pass at startup and one after
+// every ring-change signal, so a membership change re-homes every
+// locally held digest whose owner moved. Passes are serialized; signals
+// arriving mid-pass coalesce into a single follow-up pass that sees the
+// newest ring.
+func (s *Server) antiEntropyLoop(ctx context.Context, trigger <-chan uint64) {
+	defer close(s.aeDone)
+	pass := func(reason string, epoch uint64) {
+		digests := s.cache.keys()
 		if len(digests) == 0 {
 			return
 		}
 		s.cluster.AntiEntropy(ctx, digests, func(d string) ([]byte, bool) {
 			return s.cache.payload(d)
 		})
+		s.metrics.aePasses.add(1)
 		st := s.cluster.Stats()
 		s.log.Info("anti-entropy pass finished",
+			"reason", reason,
+			"ring_epoch", epoch,
 			"local_digests", len(digests),
 			"offered", st.OfferedDigests,
 			"pushed", st.ReplicationsSent,
 			"offer_errors", st.OfferErrors)
-	}()
-	return nil
+	}
+	pass("startup", s.cluster.RingEpoch())
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case epoch := <-trigger:
+			pass("ring-change", epoch)
+		}
+	}
 }
 
 // peerSource adapts the compression cache to the peer protocol.
@@ -309,6 +342,16 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // snapshot + fsync) if one is configured. Call after http.Server.Shutdown
 // so in-flight HTTP requests complete their pooled work first.
 func (s *Server) Close() {
+	if s.cluster != nil {
+		// Graceful departure first, while the peer endpoints still
+		// answer: hand every locally held digest to its post-departure
+		// owner and announce the leave, so warm state survives the exit.
+		lctx, lcancel := context.WithTimeout(context.Background(), DefaultRequestTimeout)
+		s.cluster.Leave(lctx, s.cache.keys(), func(d string) ([]byte, bool) {
+			return s.cache.payload(d)
+		})
+		lcancel()
+	}
 	if s.peerCancel != nil {
 		s.peerCancel()
 		<-s.aeDone
