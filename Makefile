@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet bench fuzz golden serve cluster-smoke sim-smoke clean
+.PHONY: build test race vet bench fuzz golden serve cluster-smoke sim-smoke obs-smoke clean
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,13 @@ cluster-smoke:
 # ring code in virtual time, plus the impostor and determinism checks.
 sim-smoke:
 	$(GO) test -race -count=1 ./internal/peer/sim
+
+# Observability smoke: a real cpackd process serves pprof and the trace
+# ring on -debug-addr only, and the span/stage instrumentation holds its
+# golden tree, cross-node stitching and histogram labels under -race.
+obs-smoke:
+	$(GO) test -race -count=1 -run 'TestDebugListenerServesDiagnostics' ./cmd/cpackd
+	$(GO) test -race -count=1 -run 'TestCompressMissSpanTree|TestSpanPropagatesAcrossPeerFetch|TestStageHistogramsRendered|TestSlowTraceLogged' ./internal/server
 
 clean:
 	$(GO) clean ./...

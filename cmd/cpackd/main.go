@@ -23,6 +23,12 @@
 // graceful shutdown hands its entries to their new owners. Peer
 // failures degrade to local compression (circuit breaker, never a
 // failed request); peer-served bytes are re-verified before trusted.
+//
+// With -debug-addr set a second, private listener serves the
+// diagnostics surface: net/http/pprof, the span-trace ring
+// (/debug/trace/recent), /metrics and /debug/vars. The public port
+// never exposes pprof. Requests slower than -trace-slow log their full
+// span tree.
 package main
 
 import (
@@ -54,6 +60,8 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("cpackd", flag.ContinueOnError)
 	var (
 		addr         = fs.String("addr", ":8321", "listen address")
+		debugAddr    = fs.String("debug-addr", "", "private diagnostics listener (pprof, trace ring); empty = disabled")
+		traceSlow    = fs.Duration("trace-slow", server.DefaultTraceSlow, "log the full span tree of requests slower than this (0 disables)")
 		lightWorkers = fs.Int("light-workers", 0, "codec worker goroutines (0 = auto)")
 		lightQueue   = fs.Int("light-queue", 0, "codec queue capacity (0 = default, <0 none)")
 		heavyWorkers = fs.Int("heavy-workers", 0, "simulation worker goroutines (0 = auto)")
@@ -96,7 +104,11 @@ func run(args []string) error {
 		CacheDir:       *cacheDir,
 		MaxInstr:       *maxInstr,
 		RequestTimeout: *timeout,
+		TraceSlow:      *traceSlow,
 		Logger:         log,
+	}
+	if *traceSlow == 0 {
+		cfg.TraceSlow = -1 // the user asked for no slow-trace logging
 	}
 	if *peers != "" || *peerSelf != "" {
 		if *peers == "" || *peerSelf == "" {
@@ -133,6 +145,28 @@ func run(args []string) error {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// The diagnostics listener (pprof, the trace ring, metrics) is a
+	// separate server on a separate address — typically loopback — so
+	// profiling never rides the public port.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		debugSrv = &http.Server{
+			Handler:           s.DebugHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			log.Info("cpackd debug listening", "addr", dln.Addr().String())
+			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Warn("debug listener failed", "err", err)
+			}
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -153,6 +187,9 @@ func run(args []string) error {
 	defer cancel()
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		log.Warn("shutdown incomplete", "err", err)
+	}
+	if debugSrv != nil {
+		debugSrv.Close()
 	}
 	// HTTP requests are done (or abandoned); now drain the worker pools
 	// and flush the persistent cache.

@@ -43,12 +43,16 @@ func TestFlagErrors(t *testing.T) {
 
 // daemon is one cpackd subprocess re-executed from the test binary.
 type daemon struct {
-	cmd    *exec.Cmd
-	url    string
-	stderr *bytes.Buffer
+	cmd     *exec.Cmd
+	url     string
+	stderr  *bytes.Buffer
+	debugCh chan string // debug listener address, when -debug-addr was given
 }
 
-var listenRE = regexp.MustCompile(`msg="cpackd listening" addr=([^\s]+)`)
+var (
+	listenRE      = regexp.MustCompile(`msg="cpackd listening" addr=([^\s]+)`)
+	debugListenRE = regexp.MustCompile(`msg="cpackd debug listening" addr=([^\s]+)`)
+)
 
 // startDaemon re-executes the test binary as cpackd and waits for its
 // listening log line to learn the kernel-assigned port.
@@ -67,7 +71,7 @@ func startDaemon(t *testing.T, args ...string) *daemon {
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	d := &daemon{cmd: cmd, stderr: &bytes.Buffer{}}
+	d := &daemon{cmd: cmd, stderr: &bytes.Buffer{}, debugCh: make(chan string, 1)}
 	t.Cleanup(func() {
 		cmd.Process.Kill()
 		cmd.Wait()
@@ -80,6 +84,12 @@ func startDaemon(t *testing.T, args ...string) *daemon {
 			if m := listenRE.FindStringSubmatch(sc.Text()); m != nil {
 				select {
 				case addrCh <- m[1]:
+				default:
+				}
+			}
+			if m := debugListenRE.FindStringSubmatch(sc.Text()); m != nil {
+				select {
+				case d.debugCh <- m[1]:
 				default:
 				}
 			}
@@ -229,6 +239,61 @@ func TestKillRestartRecoversCache(t *testing.T) {
 	}
 	if !strings.Contains(d2.stderr.String(), "cpackd stopped") {
 		t.Errorf("missing clean-stop log line; stderr:\n%s", d2.stderr.String())
+	}
+}
+
+// debugURL waits for the daemon's debug listener to report its address.
+func (d *daemon) debugURL(t *testing.T) string {
+	t.Helper()
+	select {
+	case addr := <-d.debugCh:
+		return "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatalf("cpackd did not report a debug listening address; stderr:\n%s", d.stderr.String())
+		return ""
+	}
+}
+
+// TestDebugListenerServesDiagnostics: pprof and the trace ring are
+// reachable on -debug-addr only; the public port never serves pprof,
+// and one real compression leaves a compress span in the ring.
+func TestDebugListenerServesDiagnostics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess round trip")
+	}
+	d := startDaemon(t, "-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0")
+	debug := d.debugURL(t)
+
+	d.compress(t)
+
+	get := func(url string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(raw)
+	}
+
+	// pprof lives only on the private listener.
+	if code, _ := get(d.url + "/debug/pprof/"); code != http.StatusNotFound {
+		t.Errorf("public /debug/pprof/ returned %d, want 404", code)
+	}
+	if code, _ := get(debug + "/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("debug /debug/pprof/cmdline returned %d, want 200", code)
+	}
+
+	// The trace ring holds the compression's span tree.
+	code, body := get(debug + "/debug/trace/recent?endpoint=compress")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/trace/recent returned %d: %s", code, body)
+	}
+	for _, span := range []string{`"name":"handler"`, `"name":"compress"`, `"name":"encode"`} {
+		if !strings.Contains(body, span) {
+			t.Errorf("trace ring missing %s:\n%s", span, body)
+		}
 	}
 }
 

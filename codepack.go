@@ -36,6 +36,7 @@ import (
 	"codepack/internal/cpu"
 	"codepack/internal/decomp"
 	"codepack/internal/program"
+	"codepack/internal/trace"
 	"codepack/internal/vm"
 	"codepack/internal/workload"
 )
@@ -90,6 +91,22 @@ func Compress(im *Image) (*Compressed, error) {
 // CompressWords encodes a raw 32-bit instruction stream.
 func CompressWords(name string, textBase uint32, text []uint32) (*Compressed, error) {
 	return core.CompressWords(name, textBase, text)
+}
+
+// CompressContext is Compress with stage tracing: when ctx carries an
+// active trace span (internal/trace, as threaded by cpackd), each
+// compression phase — dictionary build, block encoding, index assembly
+// — is recorded as a child span. With no active span it behaves exactly
+// like Compress.
+func CompressContext(ctx context.Context, im *Image) (*Compressed, error) {
+	if trace.SpanFromContext(ctx) == nil {
+		return core.Compress(im)
+	}
+	return core.CompressWordsHooked(im.Name, im.TextBase, im.Text, core.DefaultOptions(),
+		func(phase string) func() {
+			_, sp := trace.Start(ctx, phase)
+			return sp.End
+		})
 }
 
 // UnmarshalCompressed parses the serialized form produced by

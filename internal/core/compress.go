@@ -59,6 +59,16 @@ func defaultOptions() Options {
 	return Options{Low: BuildDictOptions{ForceZeroSlot0: true}}
 }
 
+// DefaultOptions returns CodePack's default compression options
+// (low-halfword zero pinned to slot 0, break-even singleton exclusion).
+func DefaultOptions() Options { return defaultOptions() }
+
+// PhaseHook observes a compression's internal phases for tracing: it is
+// called at the start of each phase — "dict-build", "encode",
+// "index-build" — and the returned func marks the phase's end. A nil
+// hook is allowed and costs nothing.
+type PhaseHook func(phase string) (end func())
+
 // CompressWords encodes a raw instruction stream with default options. The
 // stream is padded with nops to a whole number of compression groups.
 func CompressWords(name string, textBase uint32, text []isa.Word) (*Compressed, error) {
@@ -68,6 +78,12 @@ func CompressWords(name string, textBase uint32, text []isa.Word) (*Compressed, 
 // CompressWordsWith encodes a raw instruction stream with explicit
 // dictionary-construction options (used by the ablation benchmarks).
 func CompressWordsWith(name string, textBase uint32, text []isa.Word, opts Options) (*Compressed, error) {
+	return CompressWordsHooked(name, textBase, text, opts, nil)
+}
+
+// CompressWordsHooked is CompressWordsWith with a PhaseHook reporting
+// where the compression's time goes (the span-tracing path in cpackd).
+func CompressWordsHooked(name string, textBase uint32, text []isa.Word, opts Options, hook PhaseHook) (*Compressed, error) {
 	if len(text) == 0 {
 		return nil, fmt.Errorf("core: empty text section")
 	}
@@ -84,7 +100,14 @@ func CompressWordsWith(name string, textBase uint32, text []isa.Word, opts Optio
 		High:     opts.FixedHigh,
 		Low:      opts.FixedLow,
 	}
+	phase := func(p string) func() {
+		if hook == nil {
+			return func() {}
+		}
+		return hook(p)
+	}
 	if c.High == nil || c.Low == nil {
+		end := phase("dict-build")
 		highCounts, lowCounts := CountHalfwords(padded)
 		if c.High == nil {
 			c.High = BuildDict(highCounts, opts.High)
@@ -92,16 +115,21 @@ func CompressWordsWith(name string, textBase uint32, text []isa.Word, opts Optio
 		if c.Low == nil {
 			c.Low = BuildDict(lowCounts, opts.Low)
 		}
+		end()
 	}
 
 	nBlocks := len(padded) / BlockInstrs
 	c.blocks = make([]blockMeta, nBlocks)
 	c.Index = make([]IndexEntry, nBlocks/GroupBlocks)
+	end := phase("encode")
 	for b := 0; b < nBlocks; b++ {
 		if err := c.encodeBlock(b, padded[b*BlockInstrs:(b+1)*BlockInstrs]); err != nil {
 			return nil, err
 		}
 	}
+	end()
+	end = phase("index-build")
+	defer end()
 	for g := range c.Index {
 		b0, b1 := &c.blocks[2*g], &c.blocks[2*g+1]
 		e := IndexEntry{

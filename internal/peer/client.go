@@ -56,8 +56,14 @@ func (c *Cluster) Fetch(ctx context.Context, digest string) ([]byte, string, Fet
 		return nil, "", FetchSelf
 	}
 	b := c.breakerFor(owner)
+	ctx, fs := trace.Start(ctx, "peer-fetch",
+		trace.String("owner", owner),
+		trace.String("digest", shortDigest(digest)),
+		trace.String("breaker", b.snapshot().State))
+	defer fs.End()
 	if !b.allow() {
 		c.stats.breakerSkips.Add(1)
+		fs.SetAttr("outcome", "breaker-skip")
 		return nil, owner, FetchUnavailable
 	}
 	attempts := 1 + c.cfg.Retries
@@ -65,31 +71,42 @@ func (c *Cluster) Fetch(ctx context.Context, digest string) ([]byte, string, Fet
 		if i > 0 {
 			if !sleepCtx(ctx, backoff(c.cfg.BackoffBase, i-1)) {
 				c.stats.fetchErrors.Add(1)
+				fs.SetAttr("outcome", "canceled")
 				return nil, owner, FetchUnavailable
 			}
 			// Re-check the breaker between attempts: another request's
 			// failures may have tripped it while we were backing off.
 			if !b.allow() {
 				c.stats.breakerSkips.Add(1)
+				fs.SetAttr("outcome", "breaker-skip")
 				return nil, owner, FetchUnavailable
 			}
 		}
-		payload, found, err := c.fetchOnce(ctx, owner, digest)
+		actx, as := trace.Start(ctx, "peer-attempt",
+			trace.Int("attempt", i+1),
+			trace.String("breaker", b.snapshot().State))
+		payload, found, err := c.fetchOnce(actx, owner, digest)
 		if err != nil {
+			as.SetAttr("err", err.Error())
+			as.End()
 			c.noteFailure(owner, b)
 			c.stats.fetchErrors.Add(1)
 			c.log.Debug("peer fetch attempt failed",
 				"peer", owner, "digest", digest, "attempt", i+1, "err", err)
 			continue
 		}
+		as.End()
 		c.noteSuccess(owner, b)
 		if !found {
 			c.stats.fetchMisses.Add(1)
+			fs.SetAttr("outcome", "miss")
 			return nil, owner, FetchMiss
 		}
 		c.stats.fetchHits.Add(1)
+		fs.SetAttr("outcome", "hit")
 		return payload, owner, FetchHit
 	}
+	fs.SetAttr("outcome", "unavailable")
 	return nil, owner, FetchUnavailable
 }
 
@@ -140,37 +157,86 @@ func (c *Cluster) fetchOnce(ctx context.Context, owner, digest string) (payload 
 // The owner is resolved when the push is sent, not here: a job that
 // waits out a membership change drains to the owner of the ring as it
 // is then, so the queue never feeds departed members.
-func (c *Cluster) Replicate(digest string, payload []byte) {
+func (c *Cluster) Replicate(ctx context.Context, digest string, payload []byte) {
+	_, es := trace.Start(ctx, "repl-enqueue", trace.String("digest", shortDigest(digest)))
+	defer es.End()
 	if owner := c.ring.Load().Owner(digest); owner == "" || owner == c.self {
+		es.SetAttr("outcome", "self")
 		return
 	}
+	j := replJob{
+		digest:     digest,
+		payload:    payload,
+		traceID:    trace.ID(ctx),
+		parentSpan: trace.SpanFromContext(ctx).SpanID(),
+		enqueued:   time.Now(),
+	}
 	select {
-	case c.replCh <- replJob{digest: digest, payload: payload}:
+	case c.replCh <- j:
+		c.qmu.Lock()
+		c.qtimes = append(c.qtimes, j.enqueued)
+		c.qmu.Unlock()
 		c.stats.replEnqueued.Add(1)
+		es.SetAttr("outcome", "enqueued")
 	default:
 		c.stats.replDropped.Add(1)
+		es.SetAttr("outcome", "dropped")
 	}
 }
 
 func (c *Cluster) replWorker() {
 	defer c.replWG.Done()
 	for j := range c.replCh {
+		c.qmu.Lock()
+		if len(c.qtimes) > 0 {
+			c.qtimes = append(c.qtimes[:0], c.qtimes[1:]...)
+		}
+		c.qmu.Unlock()
 		owner := c.ring.Load().Owner(j.digest)
 		if owner == "" || owner == c.self {
 			continue // ownership moved to us while the job was queued
 		}
-		if err := c.push(context.Background(), owner, j.digest, j.payload); err != nil {
+		// The push runs long after the originating request returned, so
+		// it gets its own background trace — same trace ID, root
+		// parented on the enqueuing span — that /debug/trace/recent can
+		// stitch back to the request that caused it.
+		ctx := context.Background()
+		var root *trace.Span
+		if c.cfg.Tracer != nil {
+			id := j.traceID
+			if id == "" {
+				id = trace.NewID()
+			}
+			ctx = trace.WithID(ctx, id)
+			ctx, root = c.cfg.Tracer.StartTrace(ctx, id, j.parentSpan, "replicate", "replicate",
+				trace.String("owner", owner),
+				trace.String("digest", shortDigest(j.digest)))
+			root.SetAttr("queue_wait_ms", float64(time.Since(j.enqueued))/float64(time.Millisecond))
+		}
+		if err := c.push(ctx, owner, j.digest, j.payload); err != nil {
 			c.stats.replErrors.Add(1)
+			root.SetAttr("err", err.Error())
 			c.log.Debug("replication push failed",
 				"peer", owner, "digest", j.digest, "err", err)
 		} else {
 			c.stats.replSent.Add(1)
 		}
+		root.End()
 	}
 }
 
 // push PUTs one payload to owner, breaker-gated, one attempt.
-func (c *Cluster) push(ctx context.Context, owner, digest string, payload []byte) error {
+func (c *Cluster) push(ctx context.Context, owner, digest string, payload []byte) (err error) {
+	ctx, ps := trace.Start(ctx, "peer-put",
+		trace.String("owner", owner),
+		trace.String("digest", shortDigest(digest)),
+		trace.Int("bytes", len(payload)))
+	defer func() {
+		if err != nil {
+			ps.SetAttr("err", err.Error())
+		}
+		ps.End()
+	}()
 	b := c.breakerFor(owner)
 	if !b.allow() {
 		c.stats.breakerSkips.Add(1)
@@ -258,7 +324,18 @@ func (c *Cluster) antiEntropyRing(ctx context.Context, ring *Ring, digests []str
 }
 
 // offer POSTs a digest batch to owner and returns the subset it wants.
-func (c *Cluster) offer(ctx context.Context, owner string, digests []string) ([]string, error) {
+func (c *Cluster) offer(ctx context.Context, owner string, digests []string) (want []string, err error) {
+	ctx, os := trace.Start(ctx, "peer-offer",
+		trace.String("owner", owner),
+		trace.Int("digests", len(digests)))
+	defer func() {
+		if err != nil {
+			os.SetAttr("err", err.Error())
+		} else {
+			os.SetAttr("want", len(want))
+		}
+		os.End()
+	}()
 	b := c.breakerFor(owner)
 	if !b.allow() {
 		c.stats.breakerSkips.Add(1)
@@ -305,13 +382,26 @@ func (c *Cluster) offer(ctx context.Context, owner string, digests []string) ([]
 
 // setTraceHeader forwards the originating request's trace ID (minting
 // one for background work) so one logical request logs the same ID on
-// every instance it touches.
+// every instance it touches, and the calling span's ID so the receiving
+// node's trace parents onto ours.
 func (c *Cluster) setTraceHeader(req *http.Request, ctx context.Context) {
 	id := trace.ID(ctx)
 	if id == "" {
 		id = trace.NewID()
 	}
 	req.Header.Set(trace.Header, id)
+	if sid := trace.SpanFromContext(ctx).SpanID(); sid != "" {
+		req.Header.Set(trace.SpanHeader, sid)
+	}
+}
+
+// shortDigest truncates a content digest for span attributes — enough
+// to correlate, not enough to bloat every trace.
+func shortDigest(d string) string {
+	if len(d) > 12 {
+		return d[:12]
+	}
+	return d
 }
 
 // backoff returns the nth retry delay: base doubled per step with up to

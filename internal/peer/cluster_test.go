@@ -298,7 +298,7 @@ func TestReplicateDeliversToOwner(t *testing.T) {
 
 	payload := []byte("replicated-payload")
 	d := peerOwnedDigest(t, c, "repl")
-	c.Replicate(d, payload)
+	c.Replicate(context.Background(), d, payload)
 
 	deadline := time.Now().Add(5 * time.Second)
 	for {
@@ -315,7 +315,7 @@ func TestReplicateDeliversToOwner(t *testing.T) {
 	}
 
 	// Self-owned digests are not replicated anywhere.
-	c.Replicate(selfOwnedDigest(t, c, "replself"), payload)
+	c.Replicate(context.Background(), selfOwnedDigest(t, c, "replself"), payload)
 	if st := c.Stats(); st.ReplicationsEnqueued != 1 {
 		t.Errorf("enqueued = %d, want 1 (self-owned push must not enqueue)", st.ReplicationsEnqueued)
 	}

@@ -48,6 +48,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"codepack/internal/trace"
 )
 
 // Defaults for Config zero values.
@@ -129,6 +131,12 @@ type Config struct {
 	Logger *slog.Logger
 	// Transport overrides the HTTP transport (tests).
 	Transport http.RoundTripper
+
+	// Tracer, when non-nil, records spans for peer traffic: request-path
+	// fetches join the caller's trace via context, and background work
+	// (replication pushes) opens its own trace here, stitched to the
+	// originating request by trace ID and parent span.
+	Tracer *trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -196,12 +204,23 @@ type Cluster struct {
 	memDone   chan struct{}
 	closeOnce sync.Once
 
+	// qmu guards qtimes, a FIFO of enqueue timestamps mirroring replCh;
+	// its head is the age of the oldest job still waiting for a worker.
+	qmu    sync.Mutex
+	qtimes []time.Time
+
 	stats clusterStats
 }
 
 type replJob struct {
 	digest  string
 	payload []byte
+
+	// Trace lineage of the originating request, so the async push can
+	// open a background trace stitched to it.
+	traceID    string
+	parentSpan string
+	enqueued   time.Time
 }
 
 // clusterStats are the Cluster's lifetime counters; read via Stats.
@@ -517,6 +536,22 @@ func (c *Cluster) Health() []PeerHealth {
 		})
 	}
 	return out
+}
+
+// ReplQueueDepth returns the number of replication jobs waiting for a
+// worker.
+func (c *Cluster) ReplQueueDepth() int { return len(c.replCh) }
+
+// ReplQueueOldestAge returns how long the oldest still-queued
+// replication job has been waiting (0 with an empty queue). Jobs a
+// worker has already picked up no longer count.
+func (c *Cluster) ReplQueueOldestAge() time.Duration {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	if len(c.qtimes) == 0 {
+		return 0
+	}
+	return time.Since(c.qtimes[0])
 }
 
 // ReportBadPayload records that owner served a payload that failed the

@@ -30,6 +30,26 @@ type node struct {
 	ringVer uint64
 	cache   map[string]entry
 	durable map[string][]byte
+
+	stats NodeStats
+}
+
+// NodeStats are one node's lifetime event counters — per-node
+// observability mirroring the live cluster's Stats, so schedules can
+// assert where activity happened, not just that it happened. They
+// survive crashes and restarts (a restart is the same process in the
+// real daemon's analogue of a reboot loop).
+type NodeStats struct {
+	// HeartbeatsSent counts gossip exchanges initiated (join bursts,
+	// heartbeat fan-out and reconnection probes included).
+	HeartbeatsSent int
+	// AEPasses counts anti-entropy offer/want passes started.
+	AEPasses int
+	// ReplicationsSent counts payload pushes initiated (async
+	// replication and AE pushes).
+	ReplicationsSent int
+	// Quarantines counts replicated payloads accepted into quarantine.
+	Quarantines int
 }
 
 // gossipMsg mirrors peer.MembershipMsg for the in-memory transport.
@@ -122,6 +142,7 @@ func (n *node) tick() {
 // gossipTo is one view exchange with target over the faulty transport,
 // mirroring Cluster.exchange + handleMembership.
 func (n *node) gossipTo(target string) {
+	n.stats.HeartbeatsSent++
 	req := gossipMsg{From: n.mem.SelfInfo(), Members: n.mem.Snapshot()}
 	incarn := n.incarn
 	n.w.rpc(n.url, target,
@@ -173,6 +194,7 @@ func (n *node) checkRing() {
 // Pushes travel the faulty transport and land in the owner's
 // quarantine.
 func (n *node) runAE() {
+	n.stats.AEPasses++
 	byOwner := make(map[string][]string)
 	var digests []string
 	for d := range n.cache {
@@ -222,6 +244,7 @@ func (n *node) handleOffer(digests []string) []string {
 // sendPut replicates one payload over the faulty transport (async
 // best-effort, like the replication queue).
 func (n *node) sendPut(target, digest string, payload []byte) {
+	n.stats.ReplicationsSent++
 	n.w.rpc(n.url, target,
 		func(tn *node) any { tn.handlePut(digest, payload); return nil },
 		func(any, bool) {})
@@ -233,6 +256,7 @@ func (n *node) handlePut(digest string, payload []byte) {
 	if _, ok := n.cache[digest]; ok {
 		return
 	}
+	n.stats.Quarantines++
 	n.cache[digest] = entry{payload: payload}
 }
 

@@ -309,6 +309,15 @@ func (w *World) Live(url string) []string { return w.nodes[url].mem.Live() }
 // Stats returns the world's counters.
 func (w *World) Stats() Stats { return w.stats }
 
+// NodeStats returns one node's lifetime event counters (zero value for
+// an unknown URL).
+func (w *World) NodeStats(url string) NodeStats {
+	if n, ok := w.nodes[url]; ok {
+		return n.stats
+	}
+	return NodeStats{}
+}
+
 // Committed returns every digest a client ever compressed, sorted.
 func (w *World) Committed() []string {
 	out := make([]string, 0, len(w.committed))

@@ -92,6 +92,24 @@ func TestSimPartitionConverges(t *testing.T) {
 	if got := w.Live(nodes[0]); len(got) != 5 {
 		t.Errorf("healed ring = %v, want all 5 members", got)
 	}
+	// Per-node observability: a schedule this busy must show every node
+	// gossiping, and the compressed digests must have moved — someone
+	// replicated, someone quarantined.
+	var repls, quars int
+	for _, url := range nodes {
+		ns := w.NodeStats(url)
+		if ns.HeartbeatsSent == 0 {
+			t.Errorf("node %s sent no heartbeats", url)
+		}
+		if ns.AEPasses == 0 {
+			t.Errorf("node %s ran no anti-entropy passes", url)
+		}
+		repls += ns.ReplicationsSent
+		quars += ns.Quarantines
+	}
+	if repls == 0 || quars == 0 {
+		t.Errorf("node stats show no replication traffic: sent=%d quarantined=%d", repls, quars)
+	}
 }
 
 // TestSimCrashRestartConverges: one node bounces fast (suspect window),

@@ -32,7 +32,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 	release := make(chan struct{})
 	fills := 0
 	go func() {
-		g.do(context.Background(), "k", func() (*codepack.Compressed, bool, *httpError) {
+		g.do(context.Background(), "k", func(context.Context) (*codepack.Compressed, bool, *httpError) {
 			close(entered)
 			<-release
 			fills++
@@ -51,7 +51,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 			defer wg.Done()
 			arrived <- struct{}{}
 			got, cached, follower, herr := g.do(context.Background(), "k",
-				func() (*codepack.Compressed, bool, *httpError) {
+				func(context.Context) (*codepack.Compressed, bool, *httpError) {
 					t.Error("follower ran its own fill")
 					return nil, false, nil
 				})
@@ -87,7 +87,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 
 	// The key is released: the next do is a fresh leader.
 	_, _, follower, _ := g.do(context.Background(), "k",
-		func() (*codepack.Compressed, bool, *httpError) { return comp, true, nil })
+		func(context.Context) (*codepack.Compressed, bool, *httpError) { return comp, true, nil })
 	if follower {
 		t.Error("post-flight call still reported as follower")
 	}
@@ -101,7 +101,7 @@ func TestFlightGroupFollowerCancel(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
 	go func() {
-		g.do(context.Background(), "k", func() (*codepack.Compressed, bool, *httpError) {
+		g.do(context.Background(), "k", func(context.Context) (*codepack.Compressed, bool, *httpError) {
 			close(entered)
 			<-release
 			return nil, false, nil
@@ -112,7 +112,7 @@ func TestFlightGroupFollowerCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	_, _, follower, herr := g.do(ctx, "k",
-		func() (*codepack.Compressed, bool, *httpError) { return nil, false, nil })
+		func(context.Context) (*codepack.Compressed, bool, *httpError) { return nil, false, nil })
 	if !follower {
 		t.Error("cancelled waiter not reported as follower")
 	}

@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"runtime"
@@ -113,10 +114,58 @@ type metrics struct {
 	peerErrors  counter // fetch failures, breaker skips, failed verifications
 	ringChanges counter // ring rebuilds driven by membership changes
 	aePasses    counter // anti-entropy passes completed (startup + ring changes)
+
+	// Stage histograms: one per span name, fed by the tracer's OnSpanEnd
+	// hook, so every traced pipeline stage gets a duration distribution.
+	// peerFetch duplicates the "peer-fetch" stage under its own metric
+	// name — the warm tier's headline latency.
+	stageMu   sync.Mutex
+	stages    map[string]*histogram
+	peerFetch histogram
 }
 
 func newMetrics() *metrics {
-	return &metrics{start: time.Now(), endpoints: make(map[string]*endpointStats)}
+	return &metrics{
+		start:     time.Now(),
+		endpoints: make(map[string]*endpointStats),
+		stages:    make(map[string]*histogram),
+	}
+}
+
+// observeStage records one completed span into its stage histogram;
+// it is the tracer's OnSpanEnd hook and runs on every span, so the
+// slow path is only the first sighting of a new stage name.
+func (m *metrics) observeStage(name string, d time.Duration) {
+	m.stageMu.Lock()
+	h, ok := m.stages[name]
+	if !ok {
+		h = &histogram{}
+		m.stages[name] = h
+	}
+	m.stageMu.Unlock()
+	h.observe(d.Seconds())
+	if name == "peer-fetch" {
+		m.peerFetch.observe(d.Seconds())
+	}
+}
+
+// stageNames returns the observed stage names, sorted.
+func (m *metrics) stageNames() []string {
+	m.stageMu.Lock()
+	defer m.stageMu.Unlock()
+	names := make([]string, 0, len(m.stages))
+	for n := range m.stages {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// stage returns the histogram for name (nil if never observed).
+func (m *metrics) stage(name string) *histogram {
+	m.stageMu.Lock()
+	defer m.stageMu.Unlock()
+	return m.stages[name]
 }
 
 func (m *metrics) endpoint(name string) *endpointStats {
@@ -139,6 +188,30 @@ func (m *metrics) endpointNames() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// writeHistBuckets renders one histogram series in the Prometheus text
+// format; labels is the rendered label set without braces ("" for none).
+func writeHistBuckets(w io.Writer, metric, labels string, snap histSnapshot) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, bound := range latencyBuckets {
+		cum += snap.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n",
+			metric, labels, sep, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+	}
+	cum += snap.Counts[numBuckets]
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", metric, labels, sep, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", metric, snap.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", metric, snap.N)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", metric, labels, snap.Sum)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", metric, labels, snap.N)
+	}
 }
 
 // handleMetrics renders the Prometheus text exposition format.
@@ -214,6 +287,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE cpackd_compress_coalesced_total counter\n")
 	fmt.Fprintf(w, "cpackd_compress_coalesced_total %d\n", s.metrics.coalesced.value())
 
+	if stages := m.stageNames(); len(stages) > 0 {
+		fmt.Fprintf(w, "# HELP cpackd_stage_duration_seconds Pipeline-stage duration, by traced span name.\n")
+		fmt.Fprintf(w, "# TYPE cpackd_stage_duration_seconds histogram\n")
+		for _, name := range stages {
+			writeHistBuckets(w, "cpackd_stage_duration_seconds",
+				fmt.Sprintf("stage=%q", name), m.stage(name).snapshot())
+		}
+	}
+	if s.tracer != nil {
+		fmt.Fprintf(w, "# HELP cpackd_traces_recorded_total Completed traces recorded into the trace ring (evicted ones included).\n")
+		fmt.Fprintf(w, "# TYPE cpackd_traces_recorded_total counter\n")
+		fmt.Fprintf(w, "cpackd_traces_recorded_total %d\n", s.tracer.Total())
+	}
+
 	if c := s.cluster; c != nil {
 		st := c.Stats()
 		fmt.Fprintf(w, "# HELP cpackd_peer_hits_total Cache fills served by a peer (verified).\n")
@@ -249,6 +336,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# HELP cpackd_peer_heartbeats_total Successful membership gossip exchanges sent.\n")
 		fmt.Fprintf(w, "# TYPE cpackd_peer_heartbeats_total counter\n")
 		fmt.Fprintf(w, "cpackd_peer_heartbeats_total %d\n", st.Heartbeats)
+		fmt.Fprintf(w, "# HELP cpackd_peer_repl_queue_depth Replication jobs waiting for a worker.\n")
+		fmt.Fprintf(w, "# TYPE cpackd_peer_repl_queue_depth gauge\n")
+		fmt.Fprintf(w, "cpackd_peer_repl_queue_depth %d\n", c.ReplQueueDepth())
+		fmt.Fprintf(w, "# HELP cpackd_peer_repl_queue_age_seconds Age of the oldest still-queued replication job.\n")
+		fmt.Fprintf(w, "# TYPE cpackd_peer_repl_queue_age_seconds gauge\n")
+		fmt.Fprintf(w, "cpackd_peer_repl_queue_age_seconds %g\n", c.ReplQueueOldestAge().Seconds())
+		fmt.Fprintf(w, "# HELP cpackd_peer_fetch_duration_seconds Warm-tier owner-fetch latency (breaker skips included).\n")
+		fmt.Fprintf(w, "# TYPE cpackd_peer_fetch_duration_seconds histogram\n")
+		writeHistBuckets(w, "cpackd_peer_fetch_duration_seconds", "", m.peerFetch.snapshot())
 		fmt.Fprintf(w, "# HELP cpackd_peer_breaker_state Per-peer breaker state: 0 closed, 1 half-open, 2 open.\n")
 		fmt.Fprintf(w, "# TYPE cpackd_peer_breaker_state gauge\n")
 		fmt.Fprintf(w, "# HELP cpackd_peer_breaker_opens_total Times each peer's breaker has opened.\n")
@@ -341,6 +437,8 @@ type appVars struct {
 	Shed          uint64                  `json:"requests_shed"`
 	Timeouts      uint64                  `json:"request_timeouts"`
 	Coalesced     uint64                  `json:"compress_coalesced"`
+	Stages        map[string]histSnapshot `json:"stages,omitempty"`
+	Traces        uint64                  `json:"traces_recorded"`
 	Peer          *peerVars               `json:"peer,omitempty"`
 }
 
@@ -354,6 +452,8 @@ type peerVars struct {
 	Misses     uint64            `json:"misses"`
 	Errors     uint64            `json:"errors"`
 	AEPasses   uint64            `json:"antientropy_passes"`
+	ReplQueue  int               `json:"repl_queue_depth"`
+	ReplOldest float64           `json:"repl_queue_age_seconds"`
 	Cluster    peer.Stats        `json:"cluster"`
 	Breakers   []peer.PeerHealth `json:"breakers"`
 }
@@ -392,10 +492,19 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 			Misses:     s.metrics.peerMisses.value(),
 			Errors:     s.metrics.peerErrors.value(),
 			AEPasses:   s.metrics.aePasses.value(),
+			ReplQueue:  c.ReplQueueDepth(),
+			ReplOldest: c.ReplQueueOldestAge().Seconds(),
 			Cluster:    c.Stats(),
 			Breakers:   c.Health(),
 		}
 	}
+	if names := s.metrics.stageNames(); len(names) > 0 {
+		snap.Cpackd.Stages = make(map[string]histSnapshot, len(names))
+		for _, n := range names {
+			snap.Cpackd.Stages[n] = s.metrics.stage(n).snapshot()
+		}
+	}
+	snap.Cpackd.Traces = s.tracer.Total()
 	runtime.ReadMemStats(&snap.MemStats)
 	for _, name := range s.metrics.endpointNames() {
 		e := s.metrics.endpoint(name)

@@ -62,6 +62,7 @@ const (
 	DefaultMaxInstr       = 8_000_000
 	DefaultMaxBodyBytes   = 32 << 20
 	DefaultRequestTimeout = 60 * time.Second
+	DefaultTraceSlow      = 500 * time.Millisecond
 )
 
 // Config parameterizes a Server. The zero value serves with sensible
@@ -107,6 +108,16 @@ type Config struct {
 	// caching is disabled.
 	Peer *peer.Config
 
+	// TraceCapacity bounds the completed-trace ring buffer served at
+	// GET /debug/trace/recent (0 = trace.DefaultCapacity, negative
+	// disables span tracing entirely).
+	TraceCapacity int
+
+	// TraceSlow is the total duration above which a completed request's
+	// span tree is logged in full (0 = DefaultTraceSlow, negative
+	// disables slow-trace logging).
+	TraceSlow time.Duration
+
 	// Logger receives access and lifecycle logs (nil = slog.Default()).
 	Logger *slog.Logger
 }
@@ -141,6 +152,9 @@ func (c Config) withDefaults() Config {
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = DefaultRequestTimeout
 	}
+	if c.TraceSlow == 0 {
+		c.TraceSlow = DefaultTraceSlow
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
@@ -157,6 +171,7 @@ type Server struct {
 	cache   *compCache
 	suite   *harness.Suite
 	metrics *metrics
+	tracer  *trace.Tracer
 	mux     *http.ServeMux
 
 	// Warm-tier state (nil cluster = standalone instance).
@@ -204,6 +219,13 @@ func New(cfg Config) (*Server, error) {
 		metrics: newMetrics(),
 		mux:     http.NewServeMux(),
 	}
+	if cfg.TraceCapacity >= 0 {
+		s.tracer = trace.NewTracer(trace.TracerConfig{
+			Capacity:    cfg.TraceCapacity,
+			OnSpanEnd:   s.metrics.observeStage,
+			OnTraceDone: s.traceDone,
+		})
+	}
 	s.mux.Handle("POST /v1/compress", s.instrument("compress", s.handleCompress))
 	s.mux.Handle("POST /v1/decompress", s.instrument("decompress", s.handleDecompress))
 	s.mux.Handle("POST /v1/verify", s.instrument("verify", s.handleVerify))
@@ -212,6 +234,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.Handle("GET /v1/bench", s.instrument("bench_list", s.handleBenchList))
 	s.mux.Handle("GET /metrics", http.HandlerFunc(s.handleMetrics))
 	s.mux.Handle("GET /debug/vars", http.HandlerFunc(s.handleVars))
+	s.mux.Handle("GET /debug/trace/recent", http.HandlerFunc(s.handleTraceRecent))
 	s.mux.Handle("GET /healthz", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		io.WriteString(w, "{\"status\":\"ok\"}\n")
@@ -238,6 +261,9 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) joinCluster(pc peer.Config) error {
 	if pc.Logger == nil {
 		pc.Logger = s.log
+	}
+	if pc.Tracer == nil {
+		pc.Tracer = s.tracer
 	}
 	aeCh := make(chan uint64, 1)
 	pc.OnRingChange = func(epoch uint64, members []string) {
@@ -281,9 +307,22 @@ func (s *Server) antiEntropyLoop(ctx context.Context, trigger <-chan uint64) {
 		if len(digests) == 0 {
 			return
 		}
-		s.cluster.AntiEntropy(ctx, digests, func(d string) ([]byte, bool) {
+		// Each pass is its own background trace; the offer/put spans the
+		// peer client opens land under it via the context.
+		actx := ctx
+		var root *trace.Span
+		if s.tracer != nil {
+			id := trace.NewID()
+			actx = trace.WithID(actx, id)
+			actx, root = s.tracer.StartTrace(actx, id, "", "antientropy", "antientropy",
+				trace.String("reason", reason),
+				trace.Int("digests", len(digests)))
+			root.SetAttr("epoch", epoch)
+		}
+		s.cluster.AntiEntropy(actx, digests, func(d string) ([]byte, bool) {
 			return s.cache.payload(d)
 		})
+		root.End()
 		s.metrics.aePasses.add(1)
 		st := s.cluster.Stats()
 		s.log.Info("anti-entropy pass finished",
@@ -544,6 +583,16 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
 		}
 		ctx = trace.WithID(ctx, reqID)
 		w.Header().Set(trace.Header, reqID)
+		// Open the request's root span. A peer hop carries the sender's
+		// span ID so the two nodes' traces stitch together; membership
+		// heartbeats are exempt — tracing every gossip round would flush
+		// real requests out of the ring.
+		var root *trace.Span
+		if name != "peer_membership" {
+			remoteParent := trace.Sanitize(r.Header.Get(trace.SpanHeader))
+			ctx, root = s.tracer.StartTrace(ctx, reqID, remoteParent, name, "handler",
+				trace.String("endpoint", name))
+		}
 		body := &countReader{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)}
 		r = r.WithContext(ctx)
 		r.Body = body
@@ -551,6 +600,8 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
 
 		h(sw, r)
 
+		root.SetAttr("status", sw.code)
+		root.End()
 		dur := time.Since(start)
 		s.metrics.endpoint(name).record(sw.code, body.n, sw.bytes, dur)
 		s.log.LogAttrs(ctx, slog.LevelInfo, "request",
@@ -564,6 +615,24 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
 			slog.Duration("duration", dur),
 		)
 	})
+}
+
+// traceDone is the tracer's OnTraceDone hook: traces slower than the
+// configured threshold are logged in full, span tree included, so a
+// slow request explains itself without anyone re-driving it.
+func (s *Server) traceDone(tr trace.Trace) {
+	if s.cfg.TraceSlow <= 0 {
+		return
+	}
+	if tr.DurationMS < float64(s.cfg.TraceSlow)/float64(time.Millisecond) {
+		return
+	}
+	s.log.Warn("slow trace",
+		"trace_id", tr.TraceID,
+		"endpoint", tr.Endpoint,
+		"duration_ms", tr.DurationMS,
+		"spans", len(tr.Spans),
+		"tree", "\n"+tr.Tree())
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
@@ -588,12 +657,18 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, p *pool, op st
 	ctx := r.Context()
 	var resp any
 	var herr *httpError
+	// queue-wait measures admission latency: it ends the moment the
+	// pooled fn starts running (the second End, for shed/closed paths
+	// where the fn never runs, is an idempotent no-op).
+	_, qs := trace.Start(ctx, "queue-wait", trace.String("pool", p.name))
 	err := p.do(ctx, func() {
+		qs.End()
 		if s.testHook != nil {
 			s.testHook(op)
 		}
 		resp, herr = fn(ctx)
 	})
+	qs.End()
 	switch {
 	case err == nil:
 	case errors.Is(err, errSaturated):
@@ -641,6 +716,15 @@ func (s *Server) resolveImage(ctx context.Context, ref ProgramRef) (*codepack.Im
 	if set != 1 {
 		return nil, badRequest("exactly one of benchmark, asm, image_b64 must be set")
 	}
+	kind := "image_b64"
+	switch {
+	case ref.Benchmark != "":
+		kind = "benchmark"
+	case ref.Asm != "":
+		kind = "asm"
+	}
+	_, rs := trace.Start(ctx, "resolve-image", trace.String("kind", kind))
+	defer rs.End()
 	switch {
 	case ref.Benchmark != "":
 		b, err := s.suite.BenchContext(ctx, ref.Benchmark)
@@ -675,11 +759,19 @@ func (s *Server) resolveImage(ctx context.Context, ref ProgramRef) (*codepack.Im
 // coalesced in-flight fill).
 func (s *Server) compressImage(ctx context.Context, im *codepack.Image) (comp *codepack.Compressed, digest string, cached bool, herr *httpError) {
 	digest = codepack.Digest(im.Marshal())
-	if c, ok := s.cachedVerified(digest, im, false); ok {
+	_, ls := trace.Start(ctx, "cache-lookup", trace.String("digest", digest[:12]))
+	c, ok := s.cachedVerified(digest, im, false)
+	if ok {
+		ls.SetAttr("outcome", "hit")
+		ls.End()
 		return c, digest, true, nil
 	}
-	c, cached, follower, herr := s.flights.do(ctx, digest, func() (*codepack.Compressed, bool, *httpError) {
-		return s.fillMiss(ctx, digest, im)
+	ls.SetAttr("outcome", "miss")
+	ls.End()
+	c, cached, follower, herr := s.flights.do(ctx, digest, func(fctx context.Context) (*codepack.Compressed, bool, *httpError) {
+		fctx, fs := trace.Start(fctx, "fill")
+		defer fs.End()
+		return s.fillMiss(fctx, digest, im)
 	})
 	if follower {
 		s.metrics.coalesced.add(1)
@@ -698,7 +790,15 @@ func (s *Server) fillMiss(ctx context.Context, digest string, im *codepack.Image
 	// filling this digest between our cache miss and acquiring the key.
 	// The probe skips miss accounting — this request's miss was already
 	// counted on the way in.
-	if c, ok := s.cachedVerified(digest, im, true); ok {
+	_, rcs := trace.Start(ctx, "cache-recheck")
+	c, ok := s.cachedVerified(digest, im, true)
+	if ok {
+		rcs.SetAttr("outcome", "hit")
+	} else {
+		rcs.SetAttr("outcome", "miss")
+	}
+	rcs.End()
+	if ok {
 		return c, true, nil
 	}
 	if s.cluster != nil {
@@ -717,13 +817,15 @@ func (s *Server) fillMiss(ctx context.Context, digest string, im *codepack.Image
 			s.metrics.peerErrors.add(1)
 		}
 	}
-	comp, err := codepack.Compress(im)
+	cctx, cs := trace.Start(ctx, "compress", trace.Int("instructions", len(im.Text)))
+	comp, err := codepack.CompressContext(cctx, im)
+	cs.End()
 	if err != nil {
 		return nil, false, badRequest("compress: %v", err)
 	}
 	s.cache.put(digest, comp)
 	if s.cluster != nil {
-		s.cluster.Replicate(digest, comp.Marshal())
+		s.cluster.Replicate(ctx, digest, comp.Marshal())
 	}
 	return comp, false, nil
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"codepack"
+	"codepack/internal/trace"
 )
 
 // flightGroup coalesces concurrent cache misses for the same digest:
@@ -30,17 +31,20 @@ type flight struct {
 // reports which side this call was. A follower whose ctx ends while
 // waiting abandons the wait (the leader's fill continues and still
 // lands in the cache).
-func (g *flightGroup) do(ctx context.Context, key string, fn func() (*codepack.Compressed, bool, *httpError)) (comp *codepack.Compressed, cached bool, follower bool, herr *httpError) {
+func (g *flightGroup) do(ctx context.Context, key string, fn func(ctx context.Context) (*codepack.Compressed, bool, *httpError)) (comp *codepack.Compressed, cached bool, follower bool, herr *httpError) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = make(map[string]*flight)
 	}
 	if f, ok := g.m[key]; ok {
 		g.mu.Unlock()
+		_, ws := trace.Start(ctx, "singleflight-wait")
+		defer ws.End()
 		select {
 		case <-f.done:
 			return f.comp, true, true, f.herr
 		case <-ctx.Done():
+			ws.SetAttr("outcome", "abandoned")
 			return nil, false, true, &httpError{http.StatusServiceUnavailable,
 				"request ended while waiting on an in-flight compression"}
 		}
@@ -49,7 +53,7 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func() (*codepack.C
 	g.m[key] = f
 	g.mu.Unlock()
 
-	f.comp, f.cached, f.herr = fn()
+	f.comp, f.cached, f.herr = fn(ctx)
 	g.mu.Lock()
 	delete(g.m, key)
 	g.mu.Unlock()

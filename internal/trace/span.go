@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// SpanHeader is the HTTP header that carries the calling span's ID on
+// peer hops (GET/PUT/offer), so a cluster-wide request can be stitched
+// back together from each node's /debug/trace/recent output: the
+// receiving node's root span records the sender's span as its parent.
+const SpanHeader = "X-Cpackd-Span"
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// String, Int and Bool build span attributes without the caller
+// spelling out the struct.
+func String(k, v string) Attr  { return Attr{k, v} }
+func Int(k string, v int) Attr { return Attr{k, v} }
+func Bool(k string, v bool) Attr {
+	return Attr{k, v}
+}
+
+// Span is one timed stage of a trace: a name, start/end, attributes and
+// a parent link. Spans are created with Start (or Tracer.StartTrace for
+// roots), annotated with SetAttr, and closed with End. All methods are
+// safe on a nil *Span, so call sites need no "is tracing on" branches:
+// with no active trace in the context, Start returns nil and every
+// subsequent call is a no-op.
+type Span struct {
+	at     *activeTrace
+	seq    int
+	id     string
+	parent string
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	ended bool
+}
+
+// SpanID returns the span's ID ("" for a nil span) — the value
+// forwarded in SpanHeader on outbound peer calls.
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
+// SetAttr annotates the span. Later values for the same key win when
+// the trace is serialized.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.attrs = append(s.attrs, Attr{key, value})
+	}
+	s.mu.Unlock()
+}
+
+// End closes the span, recording it on its trace. Idempotent: only the
+// first End counts. Ending the trace's root span completes the trace —
+// it is finalized, pushed into the tracer's ring buffer and reported to
+// the OnTraceDone hook; spans still open at that point are dropped.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+	s.at.finish(s, time.Since(s.start), attrs)
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying s as the current span.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the current span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// Start begins a child of the context's current span and returns a
+// context carrying the child. With no active span in ctx it returns
+// (ctx, nil): tracing disabled costs one context lookup and nothing
+// else.
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil || parent.at == nil {
+		return ctx, nil
+	}
+	s := parent.at.newSpan(name, parent.id, attrs)
+	return ContextWithSpan(ctx, s), s
+}
+
+// newSpanID returns an 8-hex-character span ID, unique enough to stitch
+// traces across a cluster's ring buffers.
+func newSpanID() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "rand-na"
+	}
+	return hex.EncodeToString(b[:])
+}

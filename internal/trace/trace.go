@@ -1,9 +1,25 @@
-// Package trace carries the per-request ID that ties one request's
-// access-log lines together across cpackd instances. The ID arrives on
-// (or is minted for) every inbound request, rides the request context
-// through handlers and worker pools, and is forwarded on outbound peer
-// calls, so a cache fill that touches two instances logs the same ID on
-// both.
+// Package trace is cpackd's dependency-free request-tracing subsystem.
+//
+// Two layers build on each other:
+//
+//   - A per-request ID (Header, NewID, WithID/ID) that ties one
+//     request's access-log lines together across instances. The ID
+//     arrives on (or is minted for) every inbound request, rides the
+//     request context through handlers and worker pools, and is
+//     forwarded on outbound peer calls.
+//
+//   - Spans (Span, Start, Tracer): every pipeline stage a request
+//     passes through — HTTP handling, queue wait, cache lookups, peer
+//     fetches, compression phases, replication, anti-entropy — opens a
+//     span carrying a name, start/end times, attributes and a parent
+//     link. Completed traces land in a bounded ring buffer (Tracer)
+//     served at GET /debug/trace/recent, and the calling span's ID is
+//     forwarded on peer hops (SpanHeader) so one logical request can be
+//     stitched together from every node it touched.
+//
+// Tracing is nil-safe by construction: with no Tracer configured, Start
+// returns a nil *Span and every Span method is a no-op, so call sites
+// never branch on whether tracing is on.
 package trace
 
 import (

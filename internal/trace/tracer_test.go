@@ -1,0 +1,238 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startTrace is a test shorthand: one trace with a root span.
+func startTrace(t *Tracer, id, endpoint string) (context.Context, *Span) {
+	return t.StartTrace(context.Background(), id, "", endpoint, "handler")
+}
+
+// TestSpanTreeShape: spans record name, parentage and attributes, in
+// start order, with the root first.
+func TestSpanTreeShape(t *testing.T) {
+	tr := NewTracer(TracerConfig{})
+	ctx, root := startTrace(tr, "req-1", "compress")
+	ctx2, a := Start(ctx, "cache-lookup", String("outcome", "miss"))
+	a.End()
+	_ = ctx2
+	fctx, fill := Start(ctx, "fill")
+	_, comp := Start(fctx, "compress", Int("bytes", 42))
+	comp.End()
+	fill.End()
+	root.SetAttr("status", 200)
+	root.End()
+
+	got := tr.Recent(0, "", 0)
+	if len(got) != 1 {
+		t.Fatalf("Recent returned %d traces, want 1", len(got))
+	}
+	spans := got[0].Spans
+	names := make([]string, len(spans))
+	for i, s := range spans {
+		names[i] = s.Name
+	}
+	want := []string{"handler", "cache-lookup", "fill", "compress"}
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Fatalf("span order = %v, want %v", names, want)
+	}
+	byName := map[string]SpanData{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["handler"].Parent != "" {
+		t.Errorf("root has parent %q, want none", byName["handler"].Parent)
+	}
+	if byName["cache-lookup"].Parent != byName["handler"].ID {
+		t.Errorf("cache-lookup parented on %q, want root %q", byName["cache-lookup"].Parent, byName["handler"].ID)
+	}
+	if byName["compress"].Parent != byName["fill"].ID {
+		t.Errorf("compress parented on %q, want fill %q", byName["compress"].Parent, byName["fill"].ID)
+	}
+	if v := byName["cache-lookup"].Attrs["outcome"]; v != "miss" {
+		t.Errorf("cache-lookup outcome attr = %v, want miss", v)
+	}
+	if v := byName["handler"].Attrs["status"]; v != 200 {
+		t.Errorf("root status attr = %v, want 200", v)
+	}
+	tree := got[0].Tree()
+	for _, line := range []string{"handler", "  cache-lookup", "  fill", "    compress"} {
+		if !strings.Contains(tree, line+" ") {
+			t.Errorf("Tree() missing line %q:\n%s", line, tree)
+		}
+	}
+}
+
+// TestNilSafety: without a tracer every call is a no-op — nil spans,
+// pass-through contexts, zero-value reads.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	ctx, root := tr.StartTrace(context.Background(), "id", "", "e", "handler")
+	if root != nil {
+		t.Fatal("nil tracer returned a live span")
+	}
+	ctx2, child := Start(ctx, "anything", String("k", "v"))
+	if child != nil {
+		t.Fatal("Start without an active span returned a live span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("Start without an active span replaced the context")
+	}
+	child.SetAttr("k", 1)
+	child.End()
+	child.End()
+	if id := child.SpanID(); id != "" {
+		t.Fatalf("nil span ID = %q, want empty", id)
+	}
+	if got := tr.Recent(0, "", 0); got != nil {
+		t.Fatalf("nil tracer Recent = %v, want nil", got)
+	}
+	if n := tr.Total(); n != 0 {
+		t.Fatalf("nil tracer Total = %d, want 0", n)
+	}
+}
+
+// TestRingEviction: the ring holds at most Capacity traces, newest
+// first, and Total keeps counting past evictions.
+func TestRingEviction(t *testing.T) {
+	tr := NewTracer(TracerConfig{Capacity: 4})
+	for i := 0; i < 10; i++ {
+		_, root := startTrace(tr, fmt.Sprintf("req-%d", i), "compress")
+		root.End()
+	}
+	got := tr.Recent(0, "", 0)
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d traces, want 4", len(got))
+	}
+	for i, tc := range got {
+		if want := fmt.Sprintf("req-%d", 9-i); tc.TraceID != want {
+			t.Errorf("Recent[%d] = %s, want %s (newest first)", i, tc.TraceID, want)
+		}
+	}
+	if tr.Total() != 10 {
+		t.Errorf("Total = %d, want 10", tr.Total())
+	}
+}
+
+// TestRecentFilters: min-duration and endpoint filters, and the limit.
+func TestRecentFilters(t *testing.T) {
+	tr := NewTracer(TracerConfig{})
+	emit := func(id, endpoint string, dur time.Duration) {
+		_, root := startTrace(tr, id, endpoint)
+		// Backdate the root so DurationMS is deterministic without
+		// sleeping: End computes time.Since(start).
+		root.start = root.start.Add(-dur)
+		root.End()
+	}
+	emit("fast", "compress", time.Millisecond)
+	emit("slow", "compress", 100*time.Millisecond)
+	emit("sim", "simulate", 200*time.Millisecond)
+
+	if got := tr.Recent(50*time.Millisecond, "", 0); len(got) != 2 {
+		t.Fatalf("min_ms filter kept %d traces, want 2", len(got))
+	} else if got[0].TraceID != "sim" || got[1].TraceID != "slow" {
+		t.Errorf("filtered order = %s,%s want sim,slow", got[0].TraceID, got[1].TraceID)
+	}
+	if got := tr.Recent(0, "compress", 0); len(got) != 2 {
+		t.Errorf("endpoint filter kept %d traces, want 2", len(got))
+	}
+	if got := tr.Recent(0, "", 1); len(got) != 1 || got[0].TraceID != "sim" {
+		t.Errorf("limit=1 returned %v", got)
+	}
+}
+
+// TestConcurrentEmitAndRead hammers the tracer from emitting and
+// reading goroutines at a capacity small enough to force constant
+// eviction; the race detector is the assertion.
+func TestConcurrentEmitAndRead(t *testing.T) {
+	tr := NewTracer(TracerConfig{
+		Capacity:  8,
+		OnSpanEnd: func(string, time.Duration) {},
+	})
+	var emitters, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		emitters.Add(1)
+		go func(g int) {
+			defer emitters.Done()
+			for i := 0; i < 200; i++ {
+				ctx, root := startTrace(tr, fmt.Sprintf("g%d-%d", g, i), "compress")
+				_, child := Start(ctx, "cache-lookup")
+				child.SetAttr("i", i)
+				child.End()
+				root.End()
+			}
+		}(g)
+	}
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, tc := range tr.Recent(0, "", 0) {
+				_ = tc.Tree()
+			}
+		}
+	}()
+	emitters.Wait()
+	close(stop)
+	readers.Wait()
+
+	if n := tr.Total(); n != 800 {
+		t.Errorf("Total = %d, want 800", n)
+	}
+	if got := tr.Recent(0, "", 0); len(got) != 8 {
+		t.Errorf("ring holds %d, want 8", len(got))
+	}
+}
+
+// TestHooksFire: OnSpanEnd sees every span, OnTraceDone every completed
+// trace; a child ending after the root still feeds OnSpanEnd but never
+// mutates the sealed trace.
+func TestHooksFire(t *testing.T) {
+	var mu sync.Mutex
+	spanNames := map[string]int{}
+	var traces []Trace
+	tr := NewTracer(TracerConfig{
+		OnSpanEnd: func(name string, d time.Duration) {
+			mu.Lock()
+			spanNames[name]++
+			mu.Unlock()
+		},
+		OnTraceDone: func(tc Trace) {
+			mu.Lock()
+			traces = append(traces, tc)
+			mu.Unlock()
+		},
+	})
+	ctx, root := startTrace(tr, "req", "compress")
+	_, straggler := Start(ctx, "late")
+	_, child := Start(ctx, "cache-lookup")
+	child.End()
+	root.End()
+	straggler.End() // after the root: dropped from the trace, still counted
+
+	mu.Lock()
+	defer mu.Unlock()
+	if spanNames["handler"] != 1 || spanNames["cache-lookup"] != 1 || spanNames["late"] != 1 {
+		t.Errorf("OnSpanEnd counts = %v", spanNames)
+	}
+	if len(traces) != 1 {
+		t.Fatalf("OnTraceDone fired %d times, want 1", len(traces))
+	}
+	for _, s := range traces[0].Spans {
+		if s.Name == "late" {
+			t.Error("straggler span landed in the sealed trace")
+		}
+	}
+}
