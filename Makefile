@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet bench fuzz golden serve cluster-smoke sim-smoke obs-smoke clean
+.PHONY: build test race vet bench bench-smoke bench-json fuzz golden serve cluster-smoke sim-smoke obs-smoke clean
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,23 @@ vet:
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# Load-harness smoke: a short cpackbench scenario against an in-process
+# cpackd must achieve nonzero throughput, zero 5xx and valid JSON, and the
+# flashcrowd scenario must demonstrate singleflight coalescing.
+bench-smoke:
+	$(GO) test -race -count=1 -run 'TestBenchSmoke|TestFlashcrowdCoalesces' ./cmd/cpackbench
+
+# Regenerate the benchmark trajectory document for this PR: every load
+# scenario (open-loop, coordinated-omission-aware) plus the codec
+# microbenchmarks (ns/op, MB/s, allocs/op for encode/decode and the
+# served path cold+warm). Commit the result as BENCH_$(BENCH_N).json.
+BENCH_N ?= 6
+bench-json:
+	$(GO) run ./cmd/cpackbench -trajectory $(BENCH_N) \
+		-qps 300 -duration 5s -warmup 1s -c 32 \
+		-out BENCH_$(BENCH_N).json
+	@echo wrote BENCH_$(BENCH_N).json
 
 # Short fuzz pass over every fuzz target (FUZZTIME=10s per target).
 fuzz:

@@ -1,0 +1,240 @@
+// Command cpackbench drives a cpackd instance with a calibrated scenario
+// load and reports latency, throughput, status mix and server-side cache
+// behaviour — the proof harness behind the repo's BENCH_<n>.json
+// trajectory.
+//
+// Usage:
+//
+//	cpackbench -list                                     # scenario catalogue
+//	cpackbench -scenario zipfian -qps 500 -duration 30s  # one scenario, human summary
+//	cpackbench -addr http://host:8321 -scenario all -json
+//	cpackbench -trajectory 6 -out BENCH_6.json           # all scenarios + codec microbench
+//
+// With no -addr, cpackbench boots a private in-process cpackd on a
+// loopback port and drives that, so a single command measures a known
+// configuration; point -addr at a running daemon (or cluster member) to
+// measure a real deployment.
+//
+// The runner is open-loop and coordinated-omission-aware: arrivals follow
+// the fixed -qps schedule and every latency is measured from the intended
+// send time, so a server stall is charged to each request it delayed (see
+// internal/loadgen).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"codepack/internal/loadgen"
+	"codepack/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "cpackbench:", err)
+		var uerr usageError
+		if errors.As(err, &uerr) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+type usageError string
+
+func (e usageError) Error() string { return string(e) }
+
+// microBenchPattern selects the codec microbenchmarks a trajectory folds
+// in: encode and decode throughput plus the served path cold and warm.
+const microBenchPattern = "CompressThroughput|DecompressThroughput|ServerCompress"
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("cpackbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr       = fs.String("addr", "", "cpackd base URL; empty boots a private in-process cpackd")
+		scenario   = fs.String("scenario", "zipfian", "scenario name, or \"all\"")
+		list       = fs.Bool("list", false, "list scenarios and exit")
+		qps        = fs.Float64("qps", 200, "open-loop arrival rate (requests/s)")
+		duration   = fs.Duration("duration", 10*time.Second, "measured window")
+		warmup     = fs.Duration("warmup", 2*time.Second, "warmup ahead of the measured window")
+		conc       = fs.Int("c", 16, "max in-flight requests")
+		seed       = fs.Int64("seed", 1, "scenario stream seed (same seed = same request stream)")
+		asJSON     = fs.Bool("json", false, "emit machine-readable JSON instead of a summary")
+		out        = fs.String("out", "", "write output to this file instead of stdout")
+		trajectory = fs.Int("trajectory", 0, "emit a BENCH_<n>.json trajectory document for PR <n>: all scenarios plus codec microbenchmarks")
+		micro      = fs.Bool("microbench", true, "include `go test -bench` codec microbenchmarks in the trajectory")
+		benchtime  = fs.String("benchtime", "20x", "-benchtime for the folded-in microbenchmarks")
+	)
+	if err := fs.Parse(args); err != nil {
+		return usageError(err.Error())
+	}
+	if *list {
+		for _, s := range loadgen.Scenarios() {
+			fmt.Fprintf(stdout, "%-11s %s\n", s.Name(), s.Describe())
+		}
+		return nil
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	target := *addr
+	if target == "" {
+		stop, url, err := selfServe()
+		if err != nil {
+			return fmt.Errorf("start in-process cpackd: %w", err)
+		}
+		defer stop()
+		target = url
+		fmt.Fprintf(stderr, "cpackbench: no -addr, driving in-process cpackd at %s\n", target)
+	}
+	client := loadgen.NewHTTPClient(target)
+
+	scenarios, err := selectScenarios(*scenario, *trajectory > 0)
+	if err != nil {
+		return err
+	}
+
+	var reports []*loadgen.Report
+	for _, sc := range scenarios {
+		if len(scenarios) > 1 {
+			fmt.Fprintf(stderr, "cpackbench: running %s (%.0f req/s for %v + %v warmup)\n",
+				sc.Name(), *qps, *duration, *warmup)
+		}
+		rep, err := loadgen.Run(ctx, loadgen.Options{
+			Scenario:    sc,
+			Executor:    client,
+			Metrics:     client,
+			Seed:        *seed,
+			QPS:         *qps,
+			Duration:    *duration,
+			Warmup:      *warmup,
+			Concurrency: *conc,
+			Target:      target,
+		})
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", sc.Name(), err)
+		}
+		reports = append(reports, rep)
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if *trajectory > 0 {
+		doc := &loadgen.Trajectory{
+			Schema:    loadgen.TrajectorySchema,
+			PR:        *trajectory,
+			GoVersion: runtime.Version(),
+			Scenarios: reports,
+		}
+		if *micro {
+			fmt.Fprintf(stderr, "cpackbench: folding in codec microbenchmarks (-bench '%s' -benchtime %s)\n",
+				microBenchPattern, *benchtime)
+			mb, err := runMicroBench(ctx, *benchtime)
+			if err != nil {
+				return fmt.Errorf("microbenchmarks: %w", err)
+			}
+			doc.Micro = mb
+		}
+		return writeJSON(w, doc)
+	}
+
+	if *asJSON {
+		if len(reports) == 1 {
+			return writeJSON(w, reports[0])
+		}
+		return writeJSON(w, reports)
+	}
+	for _, rep := range reports {
+		rep.WriteText(w)
+	}
+	return nil
+}
+
+// selectScenarios resolves the -scenario flag; trajectory mode always
+// runs the full catalogue.
+func selectScenarios(name string, trajectory bool) ([]loadgen.Scenario, error) {
+	if trajectory || name == "all" {
+		return loadgen.Scenarios(), nil
+	}
+	s, ok := loadgen.ByName(name)
+	if !ok {
+		return nil, usageError(fmt.Sprintf("unknown scenario %q (want one of %s, or \"all\")",
+			name, strings.Join(loadgen.Names(), ", ")))
+	}
+	return []loadgen.Scenario{s}, nil
+}
+
+// selfServe boots an in-process cpackd on a loopback port, logging
+// suppressed so the harness output stays clean. Pool sizes are pinned
+// rather than derived from GOMAXPROCS so runs compare across machines —
+// in particular, singleflight coalescing under flashcrowd needs more
+// than the two light workers the default would give a small box.
+func selfServe() (stop func(), url string, err error) {
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	srv, err := server.New(server.Config{
+		Logger:       quiet,
+		LightWorkers: 8,
+		HeavyWorkers: 2,
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, "", err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	stop = func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		hs.Shutdown(sctx)
+		scancel()
+		srv.Close()
+	}
+	return stop, "http://" + ln.Addr().String(), nil
+}
+
+// runMicroBench shells out to `go test -bench` in the module root and
+// parses the standard benchmark output, so the trajectory reuses the
+// exact benchmarks CI already runs rather than reimplementing them.
+func runMicroBench(ctx context.Context, benchtime string) ([]loadgen.MicroBench, error) {
+	cmd := exec.CommandContext(ctx, "go", "test", "-run", "xxx",
+		"-bench", microBenchPattern, "-benchmem", "-benchtime", benchtime, ".")
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench: %w", err)
+	}
+	return loadgen.ParseGoBench(strings.NewReader(string(out)))
+}
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

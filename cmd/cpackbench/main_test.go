@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"codepack/internal/loadgen"
+)
+
+// TestBenchSmoke is the `make bench-smoke` entrypoint: a short zipfian
+// run against an in-process cpackd must achieve nonzero throughput, draw
+// zero 5xx responses and zero transport errors, and emit valid
+// schema-tagged JSON with live server-side cache deltas.
+func TestBenchSmoke(t *testing.T) {
+	var out, errs bytes.Buffer
+	err := run([]string{
+		"-scenario", "zipfian",
+		"-qps", "150", "-duration", "2s", "-warmup", "250ms",
+		"-seed", "42", "-json",
+	}, &out, &errs)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, errs.String())
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Schema != loadgen.ReportSchema {
+		t.Fatalf("schema = %q, want %q", rep.Schema, loadgen.ReportSchema)
+	}
+	if rep.Scenario != "zipfian" || rep.Seed != 42 {
+		t.Fatalf("report identity wrong: %+v", rep)
+	}
+	if rep.Completed == 0 || rep.ThroughputRPS <= 0 {
+		t.Fatalf("no throughput: completed=%d rps=%.1f", rep.Completed, rep.ThroughputRPS)
+	}
+	if rep.TransportErrors != 0 {
+		t.Fatalf("%d transport errors against in-process server", rep.TransportErrors)
+	}
+	if n := rep.Status5xx(); n != 0 {
+		t.Fatalf("%d 5xx responses: %v", n, rep.ByOp)
+	}
+	if rep.Server == nil {
+		t.Fatal("server metrics deltas missing")
+	}
+	if rep.Server.CacheHits+rep.Server.CacheMisses == 0 {
+		t.Fatalf("no cache activity recorded: %+v", rep.Server)
+	}
+	// Zipfian traffic is cache-friendly: repeats must dominate once the
+	// hot set is resident.
+	if rep.Server.HitRate < 0.5 {
+		t.Fatalf("zipfian hit rate %.2f, want >= 0.5", rep.Server.HitRate)
+	}
+	if rep.Latency.N == 0 || rep.Latency.P50 <= 0 || rep.Latency.Max < rep.Latency.P50 {
+		t.Fatalf("implausible latency stats: %+v", rep.Latency)
+	}
+}
+
+// TestFlashcrowdCoalesces: the opening burst on one large uncached digest
+// must ride a single in-flight fill — the cpackd_compress_coalesced_total
+// delta in the report is the proof the scenario exists to produce.
+func TestFlashcrowdCoalesces(t *testing.T) {
+	var out, errs bytes.Buffer
+	err := run([]string{
+		"-scenario", "flashcrowd",
+		"-qps", "300", "-duration", "1500ms", "-warmup", "0s",
+		"-c", "32", "-seed", "7", "-json",
+	}, &out, &errs)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, errs.String())
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if rep.Server == nil {
+		t.Fatal("server metrics deltas missing")
+	}
+	if rep.Server.Coalesced == 0 {
+		t.Fatalf("flashcrowd produced no singleflight coalescing: %+v", rep.Server)
+	}
+	if n := rep.Status5xx(); n != 0 {
+		t.Fatalf("%d 5xx responses: %v", n, rep.ByOp)
+	}
+}
+
+// TestListScenarios: -list names all six scenarios.
+func TestListScenarios(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"uniform", "zipfian", "thrash", "coldstart", "flashcrowd", "mixed"} {
+		if !strings.Contains(out.String(), name) {
+			t.Fatalf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownScenarioIsUsageError(t *testing.T) {
+	err := run([]string{"-scenario", "bogus", "-duration", "1s"}, io.Discard, io.Discard)
+	var uerr usageError
+	if err == nil || !strings.Contains(err.Error(), "unknown scenario") {
+		t.Fatalf("err = %v, want unknown-scenario usage error", err)
+	}
+	if !errorsAsUsage(err, &uerr) {
+		t.Fatalf("err %T is not a usageError", err)
+	}
+}
+
+func errorsAsUsage(err error, target *usageError) bool {
+	u, ok := err.(usageError)
+	if ok {
+		*target = u
+	}
+	return ok
+}
+
+// TestTrajectoryDocument: -trajectory runs the whole catalogue and emits
+// a schema-stable BENCH_<n>.json document (microbench disabled here to
+// keep the test self-contained).
+func TestTrajectoryDocument(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trajectory run takes a few seconds")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_test.json")
+	var errs bytes.Buffer
+	err := run([]string{
+		"-trajectory", "99", "-microbench=false",
+		"-qps", "120", "-duration", "500ms", "-warmup", "100ms",
+		"-out", out,
+	}, io.Discard, &errs)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, errs.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc loadgen.Trajectory
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trajectory is not valid JSON: %v", err)
+	}
+	if doc.Schema != loadgen.TrajectorySchema || doc.PR != 99 {
+		t.Fatalf("document header wrong: schema=%q pr=%d", doc.Schema, doc.PR)
+	}
+	if len(doc.Scenarios) != 6 {
+		t.Fatalf("trajectory holds %d scenario reports, want 6", len(doc.Scenarios))
+	}
+	seen := map[string]bool{}
+	for _, rep := range doc.Scenarios {
+		if rep.Schema != loadgen.ReportSchema {
+			t.Fatalf("scenario %s schema = %q", rep.Scenario, rep.Schema)
+		}
+		if rep.Completed == 0 {
+			t.Fatalf("scenario %s completed nothing", rep.Scenario)
+		}
+		seen[rep.Scenario] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("duplicate scenarios in trajectory: %v", seen)
+	}
+}

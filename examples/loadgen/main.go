@@ -1,199 +1,70 @@
-// Loadgen drives a running cpackd with a mixed workload of compress,
-// decompress, verify and simulate requests and reports status-code and
-// latency distributions plus the server-side cache hit rate. Use it to
-// watch the content-addressed cache and the 429 load-shedding path under
-// pressure:
+// Loadgen drives a running cpackd with the "mixed" workload scenario and
+// prints status-code and latency distributions plus the server-side cache
+// movement:
 //
 //	cpackd &
-//	go run ./examples/loadgen -addr http://localhost:8321 -c 8 -n 200
+//	go run ./examples/loadgen -addr http://localhost:8321 -qps 200 -duration 10s
 //
-// Roughly every other compress body is a repeat, so a healthy run shows
-// the cache hit counter climbing in /metrics while p99 latency stays well
-// below the cold-compress cost.
+// This program is now a thin shim over internal/loadgen, kept for
+// backward compatibility; prefer cmd/cpackbench, which adds the full
+// scenario catalogue, JSON output and the BENCH_*.json trajectory mode.
+//
+// Behaviour change versus the original standalone tool: the old loop was
+// closed (each worker fired its next request only after the previous one
+// returned) and computed percentiles by sorting observed latencies and
+// indexing with int(p*n) — which both under-reported queueing delay under
+// server stalls (coordinated omission: a slow response silently delayed
+// every request behind it without charging the delay to anyone) and read
+// one element past the intended rank at p=1.0. The shim drives an open
+// loop on a fixed arrival schedule, measures every latency from the
+// request's *intended* send time, and reports HDR-histogram quantiles, so
+// p50/p90/p99 now reflect what a schedule-faithful client would actually
+// experience. Expect higher — that is, honest — tail numbers under load.
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
-	"io"
-	"net/http"
+	"math"
 	"os"
-	"regexp"
-	"sort"
-	"strconv"
-	"sync"
 	"time"
+
+	"codepack/internal/loadgen"
 )
-
-var sources = []string{
-	`
-main:
-	li   $s0, 50
-	li   $s1, 0
-loop:
-	addu $s1, $s1, $s0
-	addiu $s0, $s0, -1
-	bgtz $s0, loop
-	li   $v0, 10
-	syscall
-`,
-	`
-main:
-	li   $t0, 200
-	li   $t1, 1
-fib:
-	addu $t2, $t0, $t1
-	move $t0, $t1
-	move $t1, $t2
-	addiu $t0, $t0, -1
-	bgtz $t0, fib
-	li   $v0, 10
-	syscall
-`,
-}
-
-type result struct {
-	op      string
-	code    int
-	latency time.Duration
-	err     error
-}
 
 func main() {
 	addr := flag.String("addr", "http://localhost:8321", "cpackd base URL")
-	workers := flag.Int("c", 4, "concurrent clients")
-	requests := flag.Int("n", 100, "requests per client")
+	workers := flag.Int("c", 4, "max in-flight requests")
+	requests := flag.Int("n", 100, "requests per worker (with -qps, sets the run duration)")
+	qps := flag.Float64("qps", 100, "open-loop arrival rate (requests/s)")
 	simulate := flag.Bool("simulate", true, "include heavy simulate requests in the mix")
+	seed := flag.Int64("seed", 1, "scenario stream seed")
 	flag.Parse()
 
-	jobs := make(chan int)
-	results := make(chan result, *workers**requests)
-	var wg sync.WaitGroup
-	for w := 0; w < *workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				results <- fire(*addr, i, *simulate)
-			}
-		}()
+	scenarioName := "mixed"
+	if !*simulate {
+		scenarioName = "uniform" // the compress-only blend
 	}
-	start := time.Now()
-	for i := 0; i < *workers**requests; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	close(results)
-	elapsed := time.Since(start)
+	scenario, _ := loadgen.ByName(scenarioName)
 
-	byOp := map[string]map[int]int{}
-	var latencies []time.Duration
-	errs := 0
-	for r := range results {
-		if r.err != nil {
-			errs++
-			continue
-		}
-		if byOp[r.op] == nil {
-			byOp[r.op] = map[int]int{}
-		}
-		byOp[r.op][r.code]++
-		latencies = append(latencies, r.latency)
-	}
-
-	fmt.Printf("%d requests in %v (%.0f req/s), %d transport errors\n",
-		*workers**requests, elapsed.Round(time.Millisecond),
-		float64(*workers**requests)/elapsed.Seconds(), errs)
-	ops := make([]string, 0, len(byOp))
-	for op := range byOp {
-		ops = append(ops, op)
-	}
-	sort.Strings(ops)
-	for _, op := range ops {
-		fmt.Printf("  %-12s", op)
-		codes := make([]int, 0, len(byOp[op]))
-		for c := range byOp[op] {
-			codes = append(codes, c)
-		}
-		sort.Ints(codes)
-		for _, c := range codes {
-			fmt.Printf("  %d×%d", c, byOp[op][c])
-		}
-		fmt.Println()
-	}
-	if len(latencies) > 0 {
-		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-		pct := func(p float64) time.Duration {
-			return latencies[int(p*float64(len(latencies)-1))]
-		}
-		fmt.Printf("latency p50 %v  p90 %v  p99 %v\n",
-			pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
-			pct(0.99).Round(time.Microsecond))
-	}
-	reportCache(*addr)
-}
-
-// fire issues one request; the op rotates through the endpoint mix and the
-// compress body alternates between two programs so roughly half the
-// compressions are content-addressed repeats.
-func fire(addr string, i int, simulate bool) result {
-	src := sources[i%len(sources)]
-	mix := 3
-	if simulate {
-		mix = 4
-	}
-	var (
-		op   string
-		body any
-	)
-	switch i % mix {
-	case 0, 1:
-		op, body = "compress", map[string]any{"asm": src}
-	case 2:
-		op, body = "verify", map[string]any{"asm": src}
-	default:
-		op, body = "simulate", map[string]any{
-			"asm":       src,
-			"model":     "codepack",
-			"max_instr": 100000,
-		}
-	}
-	b, _ := json.Marshal(body)
-	start := time.Now()
-	resp, err := http.Post(addr+"/v1/"+op, "application/json", bytes.NewReader(b))
+	total := *workers * *requests
+	duration := time.Duration(math.Ceil(float64(total)/(*qps))) * time.Second
+	client := loadgen.NewHTTPClient(*addr)
+	rep, err := loadgen.Run(context.Background(), loadgen.Options{
+		Scenario:    scenario,
+		Executor:    client,
+		Metrics:     client,
+		Seed:        *seed,
+		QPS:         *qps,
+		Duration:    duration,
+		Concurrency: *workers,
+		Target:      *addr,
+	})
 	if err != nil {
-		return result{op: op, err: err}
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
 	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	return result{op: op, code: resp.StatusCode, latency: time.Since(start)}
-}
-
-var cacheRe = regexp.MustCompile(`(?m)^cpackd_cache_(hits|misses)_total (\d+)`)
-
-// reportCache scrapes /metrics for the cache hit rate.
-func reportCache(addr string) {
-	resp, err := http.Get(addr + "/metrics")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "loadgen: metrics scrape:", err)
-		return
-	}
-	defer resp.Body.Close()
-	text, _ := io.ReadAll(resp.Body)
-	var hits, misses int
-	for _, m := range cacheRe.FindAllStringSubmatch(string(text), -1) {
-		n, _ := strconv.Atoi(m[2])
-		if m[1] == "hits" {
-			hits = n
-		} else {
-			misses = n
-		}
-	}
-	if hits+misses > 0 {
-		fmt.Printf("server cache: %d hits / %d misses (%.0f%% hit rate)\n",
-			hits, misses, 100*float64(hits)/float64(hits+misses))
-	}
+	rep.WriteText(os.Stdout)
+	fmt.Println("note: see cmd/cpackbench for all scenarios and JSON output")
 }

@@ -1,0 +1,131 @@
+package loadgen
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder is an HDR-style latency histogram: log-spaced buckets covering
+// 1µs..2min at ~5% relative precision, so quantiles up to p99.9 come out
+// of a few hundred counters instead of a per-sample slice. The true
+// maximum is tracked exactly.
+type Recorder struct {
+	mu     sync.Mutex
+	counts []uint64
+	n      uint64
+	sum    time.Duration
+	max    time.Duration
+}
+
+const (
+	recorderMin    = time.Microsecond
+	recorderMax    = 2 * time.Minute
+	recorderGrowth = 1.05
+)
+
+// recorderBounds[i] is the inclusive upper bound of bucket i.
+var recorderBounds = func() []time.Duration {
+	var bounds []time.Duration
+	for b := float64(recorderMin); b < float64(recorderMax); b *= recorderGrowth {
+		bounds = append(bounds, time.Duration(b))
+	}
+	return append(bounds, recorderMax)
+}()
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{counts: make([]uint64, len(recorderBounds)+1)}
+}
+
+// Observe records one latency. Negative values clamp to zero (bucket 0);
+// values beyond the range land in the overflow bucket but still shape the
+// exact max.
+func (r *Recorder) Observe(d time.Duration) {
+	i := sort.Search(len(recorderBounds), func(i int) bool { return recorderBounds[i] >= d })
+	r.mu.Lock()
+	r.counts[i]++
+	r.n++
+	if d > 0 {
+		r.sum += d
+	}
+	if d > r.max {
+		r.max = d
+	}
+	r.mu.Unlock()
+}
+
+// Quantile returns the latency at quantile q in [0,1]. The answer is the
+// geometric midpoint of the bucket holding the q-th sample (its ~5% width
+// bounds the error); q high enough to select the last recorded sample
+// returns the exact maximum.
+func (r *Recorder) Quantile(q float64) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.quantileLocked(q)
+}
+
+func (r *Recorder) quantileLocked(q float64) time.Duration {
+	if r.n == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(r.n)))
+	if target < 1 {
+		target = 1
+	}
+	if target >= r.n {
+		return r.max
+	}
+	var cum uint64
+	for i, c := range r.counts {
+		cum += c
+		if cum >= target {
+			hi := recorderBounds[len(recorderBounds)-1]
+			if i < len(recorderBounds) {
+				hi = recorderBounds[i]
+			}
+			lo := time.Duration(float64(hi) / recorderGrowth)
+			if i == 0 {
+				lo = 0
+			}
+			mid := time.Duration(math.Sqrt(float64(lo+1) * float64(hi)))
+			if mid > r.max {
+				mid = r.max
+			}
+			return mid
+		}
+	}
+	return r.max
+}
+
+// LatencyStats is the quantile summary of a recorder, in milliseconds
+// (the report's wire unit).
+type LatencyStats struct {
+	P50  float64 `json:"p50_ms"`
+	P90  float64 `json:"p90_ms"`
+	P99  float64 `json:"p99_ms"`
+	P999 float64 `json:"p999_ms"`
+	Max  float64 `json:"max_ms"`
+	Mean float64 `json:"mean_ms"`
+	N    uint64  `json:"count"`
+}
+
+// Snapshot returns one consistent quantile summary.
+func (r *Recorder) Snapshot() LatencyStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	st := LatencyStats{
+		P50:  ms(r.quantileLocked(0.50)),
+		P90:  ms(r.quantileLocked(0.90)),
+		P99:  ms(r.quantileLocked(0.99)),
+		P999: ms(r.quantileLocked(0.999)),
+		Max:  ms(r.max),
+		N:    r.n,
+	}
+	if r.n > 0 {
+		st.Mean = ms(r.sum) / float64(r.n)
+	}
+	return st
+}

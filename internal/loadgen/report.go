@@ -1,0 +1,124 @@
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ReportSchema identifies the per-run report wire format. Bump only on
+// incompatible change; BENCH_*.json comparisons across PRs key on it.
+const ReportSchema = "cpackbench/v1"
+
+// TrajectorySchema identifies the BENCH_<n>.json wire format.
+const TrajectorySchema = "codepack-bench/v1"
+
+// RunConfig echoes the knobs a run was driven with.
+type RunConfig struct {
+	Target      string  `json:"target,omitempty"`
+	QPS         float64 `json:"qps"`
+	DurationSec float64 `json:"duration_s"`
+	WarmupSec   float64 `json:"warmup_s"`
+	Concurrency int     `json:"concurrency"`
+}
+
+// ServerDelta is the server-side /metrics movement across the run
+// (after minus before, saturating at zero on counter reset).
+type ServerDelta struct {
+	CacheHits   uint64  `json:"cache_hits"`
+	CacheMisses uint64  `json:"cache_misses"`
+	HitRate     float64 `json:"hit_rate"`
+	Shed        uint64  `json:"shed"`
+	Coalesced   uint64  `json:"coalesced"`
+	PeerHits    uint64  `json:"peer_hits"`
+	PeerMisses  uint64  `json:"peer_misses"`
+}
+
+// Report is one scenario run's machine-readable result.
+type Report struct {
+	Schema   string    `json:"schema"`
+	Scenario string    `json:"scenario"`
+	Describe string    `json:"describe,omitempty"`
+	Seed     int64     `json:"seed"`
+	Config   RunConfig `json:"config"`
+
+	// Sent counts every scheduled request (warmup included);
+	// WarmupRequests of those landed in the warmup window. Completed and
+	// TransportErrors partition the measured window, and ByOp breaks the
+	// measured window down as op -> status code (or "error") -> count.
+	Sent            int                          `json:"sent"`
+	WarmupRequests  uint64                       `json:"warmup_requests"`
+	Completed       uint64                       `json:"completed"`
+	TransportErrors uint64                       `json:"transport_errors"`
+	ByOp            map[string]map[string]uint64 `json:"by_op"`
+
+	// ThroughputRPS is the achieved measured-window rate; compare it to
+	// Config.QPS to see whether the server kept up with the open loop.
+	ThroughputRPS float64      `json:"throughput_rps"`
+	Latency       LatencyStats `json:"latency"`
+
+	// Server carries the /metrics deltas (nil when scraping was
+	// unavailable).
+	Server *ServerDelta `json:"server,omitempty"`
+}
+
+// Status5xx counts measured-window responses with 5xx statuses.
+func (r *Report) Status5xx() uint64 {
+	var n uint64
+	for _, codes := range r.ByOp {
+		for code, c := range codes {
+			if len(code) == 3 && code[0] == '5' {
+				n += c
+			}
+		}
+	}
+	return n
+}
+
+// WriteText renders the human-readable run summary.
+func (r *Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "scenario %s (seed %d): %s\n", r.Scenario, r.Seed, r.Describe)
+	fmt.Fprintf(w, "  open loop %.0f req/s for %.1fs (+%.1fs warmup), concurrency %d\n",
+		r.Config.QPS, r.Config.DurationSec, r.Config.WarmupSec, r.Config.Concurrency)
+	fmt.Fprintf(w, "  %d sent, %d completed, %d transport errors, achieved %.1f req/s\n",
+		r.Sent, r.Completed, r.TransportErrors, r.ThroughputRPS)
+	ops := make([]string, 0, len(r.ByOp))
+	for op := range r.ByOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		fmt.Fprintf(w, "  %-12s", op)
+		codes := make([]string, 0, len(r.ByOp[op]))
+		for c := range r.ByOp[op] {
+			codes = append(codes, c)
+		}
+		sort.Strings(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "  %s×%d", c, r.ByOp[op][c])
+		}
+		fmt.Fprintln(w)
+	}
+	l := r.Latency
+	fmt.Fprintf(w, "  latency (from intended send) p50 %.3fms  p90 %.3fms  p99 %.3fms  p99.9 %.3fms  max %.3fms\n",
+		l.P50, l.P90, l.P99, l.P999, l.Max)
+	if s := r.Server; s != nil {
+		fmt.Fprintf(w, "  server: cache +%d hits / +%d misses (%.0f%% hit rate), %d shed, %d coalesced",
+			s.CacheHits, s.CacheMisses, 100*s.HitRate, s.Shed, s.Coalesced)
+		if s.PeerHits+s.PeerMisses > 0 {
+			fmt.Fprintf(w, ", peer +%d hits / +%d misses", s.PeerHits, s.PeerMisses)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Trajectory is the BENCH_<n>.json document: one PR's harness runs plus
+// the codec microbenchmark numbers, so every later PR can show its perf
+// movement against the committed history instead of asserting it.
+type Trajectory struct {
+	Schema    string       `json:"schema"`
+	PR        int          `json:"pr"`
+	GoVersion string       `json:"go_version,omitempty"`
+	Scenarios []*Report    `json:"scenarios"`
+	Micro     []MicroBench `json:"microbench,omitempty"`
+}

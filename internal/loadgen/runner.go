@@ -1,0 +1,265 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"sync"
+	"time"
+)
+
+// Options parameterize one run.
+type Options struct {
+	// Scenario generates the request stream. Required.
+	Scenario Scenario
+	// Executor performs requests. Required.
+	Executor Executor
+	// Metrics, when non-nil, is scraped before and after the run; the
+	// report then carries the deltas. A scrape error downgrades to a
+	// missing server section, it never fails the run.
+	Metrics MetricsSource
+
+	// Seed replays a specific request stream (same seed = same stream).
+	Seed int64
+	// QPS is the open-loop arrival rate. Required (> 0).
+	QPS float64
+	// Duration is the measured window. Required (> 0).
+	Duration time.Duration
+	// Warmup runs ahead of the measured window: its requests are sent
+	// and counted separately but excluded from latency and throughput.
+	Warmup time.Duration
+	// Concurrency bounds in-flight requests (0 = 16). When every worker
+	// is busy, arrivals queue — and their latency keeps accruing from
+	// the intended send time, which is the coordinated-omission fix.
+	Concurrency int
+	// Target labels the report (e.g. the base URL).
+	Target string
+}
+
+func (o Options) validate() error {
+	switch {
+	case o.Scenario == nil:
+		return errors.New("loadgen: Options.Scenario is required")
+	case o.Executor == nil:
+		return errors.New("loadgen: Options.Executor is required")
+	case o.QPS <= 0:
+		return fmt.Errorf("loadgen: QPS must be positive, got %g", o.QPS)
+	case o.Duration <= 0:
+		return fmt.Errorf("loadgen: Duration must be positive, got %v", o.Duration)
+	case o.Warmup < 0:
+		return fmt.Errorf("loadgen: Warmup must be non-negative, got %v", o.Warmup)
+	case o.Concurrency < 0:
+		return fmt.Errorf("loadgen: Concurrency must be non-negative, got %d", o.Concurrency)
+	}
+	return nil
+}
+
+// job is one scheduled request: the payload plus the instant the open
+// loop intended to send it.
+type job struct {
+	req      Request
+	intended time.Time
+}
+
+// statusCounts aggregates op -> status -> count. Transport errors count
+// under the pseudo-status "error".
+type statusCounts struct {
+	mu   sync.Mutex
+	byOp map[string]map[string]uint64
+}
+
+func newStatusCounts() *statusCounts {
+	return &statusCounts{byOp: make(map[string]map[string]uint64)}
+}
+
+func (s *statusCounts) record(op, status string) {
+	s.mu.Lock()
+	m := s.byOp[op]
+	if m == nil {
+		m = make(map[string]uint64)
+		s.byOp[op] = m
+	}
+	m[status]++
+	s.mu.Unlock()
+}
+
+func (s *statusCounts) snapshot() map[string]map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]map[string]uint64, len(s.byOp))
+	for op, m := range s.byOp {
+		c := make(map[string]uint64, len(m))
+		for k, v := range m {
+			c[k] = v
+		}
+		out[op] = c
+	}
+	return out
+}
+
+// Run drives one scenario open loop and returns its report.
+//
+// Arrival i's intended send time is start + i/QPS, fixed up front; the
+// scheduler sleeps until each instant and enqueues the request whether or
+// not a worker is free. Workers record latency as completion minus
+// *intended* time, so server stalls surface as the queueing delay a
+// schedule-faithful client would have seen (no coordinated omission).
+// The jobs channel is sized for the whole schedule, so the scheduler
+// itself never blocks on a slow server.
+func Run(ctx context.Context, o Options) (*Report, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	if o.Concurrency == 0 {
+		o.Concurrency = 16
+	}
+
+	interval := time.Duration(float64(time.Second) / o.QPS)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	total := int(float64(o.Warmup+o.Duration) / float64(interval))
+	if total < 1 {
+		total = 1
+	}
+
+	var before ServerStats
+	haveMetrics := false
+	if o.Metrics != nil {
+		if st, err := o.Metrics.ServerStats(ctx); err == nil {
+			before, haveMetrics = st, true
+		}
+	}
+
+	rec := NewRecorder()
+	measured := newStatusCounts()
+	warmup := newStatusCounts()
+	var errorsN, completedN, warmupN uint64
+	var countMu sync.Mutex
+
+	jobs := make(chan job, total)
+	var wg sync.WaitGroup
+	start := time.Now()
+	warmEnd := start.Add(o.Warmup)
+	for w := 0; w < o.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				status, err := o.Executor.Do(ctx, j.req)
+				done := time.Now()
+				inWarmup := j.intended.Before(warmEnd)
+				label := "error"
+				if err == nil {
+					label = fmt.Sprintf("%d", status)
+				}
+				if inWarmup {
+					warmup.record(j.req.Op, label)
+					countMu.Lock()
+					warmupN++
+					countMu.Unlock()
+					continue
+				}
+				measured.record(j.req.Op, label)
+				countMu.Lock()
+				if err != nil {
+					errorsN++
+				} else {
+					completedN++
+				}
+				countMu.Unlock()
+				rec.Observe(done.Sub(j.intended))
+			}
+		}()
+	}
+
+	next, stop := iter.Pull(o.Scenario.Requests(o.Seed))
+	sent := 0
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+schedule:
+	for i := 0; i < total; i++ {
+		intended := start.Add(time.Duration(i) * interval)
+		if d := time.Until(intended); d > 0 {
+			timer.Reset(d)
+			select {
+			case <-ctx.Done():
+				break schedule
+			case <-timer.C:
+			}
+		} else if ctx.Err() != nil {
+			break schedule
+		}
+		req, ok := next()
+		if !ok {
+			break
+		}
+		jobs <- job{req: req, intended: intended}
+		sent++
+	}
+	stop()
+	close(jobs)
+	wg.Wait()
+	end := time.Now()
+
+	measuredWindow := end.Sub(warmEnd)
+	if measuredWindow <= 0 {
+		measuredWindow = time.Nanosecond
+	}
+
+	rep := &Report{
+		Schema:   ReportSchema,
+		Scenario: o.Scenario.Name(),
+		Describe: o.Scenario.Describe(),
+		Seed:     o.Seed,
+		Config: RunConfig{
+			Target:      o.Target,
+			QPS:         o.QPS,
+			DurationSec: o.Duration.Seconds(),
+			WarmupSec:   o.Warmup.Seconds(),
+			Concurrency: o.Concurrency,
+		},
+		Sent:            sent,
+		WarmupRequests:  warmupN,
+		Completed:       completedN,
+		TransportErrors: errorsN,
+		ByOp:            measured.snapshot(),
+		ThroughputRPS:   float64(completedN+errorsN) / measuredWindow.Seconds(),
+		Latency:         rec.Snapshot(),
+	}
+	if haveMetrics {
+		if after, err := o.Metrics.ServerStats(ctx); err == nil {
+			rep.Server = diffServerStats(before, after)
+		}
+	}
+	if ctx.Err() != nil && sent == 0 {
+		return rep, ctx.Err()
+	}
+	return rep, nil
+}
+
+// diffServerStats turns two cumulative scrapes into a report delta.
+func diffServerStats(before, after ServerStats) *ServerDelta {
+	sub := func(a, b uint64) uint64 {
+		if a < b {
+			return 0 // counter reset (server restarted mid-run)
+		}
+		return a - b
+	}
+	d := &ServerDelta{
+		CacheHits:   sub(after.CacheHits, before.CacheHits),
+		CacheMisses: sub(after.CacheMisses, before.CacheMisses),
+		Shed:        sub(after.Shed, before.Shed),
+		Coalesced:   sub(after.Coalesced, before.Coalesced),
+		PeerHits:    sub(after.PeerHits, before.PeerHits),
+		PeerMisses:  sub(after.PeerMisses, before.PeerMisses),
+	}
+	if lookups := d.CacheHits + d.CacheMisses; lookups > 0 {
+		d.HitRate = float64(d.CacheHits) / float64(lookups)
+	}
+	return d
+}

@@ -1,0 +1,187 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// take collects the first n requests of a stream.
+func take(s Scenario, seed int64, n int) []Request {
+	out := make([]Request, 0, n)
+	for r := range s.Requests(seed) {
+		out = append(out, r)
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
+// TestScenarioCatalogue pins the six required scenarios.
+func TestScenarioCatalogue(t *testing.T) {
+	want := []string{"coldstart", "flashcrowd", "mixed", "thrash", "uniform", "zipfian"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("scenario names = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scenario names = %v, want %v", got, want)
+		}
+	}
+	for _, name := range want {
+		s, ok := ByName(name)
+		if !ok || s.Name() != name {
+			t.Fatalf("ByName(%q) = %v, %v", name, s, ok)
+		}
+		if s.Describe() == "" {
+			t.Errorf("scenario %q has no description", name)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName accepted an unknown scenario")
+	}
+}
+
+// TestScenarioDeterminism: same seed ⇒ byte-identical request stream, for
+// every scenario; a different seed must change the stream.
+func TestScenarioDeterminism(t *testing.T) {
+	const n = 40
+	for _, s := range Scenarios() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			t.Parallel()
+			a := take(s, 7, n)
+			b := take(s, 7, n)
+			if len(a) != n || len(b) != n {
+				t.Fatalf("stream ended early: %d / %d of %d", len(a), len(b), n)
+			}
+			for i := range a {
+				if a[i].Op != b[i].Op || a[i].Key != b[i].Key || !bytes.Equal(a[i].Body, b[i].Body) {
+					t.Fatalf("request %d differs across identical seeds:\n%+v\n%+v", i, a[i], b[i])
+				}
+			}
+			c := take(s, 8, n)
+			same := true
+			for i := range a {
+				if !bytes.Equal(a[i].Body, c[i].Body) {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatal("seed change did not change the stream")
+			}
+			for i, r := range a {
+				if !json.Valid(r.Body) {
+					t.Fatalf("request %d body is not valid JSON: %s", i, r.Body)
+				}
+				switch r.Op {
+				case "compress", "decompress", "verify", "simulate":
+				default:
+					t.Fatalf("request %d has unknown op %q", i, r.Op)
+				}
+			}
+		})
+	}
+}
+
+// TestThrashUniqueKeys: the adversarial scenario never repeats a digest.
+func TestThrashUniqueKeys(t *testing.T) {
+	s, _ := ByName("thrash")
+	seen := make(map[string]bool)
+	bodies := make(map[string]bool)
+	for _, r := range take(s, 3, 64) {
+		if seen[r.Key] {
+			t.Fatalf("thrash repeated key %s", r.Key)
+		}
+		seen[r.Key] = true
+		if bodies[string(r.Body)] {
+			t.Fatalf("thrash repeated body for key %s", r.Key)
+		}
+		bodies[string(r.Body)] = true
+	}
+}
+
+// TestColdstartStormFront: the opening corpus walk hits every program
+// exactly once before any repeats.
+func TestColdstartStormFront(t *testing.T) {
+	s, _ := ByName("coldstart")
+	cs := s.(coldstart)
+	reqs := take(s, 5, cs.corpus+16)
+	seen := make(map[string]bool)
+	for i := 0; i < cs.corpus; i++ {
+		if seen[reqs[i].Key] {
+			t.Fatalf("coldstart repeated key %s inside the storm front (i=%d)", reqs[i].Key, i)
+		}
+		seen[reqs[i].Key] = true
+	}
+	if len(seen) != cs.corpus {
+		t.Fatalf("storm front covered %d of %d programs", len(seen), cs.corpus)
+	}
+	for _, r := range reqs[cs.corpus:] {
+		if !seen[r.Key] {
+			t.Fatalf("steady state drew unknown key %s", r.Key)
+		}
+	}
+}
+
+// TestZipfianHotSetMass: the hottest tenth of the corpus must draw a
+// clear majority of requests, within tolerance — the distribution sanity
+// check behind the cache-friendliness claim.
+func TestZipfianHotSetMass(t *testing.T) {
+	s, _ := ByName("zipfian")
+	z := s.(zipfian)
+	const draws = 5000
+	counts := make(map[string]int)
+	for _, r := range take(s, 11, draws) {
+		counts[r.Key]++
+	}
+	// Ranks are assigned hottest-first, so the hot set is ids 0..k-1.
+	hot := z.corpus / 10
+	var hotMass int
+	for id := 0; id < hot; id++ {
+		hotMass += counts[progKey(id)]
+	}
+	frac := float64(hotMass) / draws
+	if frac < 0.60 || frac > 0.999 {
+		t.Fatalf("hot set (top %d of %d) drew %.1f%% of %d draws, want 60%%..99.9%%",
+			hot, z.corpus, 100*frac, draws)
+	}
+	if len(counts) < z.corpus/4 {
+		t.Fatalf("tail too thin: only %d distinct keys drawn", len(counts))
+	}
+}
+
+// TestFlashcrowdHotDominates: one key takes ~95% of traffic.
+func TestFlashcrowdHotDominates(t *testing.T) {
+	s, _ := ByName("flashcrowd")
+	const draws = 2000
+	hot := 0
+	for _, r := range take(s, 13, draws) {
+		if r.Key == "hot" {
+			hot++
+		}
+	}
+	if frac := float64(hot) / draws; frac < 0.90 || frac > 0.99 {
+		t.Fatalf("hot key drew %.1f%% of traffic, want 90%%..99%%", 100*frac)
+	}
+}
+
+// TestMixedOpBlend: all four endpoint ops appear.
+func TestMixedOpBlend(t *testing.T) {
+	s, _ := ByName("mixed")
+	ops := make(map[string]int)
+	for _, r := range take(s, 17, 100) {
+		ops[r.Op]++
+	}
+	for _, op := range []string{"compress", "verify", "decompress", "simulate"} {
+		if ops[op] == 0 {
+			t.Fatalf("mixed blend missing op %q (got %v)", op, ops)
+		}
+	}
+	if ops["compress"] <= ops["simulate"] {
+		t.Fatalf("compress should dominate the blend: %v", ops)
+	}
+}

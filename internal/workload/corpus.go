@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Corpus helpers generate scenario-grade program populations for the load
+// harness (internal/loadgen): many small, mutually distinct programs that
+// assemble quickly and compress in well under a millisecond, so a load
+// generator can hold thousands of distinct content digests without the
+// per-request cost dominating the measurement. They are intentionally much
+// smaller than the six calibrated Table 1 stand-ins (Profiles); use those
+// when the compression ratio itself is under test.
+
+// corpusIters bounds the driver loop of a corpus program so a simulate
+// request over one stays cheap.
+const corpusIters = 16
+
+// CorpusSource returns a small self-contained SS32 program. The text is
+// deterministic for a given (seed, id) pair and distinct across ids: the
+// program bakes id into a lui/ori constant pair, so distinct ids always
+// produce distinct content digests even if the random body collides.
+func CorpusSource(seed int64, id int) string {
+	return CorpusSourceSized(seed, id, 0)
+}
+
+// CorpusSourceSized is CorpusSource with an explicit body size in
+// instructions (0 picks a small size in [24,64) from the stream). Larger
+// bodies make compression proportionally more expensive, which load
+// scenarios use to widen the window in which concurrent misses on one
+// digest coalesce.
+func CorpusSourceSized(seed int64, id int, body int) string {
+	// Mix id into the seed so every program draws an independent stream;
+	// the LCG multiplier keeps adjacent ids decorrelated.
+	rng := rand.New(rand.NewSource(seed ^ (int64(id)+1)*0x5851F42D4C957F2D))
+	if body <= 0 {
+		body = 24 + rng.Intn(40)
+	}
+	var b strings.Builder
+	line := func(format string, args ...any) {
+		fmt.Fprintf(&b, format+"\n", args...)
+	}
+	line("main:")
+	line("\tli $s0, %d", corpusIters)
+	line("\tli $s1, 0")
+	// Identity watermark: the program's id (and a seed-derived constant)
+	// as raw halfwords, guaranteeing digest uniqueness per id.
+	line("\tlui $t7, %d", (id>>16)&0xffff)
+	line("\tori $t7, $t7, %d", id&0xffff)
+	line("\tori $t6, $t7, %d", rng.Intn(1<<16))
+	regs := []string{"$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$v1"}
+	reg := func() string { return regs[rng.Intn(len(regs))] }
+	// Bodies larger than the ISA's 16-bit branch reach are split into
+	// sequential bounded loops, one label per chunk, so every back-branch
+	// stays in range no matter how big the program grows.
+	const chunkMax = 8192
+	for chunk := 0; body > 0; chunk++ {
+		n := body
+		if n > chunkMax {
+			n = chunkMax
+		}
+		body -= n
+		line("\tli $s0, %d", corpusIters)
+		line("loop%d:", chunk)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(6) {
+			case 0:
+				line("\taddu %s, %s, %s", reg(), reg(), reg())
+			case 1:
+				line("\taddiu %s, %s, %d", reg(), reg(), rng.Intn(64)-16)
+			case 2:
+				line("\tsll %s, %s, %d", reg(), reg(), rng.Intn(8))
+			case 3:
+				line("\txor %s, %s, %s", reg(), reg(), reg())
+			case 4:
+				line("\tori %s, %s, %d", reg(), reg(), rng.Intn(1<<12))
+			default:
+				line("\tsrl %s, %s, %d", reg(), reg(), rng.Intn(8))
+			}
+		}
+		line("\taddiu $s1, $s1, 1")
+		line("\taddiu $s0, $s0, -1")
+		line("\tbgtz $s0, loop%d", chunk)
+	}
+	line("\tli $v0, 10")
+	line("\tsyscall")
+	return b.String()
+}
+
+// CorpusSources returns n distinct programs drawn from the (seed, id)
+// family, ids 0..n-1.
+func CorpusSources(seed int64, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = CorpusSource(seed, i)
+	}
+	return out
+}

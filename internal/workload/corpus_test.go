@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"testing"
+
+	"codepack/internal/asm"
+	"codepack/internal/program"
+)
+
+func TestCorpusDeterministicAndDistinct(t *testing.T) {
+	const n = 64
+	a := CorpusSources(7, n)
+	b := CorpusSources(7, n)
+	digests := make(map[string]int, n)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("corpus id %d not deterministic", i)
+		}
+		im, err := asm.Assemble("corpus", a[i])
+		if err != nil {
+			t.Fatalf("corpus id %d does not assemble: %v", i, err)
+		}
+		d := digestOf(t, im)
+		if prev, dup := digests[d]; dup {
+			t.Fatalf("corpus ids %d and %d share digest %s", prev, i, d)
+		}
+		digests[d] = i
+	}
+	// A different seed is a different family.
+	if CorpusSource(8, 0) == CorpusSource(7, 0) {
+		t.Fatal("corpus seed does not change the program")
+	}
+}
+
+func TestCorpusSizedGrowsBody(t *testing.T) {
+	small, err := asm.Assemble("s", CorpusSourceSized(1, 0, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := asm.Assemble("b", CorpusSourceSized(1, 0, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(big.Text) <= len(small.Text) {
+		t.Fatalf("sized body did not grow text: %d <= %d", len(big.Text), len(small.Text))
+	}
+}
+
+func digestOf(t *testing.T, im *program.Image) string {
+	t.Helper()
+	return string(im.Marshal())
+}
