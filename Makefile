@@ -19,19 +19,24 @@ bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
 # Load-harness smoke: a short cpackbench scenario against an in-process
-# cpackd must achieve nonzero throughput, zero 5xx and valid JSON, and the
-# flashcrowd scenario must demonstrate singleflight coalescing.
+# cpackd must achieve nonzero throughput, zero 5xx and valid JSON, the
+# flashcrowd scenario must demonstrate singleflight coalescing, and a
+# three-process replicated cluster must hold the warm-hit floor while
+# members crash and rejoin mid-run.
 bench-smoke:
-	$(GO) test -race -count=1 -run 'TestBenchSmoke|TestFlashcrowdCoalesces' ./cmd/cpackbench
+	$(GO) test -race -count=1 -run 'TestBenchSmoke|TestFlashcrowdCoalesces|TestChurnClusterWarmFloor' ./cmd/cpackbench
 
 # Regenerate the benchmark trajectory document for this PR: every load
-# scenario (open-loop, coordinated-omission-aware) plus the codec
-# microbenchmarks (ns/op, MB/s, allocs/op for encode/decode and the
-# served path cold+warm). Commit the result as BENCH_$(BENCH_N).json.
-BENCH_N ?= 6
+# scenario (open-loop, coordinated-omission-aware) against a single
+# instance, one churn run against a real 3-process R=2 cluster losing a
+# member every second, plus the codec microbenchmarks (ns/op, MB/s,
+# allocs/op for encode/decode and the served path cold+warm). Commit the
+# result as BENCH_$(BENCH_N).json.
+BENCH_N ?= 7
 bench-json:
 	$(GO) run ./cmd/cpackbench -trajectory $(BENCH_N) \
 		-qps 300 -duration 5s -warmup 1s -c 32 \
+		-cluster 3 -cluster-replicas 2 -churn-interval 1s \
 		-out BENCH_$(BENCH_N).json
 	@echo wrote BENCH_$(BENCH_N).json
 
@@ -45,6 +50,7 @@ fuzz:
 	$(GO) test -run xxx -fuzz 'FuzzLoadCacheLog$$' -fuzztime $(FUZZTIME) ./internal/server
 	$(GO) test -run xxx -fuzz 'FuzzRecoverCacheDir$$' -fuzztime $(FUZZTIME) ./internal/server
 	$(GO) test -run xxx -fuzz 'FuzzMembershipMessage$$' -fuzztime $(FUZZTIME) ./internal/peer
+	$(GO) test -run xxx -fuzz 'FuzzHandoffRecord$$' -fuzztime $(FUZZTIME) ./internal/peer
 
 # Regenerate the pinned experiment tables after an intentional change.
 golden:
@@ -55,16 +61,21 @@ golden:
 serve:
 	$(GO) run ./cmd/cpackd -addr :8321 -cache-dir .cpackd-cache
 
-# Boot two real cpackd processes as a warm-cache cluster and assert the
-# tier serves cross-instance with zero recompression, then degrades
-# cleanly when one instance is killed.
+# Boot real cpackd processes as a warm-cache cluster and assert the
+# tier serves cross-instance with zero recompression, degrades cleanly
+# when one instance is killed, and — at -replicas 2 — survives a primary
+# crash via replica fallthrough, buffers hinted handoff, and read-repairs
+# a lagging replica.
 cluster-smoke:
-	$(GO) test -race -count=1 -run 'TestTwoInstanceCluster|TestDynamicJoinAndLeave' ./cmd/cpackd
+	$(GO) test -race -count=1 -run 'TestTwoInstanceCluster|TestDynamicJoinAndLeave|TestReplicatedClusterCrashFailoverAndReadRepair' ./cmd/cpackd
 	$(GO) test -race -count=1 -run 'TestPeer' ./internal/server
 
 # Replay the pinned deterministic fault schedules — partition,
-# crash/restart, message duplication — against the real membership and
-# ring code in virtual time, plus the impostor and determinism checks.
+# crash/restart, message duplication, and the R=2 replication set
+# (primary crash with zero recompressions, partition staleness bounds,
+# hinted-handoff drain and reassign) — against the real membership and
+# ring code in virtual time, plus the impostor check and the
+# same-seed ⇒ byte-identical event-log determinism guard.
 sim-smoke:
 	$(GO) test -race -count=1 ./internal/peer/sim
 

@@ -8,12 +8,22 @@
 //	cpackbench -list                                     # scenario catalogue
 //	cpackbench -scenario zipfian -qps 500 -duration 30s  # one scenario, human summary
 //	cpackbench -addr http://host:8321 -scenario all -json
-//	cpackbench -trajectory 6 -out BENCH_6.json           # all scenarios + codec microbench
+//	cpackbench -trajectory 7 -out BENCH_7.json           # all scenarios + codec microbench
+//	cpackbench -cluster 3 -churn-interval 1s -scenario churn
 //
 // With no -addr, cpackbench boots a private in-process cpackd on a
 // loopback port and drives that, so a single command measures a known
 // configuration; point -addr at a running daemon (or cluster member) to
 // measure a real deployment.
+//
+// With -cluster N, cpackbench instead builds cpackd and boots N real
+// processes as a replicated warm-cache cluster (-cluster-replicas per
+// digest), drives them round-robin, and sums their metrics. Adding
+// -churn-interval stops one member at a time mid-run — alternating a
+// SIGKILL crash with a graceful SIGTERM leave — and restarts it, so the
+// report's warm-hit ratio measures failover, hinted handoff and
+// read-repair under member churn. A -trajectory run with -cluster set
+// appends one such churn report to the document.
 //
 // The runner is open-loop and coordinated-omission-aware: arrivals follow
 // the fixed -qps schedule and every latency is measured from the intended
@@ -79,6 +89,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		trajectory = fs.Int("trajectory", 0, "emit a BENCH_<n>.json trajectory document for PR <n>: all scenarios plus codec microbenchmarks")
 		micro      = fs.Bool("microbench", true, "include `go test -bench` codec microbenchmarks in the trajectory")
 		benchtime  = fs.String("benchtime", "20x", "-benchtime for the folded-in microbenchmarks")
+		clusterN   = fs.Int("cluster", 0, "boot this many cpackd processes as a replicated cluster and drive them round-robin (0 = single target)")
+		clusterR   = fs.Int("cluster-replicas", 2, "replica count per digest (-replicas) for -cluster members")
+		churnEvery = fs.Duration("churn-interval", 0, "with -cluster: stop one member this often mid-run (alternating crash and graceful leave) and restart it")
 	)
 	if err := fs.Parse(args); err != nil {
 		return usageError(err.Error())
@@ -93,44 +106,78 @@ func run(args []string, stdout, stderr io.Writer) error {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
-	target := *addr
-	if target == "" {
-		stop, url, err := selfServe()
-		if err != nil {
-			return fmt.Errorf("start in-process cpackd: %w", err)
-		}
-		defer stop()
-		target = url
-		fmt.Fprintf(stderr, "cpackbench: no -addr, driving in-process cpackd at %s\n", target)
+	if *clusterN > 0 && *addr != "" {
+		return usageError("-cluster and -addr are mutually exclusive")
 	}
-	client := loadgen.NewHTTPClient(target)
+	if *churnEvery > 0 && *clusterN == 0 {
+		return usageError("-churn-interval requires -cluster")
+	}
 
 	scenarios, err := selectScenarios(*scenario, *trajectory > 0)
 	if err != nil {
 		return err
 	}
+	runOpts := loadgen.Options{
+		Seed:        *seed,
+		QPS:         *qps,
+		Duration:    *duration,
+		Warmup:      *warmup,
+		Concurrency: *conc,
+	}
+	clusterOpts := clusterOptions{n: *clusterN, replicas: *clusterR, churn: *churnEvery}
 
 	var reports []*loadgen.Report
-	for _, sc := range scenarios {
-		if len(scenarios) > 1 {
-			fmt.Fprintf(stderr, "cpackbench: running %s (%.0f req/s for %v + %v warmup)\n",
-				sc.Name(), *qps, *duration, *warmup)
-		}
-		rep, err := loadgen.Run(ctx, loadgen.Options{
-			Scenario:    sc,
-			Executor:    client,
-			Metrics:     client,
-			Seed:        *seed,
-			QPS:         *qps,
-			Duration:    *duration,
-			Warmup:      *warmup,
-			Concurrency: *conc,
-			Target:      target,
-		})
+	if *clusterN > 0 && *trajectory == 0 {
+		// Cluster mode: the selected scenarios run against a multi-process
+		// cpackd cluster (churning when asked) instead of one target.
+		reports, err = runCluster(ctx, scenarios, clusterOpts, runOpts, stderr)
 		if err != nil {
-			return fmt.Errorf("scenario %s: %w", sc.Name(), err)
+			return err
 		}
-		reports = append(reports, rep)
+	} else {
+		target := *addr
+		if target == "" {
+			stop, url, err := selfServe()
+			if err != nil {
+				return fmt.Errorf("start in-process cpackd: %w", err)
+			}
+			defer stop()
+			target = url
+			fmt.Fprintf(stderr, "cpackbench: no -addr, driving in-process cpackd at %s\n", target)
+		}
+		client := loadgen.NewHTTPClient(target)
+		for _, sc := range scenarios {
+			if len(scenarios) > 1 {
+				fmt.Fprintf(stderr, "cpackbench: running %s (%.0f req/s for %v + %v warmup)\n",
+					sc.Name(), *qps, *duration, *warmup)
+			}
+			o := runOpts
+			o.Scenario = sc
+			o.Executor = client
+			o.Metrics = client
+			o.Target = target
+			rep, err := loadgen.Run(ctx, o)
+			if err != nil {
+				return fmt.Errorf("scenario %s: %w", sc.Name(), err)
+			}
+			reports = append(reports, rep)
+		}
+	}
+
+	// A trajectory folds in one extra churn run against a real replicated
+	// cluster when -cluster is set: the single-target catalogue stays the
+	// comparable baseline, and the cluster report carries the warm-hit
+	// ratio the replication tier is judged by.
+	if *trajectory > 0 && *clusterN > 0 {
+		churnSc, ok := loadgen.ByName("churn")
+		if !ok {
+			return fmt.Errorf("churn scenario missing from the catalogue")
+		}
+		clusterReports, err := runCluster(ctx, []loadgen.Scenario{churnSc}, clusterOpts, runOpts, stderr)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, clusterReports...)
 	}
 
 	w := stdout

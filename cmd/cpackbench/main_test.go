@@ -89,13 +89,13 @@ func TestFlashcrowdCoalesces(t *testing.T) {
 	}
 }
 
-// TestListScenarios: -list names all six scenarios.
+// TestListScenarios: -list names all seven scenarios.
 func TestListScenarios(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-list"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{"uniform", "zipfian", "thrash", "coldstart", "flashcrowd", "mixed"} {
+	for _, name := range []string{"uniform", "zipfian", "thrash", "coldstart", "flashcrowd", "mixed", "churn"} {
 		if !strings.Contains(out.String(), name) {
 			t.Fatalf("-list output missing %q:\n%s", name, out.String())
 		}
@@ -149,8 +149,8 @@ func TestTrajectoryDocument(t *testing.T) {
 	if doc.Schema != loadgen.TrajectorySchema || doc.PR != 99 {
 		t.Fatalf("document header wrong: schema=%q pr=%d", doc.Schema, doc.PR)
 	}
-	if len(doc.Scenarios) != 6 {
-		t.Fatalf("trajectory holds %d scenario reports, want 6", len(doc.Scenarios))
+	if len(doc.Scenarios) != 7 {
+		t.Fatalf("trajectory holds %d scenario reports, want 7", len(doc.Scenarios))
 	}
 	seen := map[string]bool{}
 	for _, rep := range doc.Scenarios {
@@ -162,7 +162,7 @@ func TestTrajectoryDocument(t *testing.T) {
 		}
 		seen[rep.Scenario] = true
 	}
-	if len(seen) != 6 {
+	if len(seen) != 7 {
 		t.Fatalf("duplicate scenarios in trajectory: %v", seen)
 	}
 }

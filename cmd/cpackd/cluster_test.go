@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"regexp"
+	"slices"
 	"strconv"
 	"strings"
 	"syscall"
@@ -203,6 +204,151 @@ func TestDynamicJoinAndLeave(t *testing.T) {
 	}
 	if after.Digest != leaveFirst.Digest || after.CompressedB64 != leaveFirst.CompressedB64 {
 		t.Error("survivor served a different payload than the departed member's compression")
+	}
+}
+
+// asmWithOwners is asmOwnedBy for a replica set: it generates assembly
+// variants until one's digest places its first len(want) replicas on
+// exactly want, in that order.
+func asmWithOwners(t *testing.T, ring *peer.Ring, salt int, want ...string) string {
+	t.Helper()
+	for i := 0; i < 10_000; i++ {
+		asm := strings.Replace(testAsm, "li   $s0, 50",
+			fmt.Sprintf("li   $s0, %d", 50+salt*10_000+i), 1)
+		im, err := codepack.Assemble("request", asm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if slices.Equal(ring.Owners(codepack.ImageDigest(im), len(want)), want) {
+			return asm
+		}
+	}
+	t.Fatalf("no generated program placed its replicas on %v in order", want)
+	return ""
+}
+
+// TestReplicatedClusterCrashFailoverAndReadRepair is the R=2 acceptance
+// test against real processes: a digest compressed on its primary owner
+// survives that owner's SIGKILL because fetches fall through to the
+// surviving replica; an entry born while the primary was down is hinted;
+// and after the primary restarts empty, the first read through it
+// repairs it from the verified replica (cpackd_peer_readrepair_total
+// > 0) — proven by killing the replica too and reading the repaired
+// copy back from the restarted primary.
+func TestReplicatedClusterCrashFailoverAndReadRepair(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess round trip")
+	}
+
+	addrA, urlA := freeURL(t)
+	addrB, urlB := freeURL(t)
+	addrC, urlC := freeURL(t)
+	addrD, urlD := freeURL(t)
+	ring := peer.NewRing([]string{urlA, urlB, urlC, urlD}, peer.DefaultReplicas)
+
+	// Membership is frozen (hour-scale heartbeats and timers): the ring
+	// never drops the crashed primary, so fetches keep walking the full
+	// replica set and no anti-entropy pass rebalances entries behind the
+	// test's back. Seeds are registered alive at boot, so the member
+	// count is full without a single heartbeat round.
+	frozen := []string{"-replicas", "2", "-peer-timeout", "500ms",
+		"-peer-heartbeat", "30m", "-peer-suspect-after", "1h", "-peer-dead-after", "2h"}
+	boot := func(addr, self string, seeds ...string) *daemon {
+		return startDaemon(t, append([]string{"-addr", addr, "-peer-self", self,
+			"-peers", strings.Join(seeds, ",")}, frozen...)...)
+	}
+	dA := boot(addrA, urlA, urlB, urlC, urlD)
+	dB := boot(addrB, urlB, urlA, urlC, urlD)
+	dC := boot(addrC, urlC, urlA, urlB, urlD)
+	dD := boot(addrD, urlD, urlA, urlB, urlC)
+	for _, d := range []*daemon{dA, dB, dC, dD} {
+		waitDaemonMetric(t, d, "cpackd_peer_members", 4)
+	}
+
+	// d1 is compressed on its primary owner A and replicated to B.
+	asm1 := asmWithOwners(t, ring, 30, urlA, urlB)
+	first := dA.compressAsm(t, asm1)
+	if first.Cached {
+		t.Fatal("first compression on the primary reported cached")
+	}
+	waitDaemonMetric(t, dB, "cpackd_cache_entries", 1)
+
+	// SIGKILL the primary owner.
+	if err := dA.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	dA.cmd.Wait()
+
+	// Fallthrough: a non-owner's fetch walks [A, B], rides past the dead
+	// primary and serves warm from the surviving replica.
+	onD := dD.compressAsm(t, asm1)
+	if !onD.Cached {
+		t.Error("fetch with a dead primary did not serve warm from the replica")
+	}
+	if onD.Digest != first.Digest || onD.CompressedB64 != first.CompressedB64 {
+		t.Error("replica-served payload differs from the primary's compression")
+	}
+	mD := dD.metrics(t)
+	if got := metricNumber(t, mD, "cpackd_peer_replica_fallthroughs_total"); got != 1 {
+		t.Errorf("cpackd_peer_replica_fallthroughs_total on D = %v, want 1", got)
+	}
+	if got := metricNumber(t, mD, "cpackd_peer_hits_total"); got != 1 {
+		t.Errorf("cpackd_peer_hits_total on D = %v, want 1", got)
+	}
+	if got := metricNumber(t, mD, "cpackd_peer_replica_factor"); got != 2 {
+		t.Errorf("cpackd_peer_replica_factor on D = %v, want 2", got)
+	}
+
+	// d2 is born on the surviving replica while its primary is down: the
+	// replication push to A fails and is buffered as a hint.
+	asm2 := asmWithOwners(t, ring, 31, urlA, urlB)
+	second := dB.compressAsm(t, asm2)
+	if second.Cached {
+		t.Fatal("first compression of the handoff digest reported cached")
+	}
+	waitDaemonMetric(t, dB, "cpackd_peer_handoff_hinted_total", 1)
+	if got := metricNumber(t, dB.metrics(t), "cpackd_peer_handoff_pending"); got != 1 {
+		t.Errorf("cpackd_peer_handoff_pending on B = %v, want 1", got)
+	}
+
+	// The primary restarts empty (no -cache-dir): the crash wiped its
+	// copy of d1 and it never saw d2. Its seed list names only the
+	// pristine C, so no survivor holding entries sees a ring change that
+	// would trigger an anti-entropy repair behind the test.
+	dA2 := startDaemon(t, append([]string{"-addr", addrA, "-peer-self", urlA,
+		"-peers", urlC}, frozen...)...)
+
+	// Read-repair: C misses d2 and walks [A, B] — the restarted primary
+	// answers a clean 404, the replica a verified hit — so C serves warm
+	// and re-offers the entry to the lagging primary.
+	onC := dC.compressAsm(t, asm2)
+	if !onC.Cached {
+		t.Error("read through the lagging primary did not serve warm from the replica")
+	}
+	if onC.Digest != second.Digest || onC.CompressedB64 != second.CompressedB64 {
+		t.Error("read-repair read served a different payload than the replica's compression")
+	}
+	mC := dC.metrics(t)
+	if got := metricNumber(t, mC, "cpackd_peer_readrepair_total"); got != 1 {
+		t.Errorf("cpackd_peer_readrepair_total on C = %v, want 1", got)
+	}
+	if got := metricNumber(t, mC, "cpackd_peer_replica_fallthroughs_total"); got != 1 {
+		t.Errorf("cpackd_peer_replica_fallthroughs_total on C = %v, want 1", got)
+	}
+	waitDaemonMetric(t, dA2, "cpackd_cache_entries", 1)
+
+	// The repaired copy is real: with the replica gone too, the restarted
+	// primary serves d2 from the repair — byte-identical, no recompression.
+	if err := dB.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	dB.cmd.Wait()
+	onA := dA2.compressAsm(t, asm2)
+	if !onA.Cached {
+		t.Error("restarted primary recompressed a digest read-repair delivered")
+	}
+	if onA.Digest != second.Digest || onA.CompressedB64 != second.CompressedB64 {
+		t.Error("repaired entry differs from the replica's compression")
 	}
 }
 

@@ -15,9 +15,14 @@
 // process exits. See docs/SERVER.md for the API contract.
 //
 // With -peers and -peer-self set, instances form a shared warm cache
-// tier: a consistent-hash ring assigns each content digest an owning
-// instance, cache misses try the owner before compressing locally, and
-// new entries replicate asynchronously to their owner. -peers is a seed
+// tier: a consistent-hash ring assigns each content digest -replicas
+// owning instances (successor-list placement; default 1), cache misses
+// walk the replica set in order before compressing locally, and new
+// entries replicate asynchronously to every owner. Fetches fall through
+// to the next replica when one is down or serves a bad payload, pushes
+// to unreachable members are buffered as hinted handoff and drained
+// when the member returns, and a replica that missed an entry is
+// repaired from the verified copy on the next read. -peers is a seed
 // list, not a frozen topology: membership is gossiped, instances can
 // join a running cluster, failed members age out of the ring, and a
 // graceful shutdown hands its entries to their new owners. Peer
@@ -79,6 +84,7 @@ func run(args []string) error {
 		peerHB       = fs.Duration("peer-heartbeat", 0, "membership heartbeat interval (0 = default)")
 		peerSuspect  = fs.Duration("peer-suspect-after", 0, "silence before a member is suspected (0 = default)")
 		peerDead     = fs.Duration("peer-dead-after", 0, "silence before a suspect is declared dead (0 = default)")
+		replicas     = fs.Int("replicas", 0, "cluster replicas per digest (0 = default of 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -127,6 +133,7 @@ func run(args []string) error {
 			HeartbeatInterval: *peerHB,
 			SuspectAfter:      *peerSuspect,
 			DeadAfter:         *peerDead,
+			ReplicationFactor: *replicas,
 		}
 	}
 	s, err := server.New(cfg)

@@ -32,6 +32,12 @@ type ServerDelta struct {
 	Coalesced   uint64  `json:"coalesced"`
 	PeerHits    uint64  `json:"peer_hits"`
 	PeerMisses  uint64  `json:"peer_misses"`
+	// WarmRate is the fraction of cache lookups served without a fresh
+	// compression: local hits plus peer-tier hits over all lookups. On a
+	// standalone instance it equals HitRate; on a cluster it is the
+	// replication tier's figure of merit (the churn scenario asserts a
+	// floor on it).
+	WarmRate float64 `json:"warm_rate"`
 }
 
 // Report is one scenario run's machine-readable result.
@@ -106,7 +112,8 @@ func (r *Report) WriteText(w io.Writer) {
 		fmt.Fprintf(w, "  server: cache +%d hits / +%d misses (%.0f%% hit rate), %d shed, %d coalesced",
 			s.CacheHits, s.CacheMisses, 100*s.HitRate, s.Shed, s.Coalesced)
 		if s.PeerHits+s.PeerMisses > 0 {
-			fmt.Fprintf(w, ", peer +%d hits / +%d misses", s.PeerHits, s.PeerMisses)
+			fmt.Fprintf(w, ", peer +%d hits / +%d misses (%.0f%% warm)",
+				s.PeerHits, s.PeerMisses, 100*s.WarmRate)
 		}
 		fmt.Fprintln(w)
 	}

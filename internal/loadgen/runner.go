@@ -260,6 +260,11 @@ func diffServerStats(before, after ServerStats) *ServerDelta {
 	}
 	if lookups := d.CacheHits + d.CacheMisses; lookups > 0 {
 		d.HitRate = float64(d.CacheHits) / float64(lookups)
+		warm := d.CacheHits + d.PeerHits
+		if warm > lookups {
+			warm = lookups // peer hits can race the lookup counters slightly
+		}
+		d.WarmRate = float64(warm) / float64(lookups)
 	}
 	return d
 }

@@ -18,9 +18,9 @@ func take(s Scenario, seed int64, n int) []Request {
 	return out
 }
 
-// TestScenarioCatalogue pins the six required scenarios.
+// TestScenarioCatalogue pins the seven required scenarios.
 func TestScenarioCatalogue(t *testing.T) {
-	want := []string{"coldstart", "flashcrowd", "mixed", "thrash", "uniform", "zipfian"}
+	want := []string{"churn", "coldstart", "flashcrowd", "mixed", "thrash", "uniform", "zipfian"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("scenario names = %v, want %v", got, want)
@@ -119,6 +119,33 @@ func TestColdstartStormFront(t *testing.T) {
 	}
 	if len(seen) != cs.corpus {
 		t.Fatalf("storm front covered %d of %d programs", len(seen), cs.corpus)
+	}
+	for _, r := range reqs[cs.corpus:] {
+		if !seen[r.Key] {
+			t.Fatalf("steady state drew unknown key %s", r.Key)
+		}
+	}
+}
+
+// TestChurnWarmPass: the churn scenario opens with every working-set
+// program exactly once, then repeats only known keys — the property the
+// cluster warm-hit-floor assertion relies on.
+func TestChurnWarmPass(t *testing.T) {
+	s, _ := ByName("churn")
+	cs := s.(churn)
+	reqs := take(s, 21, cs.corpus+32)
+	seen := make(map[string]bool)
+	for i := 0; i < cs.corpus; i++ {
+		if reqs[i].Op != "compress" {
+			t.Fatalf("churn request %d has op %q, want compress", i, reqs[i].Op)
+		}
+		if seen[reqs[i].Key] {
+			t.Fatalf("churn repeated key %s inside the warm pass (i=%d)", reqs[i].Key, i)
+		}
+		seen[reqs[i].Key] = true
+	}
+	if len(seen) != cs.corpus {
+		t.Fatalf("warm pass covered %d of %d programs", len(seen), cs.corpus)
 	}
 	for _, r := range reqs[cs.corpus:] {
 		if !seen[r.Key] {

@@ -217,6 +217,44 @@ func (s flashcrowd) Requests(seed int64) iter.Seq[Request] {
 	}
 }
 
+// --- churn ---------------------------------------------------------------
+
+type churn struct{ corpus int }
+
+// newChurn keeps the working set small so a replicated cluster holds every
+// digest on R members after one pass: from then on each request should be
+// served warm — locally or by a surviving replica — even while members
+// crash and rejoin underneath the load.
+func newChurn() churn { return churn{corpus: 48} }
+
+func (churn) Name() string { return "churn" }
+
+func (s churn) Describe() string {
+	return fmt.Sprintf("one warm pass over a %d-program working set, then uniform repeats: "+
+		"against a replicated cluster under member churn, the warm-hit ratio is the proof "+
+		"that failover, handoff and read-repair keep the tier serving without recompression", s.corpus)
+}
+
+func (s churn) Requests(seed int64) iter.Seq[Request] {
+	return func(yield func(Request) bool) {
+		bodies := compressBodies(seed, s.corpus)
+		rng := rand.New(rand.NewSource(seed))
+		// Warm pass: every program exactly once (shuffled), so the tier
+		// holds the full working set before churn starts killing members.
+		for _, id := range rng.Perm(s.corpus) {
+			if !yield(Request{Op: "compress", Key: progKey(id), Body: bodies[id]}) {
+				return
+			}
+		}
+		for {
+			id := rng.Intn(s.corpus)
+			if !yield(Request{Op: "compress", Key: progKey(id), Body: bodies[id]}) {
+				return
+			}
+		}
+	}
+}
+
 // --- mixed ---------------------------------------------------------------
 
 type mixed struct{ corpus int }

@@ -45,47 +45,113 @@ const (
 	FetchUnavailable
 )
 
-// Fetch asks the owner of digest for its cached payload. It returns the
-// payload (FetchHit only), the owner's URL ("" when self-owned), and
-// the outcome. Transport errors are retried with jittered backoff up to
-// the configured attempt budget; an open breaker skips the peer
-// entirely so a dead owner costs nothing after the breaker trips.
-func (c *Cluster) Fetch(ctx context.Context, digest string) ([]byte, string, FetchOutcome) {
-	owner := c.ring.Load().Owner(digest)
-	if owner == "" || owner == c.self {
+// Fetch asks digest's replica set for its cached payload, walking the
+// successor list in placement order: a replica whose breaker is open is
+// skipped outright, a replica that cannot be reached, answers 404 or
+// serves a payload failing the caller's verify falls through to the
+// next. verify (nil = accept) must be a pure check — Fetch itself
+// charges a failed verification to the replica's breaker.
+//
+// On a verified hit, Fetch read-repairs: every replica that answered a
+// definitive 404 during the walk is re-offered the entry through the
+// replication queue. It returns the payload (FetchHit only), the
+// serving replica's URL, and the outcome; FetchSelf means the replica
+// set holds no one but this instance. When this instance is itself one
+// of the replicas, a hit also counts one read-repair for the local
+// install the caller performs.
+func (c *Cluster) Fetch(ctx context.Context, digest string, verify func(owner string, payload []byte) bool) ([]byte, string, FetchOutcome) {
+	owners := c.Owners(digest)
+	selfOwner := false
+	remote := make([]string, 0, len(owners))
+	for _, o := range owners {
+		if o == c.self {
+			selfOwner = true
+		} else {
+			remote = append(remote, o)
+		}
+	}
+	if len(remote) == 0 {
 		return nil, "", FetchSelf
 	}
-	b := c.breakerFor(owner)
 	ctx, fs := trace.Start(ctx, "peer-fetch",
-		trace.String("owner", owner),
+		trace.String("owner", remote[0]),
 		trace.String("digest", shortDigest(digest)),
-		trace.String("breaker", b.snapshot().State))
+		trace.Int("replicas", len(remote)))
 	defer fs.End()
+
+	var missed []string // replicas that answered a clean 404
+	for ri, owner := range remote {
+		b := c.breakerFor(owner)
+		rctx, rs := trace.Start(ctx, "peer-replica",
+			trace.String("owner", owner),
+			trace.Int("replica", ri+1),
+			trace.String("breaker", b.snapshot().State))
+		payload, found, outcome := c.fetchReplica(rctx, owner, digest, b)
+		if outcome == "hit" && verify != nil && !verify(owner, payload) {
+			// The replica served bytes that are not the program the digest
+			// names: charge its breaker like any other failure and try the
+			// next replica.
+			c.noteFailure(owner, b)
+			c.stats.fetchErrors.Add(1)
+			outcome = "verify-failed"
+			payload, found = nil, false
+		}
+		rs.SetAttr("outcome", outcome)
+		rs.End()
+		if found {
+			c.stats.fetchHits.Add(1)
+			if ri > 0 {
+				c.stats.replicaFallthroughs.Add(1)
+			}
+			fs.SetAttr("outcome", "hit")
+			c.readRepair(ctx, digest, payload, missed, selfOwner)
+			return payload, owner, FetchHit
+		}
+		if outcome == "miss" {
+			missed = append(missed, owner)
+		}
+		if outcome == "canceled" {
+			fs.SetAttr("outcome", "canceled")
+			return nil, owner, FetchUnavailable
+		}
+	}
+	if len(missed) > 0 {
+		// Every reachable replica answered definitively: the entry is not
+		// in the warm tier. (Unreachable replicas may still hold it, but
+		// the caller should compress rather than wait for them.)
+		fs.SetAttr("outcome", "miss")
+		return nil, missed[0], FetchMiss
+	}
+	fs.SetAttr("outcome", "unavailable")
+	return nil, remote[0], FetchUnavailable
+}
+
+// fetchReplica runs the retry loop against one replica. outcome is one
+// of "hit", "miss", "breaker-skip", "canceled", "unavailable"; found is
+// true only for a hit.
+func (c *Cluster) fetchReplica(ctx context.Context, owner, digest string, b *breaker) (payload []byte, found bool, outcome string) {
 	if !b.allow() {
 		c.stats.breakerSkips.Add(1)
-		fs.SetAttr("outcome", "breaker-skip")
-		return nil, owner, FetchUnavailable
+		return nil, false, "breaker-skip"
 	}
 	attempts := 1 + c.cfg.Retries
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
 			if !sleepCtx(ctx, backoff(c.cfg.BackoffBase, i-1)) {
 				c.stats.fetchErrors.Add(1)
-				fs.SetAttr("outcome", "canceled")
-				return nil, owner, FetchUnavailable
+				return nil, false, "canceled"
 			}
 			// Re-check the breaker between attempts: another request's
 			// failures may have tripped it while we were backing off.
 			if !b.allow() {
 				c.stats.breakerSkips.Add(1)
-				fs.SetAttr("outcome", "breaker-skip")
-				return nil, owner, FetchUnavailable
+				return nil, false, "breaker-skip"
 			}
 		}
 		actx, as := trace.Start(ctx, "peer-attempt",
 			trace.Int("attempt", i+1),
 			trace.String("breaker", b.snapshot().State))
-		payload, found, err := c.fetchOnce(actx, owner, digest)
+		payload, ok, err := c.fetchOnce(actx, owner, digest)
 		if err != nil {
 			as.SetAttr("err", err.Error())
 			as.End()
@@ -97,17 +163,43 @@ func (c *Cluster) Fetch(ctx context.Context, digest string) ([]byte, string, Fet
 		}
 		as.End()
 		c.noteSuccess(owner, b)
-		if !found {
+		if !ok {
 			c.stats.fetchMisses.Add(1)
-			fs.SetAttr("outcome", "miss")
-			return nil, owner, FetchMiss
+			return nil, false, "miss"
 		}
-		c.stats.fetchHits.Add(1)
-		fs.SetAttr("outcome", "hit")
-		return payload, owner, FetchHit
+		return payload, true, "hit"
 	}
-	fs.SetAttr("outcome", "unavailable")
-	return nil, owner, FetchUnavailable
+	return nil, false, "unavailable"
+}
+
+// readRepair re-offers a verified entry to the replicas that missed it
+// during a fetch walk, through the replication queue pinned to each
+// lagging member — convergence without waiting for an anti-entropy
+// pass. selfInstall additionally counts the caller's own install when
+// this instance is part of the replica set.
+func (c *Cluster) readRepair(ctx context.Context, digest string, payload []byte, missed []string, selfInstall bool) {
+	if selfInstall {
+		c.stats.readRepairs.Add(1)
+	}
+	if len(missed) == 0 {
+		return
+	}
+	for _, owner := range missed {
+		j := replJob{
+			digest:     digest,
+			payload:    payload,
+			targets:    []string{owner},
+			traceID:    trace.ID(ctx),
+			parentSpan: trace.SpanFromContext(ctx).SpanID(),
+			enqueued:   time.Now(),
+		}
+		if c.tryEnqueue(j) {
+			c.stats.readRepairs.Add(1)
+			c.stats.replEnqueued.Add(1)
+		} else {
+			c.stats.replDropped.Add(1)
+		}
+	}
 }
 
 // fetchOnce is one GET against the owner. found=false reports a clean
@@ -150,17 +242,24 @@ func (c *Cluster) fetchOnce(ctx context.Context, owner, digest string) (payload 
 }
 
 // Replicate enqueues an async best-effort push of a newly compressed
-// entry to its ring owner. Self-owned digests are kept local; a full
-// queue drops the job (anti-entropy repairs the gap later) so the
-// request path never blocks on replication.
+// entry to its replica set. Digests whose only owner is this instance
+// stay local; a full queue drops the job (anti-entropy repairs the gap
+// later) so the request path never blocks on replication.
 //
-// The owner is resolved when the push is sent, not here: a job that
-// waits out a membership change drains to the owner of the ring as it
+// The owners are resolved when the push is sent, not here: a job that
+// waits out a membership change drains to the owners of the ring as it
 // is then, so the queue never feeds departed members.
 func (c *Cluster) Replicate(ctx context.Context, digest string, payload []byte) {
 	_, es := trace.Start(ctx, "repl-enqueue", trace.String("digest", shortDigest(digest)))
 	defer es.End()
-	if owner := c.ring.Load().Owner(digest); owner == "" || owner == c.self {
+	hasRemote := false
+	for _, o := range c.Owners(digest) {
+		if o != c.self {
+			hasRemote = true
+			break
+		}
+	}
+	if !hasRemote {
 		es.SetAttr("outcome", "self")
 		return
 	}
@@ -171,14 +270,10 @@ func (c *Cluster) Replicate(ctx context.Context, digest string, payload []byte) 
 		parentSpan: trace.SpanFromContext(ctx).SpanID(),
 		enqueued:   time.Now(),
 	}
-	select {
-	case c.replCh <- j:
-		c.qmu.Lock()
-		c.qtimes = append(c.qtimes, j.enqueued)
-		c.qmu.Unlock()
+	if c.tryEnqueue(j) {
 		c.stats.replEnqueued.Add(1)
 		es.SetAttr("outcome", "enqueued")
-	default:
+	} else {
 		c.stats.replDropped.Add(1)
 		es.SetAttr("outcome", "dropped")
 	}
@@ -192,9 +287,18 @@ func (c *Cluster) replWorker() {
 			c.qtimes = append(c.qtimes[:0], c.qtimes[1:]...)
 		}
 		c.qmu.Unlock()
-		owner := c.ring.Load().Owner(j.digest)
-		if owner == "" || owner == c.self {
-			continue // ownership moved to us while the job was queued
+		targets := j.targets
+		if targets == nil {
+			// A ring-resolved job: push to every remote member of the
+			// digest's current replica set.
+			for _, o := range c.Owners(j.digest) {
+				if o != c.self {
+					targets = append(targets, o)
+				}
+			}
+		}
+		if len(targets) == 0 {
+			continue // ownership moved entirely to us while the job was queued
 		}
 		// The push runs long after the originating request returned, so
 		// it gets its own background trace — same trace ID, root
@@ -209,19 +313,44 @@ func (c *Cluster) replWorker() {
 			}
 			ctx = trace.WithID(ctx, id)
 			ctx, root = c.cfg.Tracer.StartTrace(ctx, id, j.parentSpan, "replicate", "replicate",
-				trace.String("owner", owner),
-				trace.String("digest", shortDigest(j.digest)))
+				trace.String("digest", shortDigest(j.digest)),
+				trace.Int("targets", len(targets)))
 			root.SetAttr("queue_wait_ms", float64(time.Since(j.enqueued))/float64(time.Millisecond))
 		}
-		if err := c.push(ctx, owner, j.digest, j.payload); err != nil {
-			c.stats.replErrors.Add(1)
-			root.SetAttr("err", err.Error())
-			c.log.Debug("replication push failed",
-				"peer", owner, "digest", j.digest, "err", err)
-		} else {
-			c.stats.replSent.Add(1)
+		for _, owner := range targets {
+			if err := c.push(ctx, owner, j.digest, j.payload); err != nil {
+				c.stats.replErrors.Add(1)
+				root.SetAttr("err", err.Error())
+				c.log.Debug("replication push failed",
+					"peer", owner, "digest", j.digest, "err", err)
+				c.maybeHint(j, owner)
+			} else {
+				c.stats.replSent.Add(1)
+				if j.fromHint {
+					c.stats.handoffDrained.Add(1)
+				}
+			}
 		}
 		root.End()
+	}
+}
+
+// maybeHint buffers a failed push as a handoff hint when the target is
+// still in the ring (alive but flaky, or suspect): the entry will be
+// re-pushed when the member proves healthy. A target already declared
+// dead or left gets no hint — reassignment handles its backlog — and a
+// failed drain re-buffers without recounting.
+func (c *Cluster) maybeHint(j replJob, owner string) {
+	st, known := c.members.State(owner)
+	if !known || !st.inRing() {
+		return
+	}
+	evicted := c.hints.add(HandoffRecord{Target: owner, Digest: j.digest, Payload: j.payload})
+	if evicted > 0 {
+		c.stats.handoffDropped.Add(uint64(evicted))
+	}
+	if !j.fromHint {
+		c.stats.handoffHinted.Add(1)
 	}
 }
 
@@ -274,13 +403,13 @@ func (c *Cluster) push(ctx context.Context, owner, digest string, payload []byte
 	return nil
 }
 
-// AntiEntropy offers every locally held digest to its ring owner and
-// pushes the ones each owner asks for; payload resolves a digest to its
-// marshalled bytes at push time (an entry evicted meanwhile is skipped).
-// Run it in a goroutine at startup and after every ring change: it is
-// synchronous, breaker-gated and abandons a peer on the first error
-// rather than retrying — the next ring change, restart, or normal
-// write-replication closes any remaining gap.
+// AntiEntropy offers every locally held digest to each member of its
+// replica set and pushes the ones each owner asks for; payload resolves
+// a digest to its marshalled bytes at push time (an entry evicted
+// meanwhile is skipped). Run it in a goroutine at startup and after
+// every ring change: it is synchronous, breaker-gated and abandons a
+// peer on the first error rather than retrying — the next ring change,
+// restart, or normal write-replication closes any remaining gap.
 func (c *Cluster) AntiEntropy(ctx context.Context, digests []string, payload func(string) ([]byte, bool)) {
 	c.antiEntropyRing(ctx, c.ring.Load(), digests, payload)
 }
@@ -290,8 +419,10 @@ func (c *Cluster) AntiEntropy(ctx context.Context, digests []string, payload fun
 func (c *Cluster) antiEntropyRing(ctx context.Context, ring *Ring, digests []string, payload func(string) ([]byte, bool)) {
 	byOwner := make(map[string][]string)
 	for _, d := range digests {
-		if owner := ring.Owner(d); owner != "" && owner != c.self {
-			byOwner[owner] = append(byOwner[owner], d)
+		for _, owner := range ring.Owners(d, c.cfg.ReplicationFactor) {
+			if owner != "" && owner != c.self {
+				byOwner[owner] = append(byOwner[owner], d)
+			}
 		}
 	}
 	for owner, ds := range byOwner {

@@ -157,18 +157,18 @@ func TestFetchHitMissAndSelf(t *testing.T) {
 	hitD := peerOwnedDigest(t, c, "hit")
 	src.Accept(hitD, payload)
 
-	got, owner, out := c.Fetch(context.Background(), hitD)
+	got, owner, out := c.Fetch(context.Background(), hitD, nil)
 	if out != FetchHit || !bytes.Equal(got, payload) || owner != ts.URL {
 		t.Fatalf("Fetch = (%q, %q, %d), want hit of %q from %s", got, owner, out, payload, ts.URL)
 	}
 
 	missD := peerOwnedDigest(t, c, "miss")
-	if _, _, out := c.Fetch(context.Background(), missD); out != FetchMiss {
+	if _, _, out := c.Fetch(context.Background(), missD, nil); out != FetchMiss {
 		t.Fatalf("Fetch(absent) outcome = %d, want FetchMiss", out)
 	}
 
 	selfD := selfOwnedDigest(t, c, "self")
-	if _, _, out := c.Fetch(context.Background(), selfD); out != FetchSelf {
+	if _, _, out := c.Fetch(context.Background(), selfD, nil); out != FetchSelf {
 		t.Fatalf("Fetch(self-owned) outcome = %d, want FetchSelf", out)
 	}
 
@@ -198,7 +198,7 @@ func TestFetchRetriesThenSucceeds(t *testing.T) {
 
 	d := peerOwnedDigest(t, c, "retry")
 	src.Accept(d, []byte("v"))
-	if _, _, out := c.Fetch(context.Background(), d); out != FetchHit {
+	if _, _, out := c.Fetch(context.Background(), d, nil); out != FetchHit {
 		t.Fatalf("outcome = %d, want FetchHit on second attempt", out)
 	}
 	if calls.Load() != 2 {
@@ -218,7 +218,7 @@ func TestFetchRejectsChecksumMismatch(t *testing.T) {
 	c := newTestCluster(t, ts.URL, func(cfg *Config) { cfg.Retries = -1 })
 
 	d := peerOwnedDigest(t, c, "sum")
-	if _, _, out := c.Fetch(context.Background(), d); out != FetchUnavailable {
+	if _, _, out := c.Fetch(context.Background(), d, nil); out != FetchUnavailable {
 		t.Fatalf("outcome = %d, want FetchUnavailable on checksum mismatch", out)
 	}
 	if st := c.Stats(); st.FetchErrors == 0 {
@@ -251,13 +251,13 @@ func TestBreakerCutsOffDeadPeerAndRecovers(t *testing.T) {
 	d := peerOwnedDigest(t, c, "life")
 	src.Accept(d, []byte("v"))
 
-	if _, _, out := c.Fetch(context.Background(), d); out != FetchHit {
+	if _, _, out := c.Fetch(context.Background(), d, nil); out != FetchHit {
 		t.Fatal("healthy peer did not serve a hit")
 	}
 
 	down.Store(true)
 	for i := 0; i < 2; i++ { // threshold failures trip the breaker
-		if _, _, out := c.Fetch(context.Background(), d); out != FetchUnavailable {
+		if _, _, out := c.Fetch(context.Background(), d, nil); out != FetchUnavailable {
 			t.Fatalf("failure %d: outcome not FetchUnavailable", i)
 		}
 	}
@@ -267,7 +267,7 @@ func TestBreakerCutsOffDeadPeerAndRecovers(t *testing.T) {
 	}
 	// While open, fetches are skipped without touching the network.
 	before := c.Stats().BreakerSkips
-	if _, _, out := c.Fetch(context.Background(), d); out != FetchUnavailable {
+	if _, _, out := c.Fetch(context.Background(), d, nil); out != FetchUnavailable {
 		t.Fatal("open breaker did not report unavailable")
 	}
 	if c.Stats().BreakerSkips != before+1 {
@@ -277,7 +277,7 @@ func TestBreakerCutsOffDeadPeerAndRecovers(t *testing.T) {
 	down.Store(false)
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		if _, _, out := c.Fetch(context.Background(), d); out == FetchHit {
+		if _, _, out := c.Fetch(context.Background(), d, nil); out == FetchHit {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -430,6 +430,245 @@ func TestHandlerRejectsBadRequests(t *testing.T) {
 	}
 }
 
+// newReplicatedCluster builds a 3-member view (self plus two httptest
+// peers) at ReplicationFactor 2, membership quiescent.
+func newReplicatedCluster(t *testing.T, urlA, urlB string, tweak func(*Config)) *Cluster {
+	t.Helper()
+	cfg := Config{
+		Self:              "http://self.invalid:1",
+		Peers:             []string{urlA, urlB},
+		ReplicationFactor: 2,
+		FetchTimeout:      2 * time.Second,
+		Retries:           -1,
+		BackoffBase:       time.Millisecond,
+		BreakerThreshold:  2,
+		BreakerCooldown:   50 * time.Millisecond,
+		HeartbeatInterval: time.Hour,
+		SuspectAfter:      time.Hour,
+		DeadAfter:         2 * time.Hour,
+		Logger:            quiet(),
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// digestOwnedByBoth finds a digest whose R=2 replica set is exactly
+// [a, b] in that successor order (a is the primary).
+func digestOwnedByBoth(t *testing.T, c *Cluster, a, b, tag string) string {
+	t.Helper()
+	for i := 0; i < 50000; i++ {
+		d := testDigestOf([]byte(fmt.Sprintf("%s-%d", tag, i)))
+		owners := c.Owners(d)
+		if len(owners) == 2 && owners[0] == a && owners[1] == b {
+			return d
+		}
+	}
+	t.Fatalf("no digest found with owners [%s, %s]", a, b)
+	return ""
+}
+
+// TestReplicateFansOutToAllReplicas: at R=2 a write lands on both
+// remote owners, not just the primary.
+func TestReplicateFansOutToAllReplicas(t *testing.T) {
+	srcA, srcB := newMemSource(), newMemSource()
+	tsA := httptest.NewServer(mountHandler(NewHandler(srcA, quiet())))
+	defer tsA.Close()
+	tsB := httptest.NewServer(mountHandler(NewHandler(srcB, quiet())))
+	defer tsB.Close()
+	c := newReplicatedCluster(t, tsA.URL, tsB.URL, nil)
+
+	payload := []byte("fan-out-payload")
+	d := digestOwnedByBoth(t, c, tsA.URL, tsB.URL, "fanout")
+	c.Replicate(context.Background(), d, payload)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		pa, oka := srcA.Payload(d)
+		pb, okb := srcB.Payload(d)
+		if oka && okb {
+			if !bytes.Equal(pa, payload) || !bytes.Equal(pb, payload) {
+				t.Fatal("replicated payload corrupted")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replication incomplete: A=%v B=%v", oka, okb)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := c.Stats(); st.ReplicationsSent != 2 {
+		t.Errorf("sent = %d, want 2 (one push per replica)", st.ReplicationsSent)
+	}
+}
+
+// TestFetchFallsThroughToSecondReplica: replica 1 lacks the entry,
+// replica 2 serves it; the walk counts a fallthrough and read-repairs
+// the lagging replica without an anti-entropy pass.
+func TestFetchFallsThroughToSecondReplica(t *testing.T) {
+	srcA, srcB := newMemSource(), newMemSource()
+	tsA := httptest.NewServer(mountHandler(NewHandler(srcA, quiet())))
+	defer tsA.Close()
+	tsB := httptest.NewServer(mountHandler(NewHandler(srcB, quiet())))
+	defer tsB.Close()
+	c := newReplicatedCluster(t, tsA.URL, tsB.URL, nil)
+
+	payload := []byte("replica-2-payload")
+	d := digestOwnedByBoth(t, c, tsA.URL, tsB.URL, "fall")
+	primary, secondary := srcA, srcB
+	secondary.Accept(d, payload)
+
+	got, _, out := c.Fetch(context.Background(), d, nil)
+	if out != FetchHit || !bytes.Equal(got, payload) {
+		t.Fatalf("Fetch = (%q, %d), want hit from the second replica", got, out)
+	}
+	st := c.Stats()
+	if st.ReplicaFallthroughs != 1 {
+		t.Errorf("fallthroughs = %d, want 1", st.ReplicaFallthroughs)
+	}
+	if st.ReadRepairs != 1 {
+		t.Errorf("read repairs = %d, want 1", st.ReadRepairs)
+	}
+	// The lagging primary converges via the repair push.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if p, ok := primary.Payload(d); ok {
+			if !bytes.Equal(p, payload) {
+				t.Fatal("read-repaired payload corrupted")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("read repair never reached the lagging replica")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestFetchVerifyFailureFallsThrough: a replica serving bytes that fail
+// the caller's verification is charged and skipped; the next replica's
+// verified payload is returned.
+func TestFetchVerifyFailureFallsThrough(t *testing.T) {
+	good := []byte("good-payload")
+	evil := []byte("evil-payload")
+	srcB := newMemSource()
+	tsB := httptest.NewServer(mountHandler(NewHandler(srcB, quiet())))
+	defer tsB.Close()
+	// tsA always serves the evil payload with a correct transport sum.
+	tsA := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, CachePathPrefix) {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set(SumHeader, testDigestOf(evil))
+		w.Write(evil)
+	}))
+	defer tsA.Close()
+	c := newReplicatedCluster(t, tsA.URL, tsB.URL, nil)
+
+	d := digestOwnedByBoth(t, c, tsA.URL, tsB.URL, "verify")
+	srcB.Accept(d, good)
+
+	verify := func(owner string, payload []byte) bool { return bytes.Equal(payload, good) }
+	got, owner, out := c.Fetch(context.Background(), d, verify)
+	if out != FetchHit || !bytes.Equal(got, good) || owner != tsB.URL {
+		t.Fatalf("Fetch = (%q, %s, %d), want verified hit from B", got, owner, out)
+	}
+	st := c.Stats()
+	if st.FetchErrors == 0 {
+		t.Error("verification failure not counted as a fetch error")
+	}
+	if st.ReplicaFallthroughs != 1 {
+		t.Errorf("fallthroughs = %d, want 1", st.ReplicaFallthroughs)
+	}
+}
+
+// TestHandoffHintAndDrain drives the full hint lifecycle: pushes to a
+// downed replica are buffered as hints (the member is suspect, not
+// dead), and when the member proves alive again the hints drain and the
+// entry is delivered.
+func TestHandoffHintAndDrain(t *testing.T) {
+	srcA, srcB := newMemSource(), newMemSource()
+	innerA := mountHandler(NewHandler(srcA, quiet()))
+	var downA atomic.Bool
+	tsA := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if downA.Load() {
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err == nil {
+				conn.Close()
+			}
+			return
+		}
+		innerA.ServeHTTP(w, r)
+	}))
+	defer tsA.Close()
+	tsB := httptest.NewServer(mountHandler(NewHandler(srcB, quiet())))
+	defer tsB.Close()
+	c := newReplicatedCluster(t, tsA.URL, tsB.URL, func(cfg *Config) {
+		cfg.BreakerThreshold = 1
+		cfg.BreakerCooldown = 20 * time.Millisecond
+	})
+
+	payload := []byte("hinted-payload")
+	d := digestOwnedByBoth(t, c, tsA.URL, tsB.URL, "hint")
+
+	downA.Store(true)
+	c.Replicate(context.Background(), d, payload)
+
+	// B gets its copy; A's push fails and is hinted (the breaker opening
+	// marked A suspect, so it is still in the ring).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := c.Stats()
+		if _, ok := srcB.Payload(d); ok && st.HandoffHinted >= 1 && st.HandoffPending >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("hint never buffered: stats %+v", c.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st, _ := c.members.State(tsA.URL); st != StateSuspect {
+		t.Fatalf("downed replica state = %v, want suspect", st)
+	}
+
+	// A comes back; a successful exchange flips it suspect -> alive,
+	// which fires the drain.
+	downA.Store(false)
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		// Any successful contact (here: a fetch walk that reaches A once
+		// the breaker cools down) re-observes it alive.
+		c.Fetch(context.Background(), d, nil)
+		if p, ok := srcA.Payload(d); ok {
+			if !bytes.Equal(p, payload) {
+				t.Fatal("drained payload corrupted")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("hint never drained: stats %+v", c.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for c.Stats().HandoffDrained == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("drain not counted: stats %+v", c.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n, _ := c.hints.pending(); n != 0 {
+		t.Errorf("hints still pending after drain: %d", n)
+	}
+}
+
 // TestFetchForwardsTraceID pins request-ID propagation: the ID on the
 // inbound request context must ride the outbound peer call.
 func TestFetchForwardsTraceID(t *testing.T) {
@@ -444,7 +683,7 @@ func TestFetchForwardsTraceID(t *testing.T) {
 	c := newTestCluster(t, ts.URL, nil)
 
 	ctx := trace.WithID(context.Background(), "req-abc-123")
-	c.Fetch(ctx, peerOwnedDigest(t, c, "trace"))
+	c.Fetch(ctx, peerOwnedDigest(t, c, "trace"), nil)
 	if got, _ := gotID.Load().(string); got != "req-abc-123" {
 		t.Errorf("peer saw request ID %q, want req-abc-123", got)
 	}

@@ -1,0 +1,188 @@
+package peer
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// Hinted handoff: when a replication push cannot reach a replica that
+// is merely suspect (or transiently failing), the entry is buffered
+// here as a hint instead of being abandoned. Hints drain back into the
+// replication queue when the target refutes its suspicion (transition
+// to alive) and opportunistically every heartbeat round while the
+// target is healthy; a target declared dead or left has its hints
+// reassigned to the digests' surviving owners. The buffer is bounded in
+// both records and bytes — overflow drops the oldest hint (anti-entropy
+// repairs whatever a dropped hint would have delivered).
+
+// handoffMagic and handoffVersion frame an encoded HandoffRecord.
+const (
+	handoffMagic   = 'H'
+	handoffVersion = 1
+)
+
+// Handoff buffer bounds (per cluster, across all targets).
+const (
+	defaultHandoffMaxRecords = 1024
+	defaultHandoffMaxBytes   = 16 << 20
+)
+
+// HandoffRecord is one buffered replication push: the member it was
+// meant for, the digest, and the marshalled payload.
+type HandoffRecord struct {
+	Target  string
+	Digest  string
+	Payload []byte
+}
+
+// EncodeHandoffRecord renders a record in the handoff wire format:
+// a magic byte, a version byte, then target, digest and payload each
+// as a uvarint length prefix followed by the raw bytes.
+func EncodeHandoffRecord(r HandoffRecord) []byte {
+	var lenbuf [binary.MaxVarintLen64]byte
+	out := make([]byte, 0, 2+len(r.Target)+len(r.Digest)+len(r.Payload)+3*binary.MaxVarintLen64)
+	out = append(out, handoffMagic, handoffVersion)
+	for _, field := range [][]byte{[]byte(r.Target), []byte(r.Digest), r.Payload} {
+		n := binary.PutUvarint(lenbuf[:], uint64(len(field)))
+		out = append(out, lenbuf[:n]...)
+		out = append(out, field...)
+	}
+	return out
+}
+
+// DecodeHandoffRecord parses and validates one encoded record from
+// untrusted input: framing, bounded field lengths, a well-formed member
+// URL for the target, a well-formed digest, and no trailing garbage.
+func DecodeHandoffRecord(b []byte) (HandoffRecord, error) {
+	if len(b) < 2 {
+		return HandoffRecord{}, fmt.Errorf("peer: handoff record truncated (%d bytes)", len(b))
+	}
+	if b[0] != handoffMagic {
+		return HandoffRecord{}, fmt.Errorf("peer: handoff record bad magic 0x%02x", b[0])
+	}
+	if b[1] != handoffVersion {
+		return HandoffRecord{}, fmt.Errorf("peer: handoff record unknown version %d", b[1])
+	}
+	rest := b[2:]
+	field := func(max int) ([]byte, error) {
+		n, width := binary.Uvarint(rest)
+		if width <= 0 {
+			return nil, fmt.Errorf("peer: handoff record bad length prefix")
+		}
+		// Only the minimal varint encoding is accepted: every valid
+		// record has exactly one byte representation.
+		var minimal [binary.MaxVarintLen64]byte
+		if binary.PutUvarint(minimal[:], n) != width {
+			return nil, fmt.Errorf("peer: handoff record non-minimal length prefix")
+		}
+		rest = rest[width:]
+		if n > uint64(max) {
+			return nil, fmt.Errorf("peer: handoff record field of %d bytes exceeds %d", n, max)
+		}
+		if uint64(len(rest)) < n {
+			return nil, fmt.Errorf("peer: handoff record truncated field (want %d, have %d)", n, len(rest))
+		}
+		f := rest[:n]
+		rest = rest[n:]
+		return f, nil
+	}
+	target, err := field(2048)
+	if err != nil {
+		return HandoffRecord{}, err
+	}
+	digest, err := field(64)
+	if err != nil {
+		return HandoffRecord{}, err
+	}
+	payload, err := field(maxPayloadBytes)
+	if err != nil {
+		return HandoffRecord{}, err
+	}
+	if len(rest) != 0 {
+		return HandoffRecord{}, fmt.Errorf("peer: handoff record has %d trailing bytes", len(rest))
+	}
+	rec := HandoffRecord{Target: string(target), Digest: string(digest), Payload: payload}
+	if err := validMemberURL(rec.Target); err != nil {
+		return HandoffRecord{}, fmt.Errorf("peer: handoff record target: %w", err)
+	}
+	if !validDigest(rec.Digest) {
+		return HandoffRecord{}, fmt.Errorf("peer: handoff record digest %q malformed", rec.Digest)
+	}
+	return rec, nil
+}
+
+// hintBuffer is the bounded FIFO of encoded handoff records. Records
+// are kept in their wire encoding so byte accounting is exact and the
+// format always has a live consumer.
+type hintBuffer struct {
+	mu         sync.Mutex
+	maxRecords int
+	maxBytes   int
+	bytes      int
+	recs       [][]byte // encoded HandoffRecords, oldest first
+}
+
+func newHintBuffer(maxRecords, maxBytes int) *hintBuffer {
+	return &hintBuffer{maxRecords: maxRecords, maxBytes: maxBytes}
+}
+
+// add buffers one hint, evicting from the head until the bounds hold
+// again; it returns how many older hints were dropped to make room.
+func (h *hintBuffer) add(rec HandoffRecord) (evicted int) {
+	enc := EncodeHandoffRecord(rec)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.recs = append(h.recs, enc)
+	h.bytes += len(enc)
+	for (len(h.recs) > h.maxRecords || h.bytes > h.maxBytes) && len(h.recs) > 1 {
+		h.bytes -= len(h.recs[0])
+		h.recs = h.recs[1:]
+		evicted++
+	}
+	return evicted
+}
+
+// take removes and returns every buffered hint for target, oldest
+// first.
+func (h *hintBuffer) take(target string) []HandoffRecord {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []HandoffRecord
+	kept := h.recs[:0]
+	for _, enc := range h.recs {
+		rec, err := DecodeHandoffRecord(enc)
+		if err != nil || rec.Target != target {
+			kept = append(kept, enc)
+			continue
+		}
+		h.bytes -= len(enc)
+		out = append(out, rec)
+	}
+	h.recs = kept
+	return out
+}
+
+// targets returns the distinct targets with buffered hints.
+func (h *hintBuffer) targets() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	seen := make(map[string]bool)
+	var out []string
+	for _, enc := range h.recs {
+		rec, err := DecodeHandoffRecord(enc)
+		if err != nil || seen[rec.Target] {
+			continue
+		}
+		seen[rec.Target] = true
+		out = append(out, rec.Target)
+	}
+	return out
+}
+
+// pending reports the buffered record and byte counts.
+func (h *hintBuffer) pending() (records, bytes int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.recs), h.bytes
+}

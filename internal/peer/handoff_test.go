@@ -1,0 +1,130 @@
+package peer
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestHandoffRecordRoundTrip(t *testing.T) {
+	recs := []HandoffRecord{
+		{Target: "http://a:1", Digest: testDigestOf([]byte("x")), Payload: []byte("payload")},
+		{Target: "https://node-7.internal:8321", Digest: testDigestOf([]byte("y")), Payload: nil},
+		{Target: "http://b:1", Digest: testDigestOf([]byte("z")), Payload: bytes.Repeat([]byte{0}, 4096)},
+	}
+	for _, want := range recs {
+		got, err := DecodeHandoffRecord(EncodeHandoffRecord(want))
+		if err != nil {
+			t.Fatalf("round trip of %+v: %v", want, err)
+		}
+		if got.Target != want.Target || got.Digest != want.Digest || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("round trip mangled record: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestHandoffRecordRejectsMalformed(t *testing.T) {
+	good := EncodeHandoffRecord(HandoffRecord{
+		Target: "http://a:1", Digest: testDigestOf([]byte("x")), Payload: []byte("p"),
+	})
+	cases := map[string][]byte{
+		"empty":          nil,
+		"magic only":     {handoffMagic},
+		"bad magic":      append([]byte{'X'}, good[1:]...),
+		"bad version":    append([]byte{handoffMagic, 99}, good[2:]...),
+		"truncated":      good[:len(good)-1],
+		"trailing bytes": append(append([]byte{}, good...), 0xFF),
+	}
+	for name, b := range cases {
+		if _, err := DecodeHandoffRecord(b); err == nil {
+			t.Errorf("%s: decoder accepted malformed record", name)
+		}
+	}
+	// A structurally valid record with an invalid target or digest must
+	// also be refused.
+	if _, err := DecodeHandoffRecord(EncodeHandoffRecord(HandoffRecord{
+		Target: "not a url", Digest: testDigestOf([]byte("x")),
+	})); err == nil {
+		t.Error("decoder accepted an invalid target URL")
+	}
+	if _, err := DecodeHandoffRecord(EncodeHandoffRecord(HandoffRecord{
+		Target: "http://a:1", Digest: "nothex",
+	})); err == nil {
+		t.Error("decoder accepted a malformed digest")
+	}
+}
+
+func TestHintBufferBoundsAndTake(t *testing.T) {
+	h := newHintBuffer(3, 1<<20)
+	d := func(i int) string { return testDigestOf([]byte(fmt.Sprintf("d%d", i))) }
+	for i := 0; i < 3; i++ {
+		if ev := h.add(HandoffRecord{Target: "http://a:1", Digest: d(i), Payload: []byte("p")}); ev != 0 {
+			t.Fatalf("add %d evicted %d records under the cap", i, ev)
+		}
+	}
+	// The fourth hint evicts the oldest.
+	if ev := h.add(HandoffRecord{Target: "http://b:1", Digest: d(3), Payload: []byte("p")}); ev != 1 {
+		t.Fatalf("over-cap add evicted %d, want 1", ev)
+	}
+	if n, _ := h.pending(); n != 3 {
+		t.Fatalf("pending = %d, want 3", n)
+	}
+	gotA := h.take("http://a:1")
+	if len(gotA) != 2 || gotA[0].Digest != d(1) || gotA[1].Digest != d(2) {
+		t.Fatalf("take(a) = %+v, want digests 1,2 oldest-first", gotA)
+	}
+	if tg := h.targets(); len(tg) != 1 || tg[0] != "http://b:1" {
+		t.Fatalf("targets after take = %v, want [http://b:1]", tg)
+	}
+	h.take("http://b:1")
+	if n, b := h.pending(); n != 0 || b != 0 {
+		t.Fatalf("pending after draining everything = (%d, %d), want zeros", n, b)
+	}
+
+	// The byte cap evicts too.
+	hb := newHintBuffer(100, 64)
+	hb.add(HandoffRecord{Target: "http://a:1", Digest: d(0), Payload: bytes.Repeat([]byte{1}, 48)})
+	if ev := hb.add(HandoffRecord{Target: "http://a:1", Digest: d(1), Payload: bytes.Repeat([]byte{1}, 48)}); ev != 1 {
+		t.Fatalf("byte-cap add evicted %d, want 1", ev)
+	}
+}
+
+// FuzzHandoffRecord feeds arbitrary bytes through the handoff decoder:
+// it must never panic, anything it accepts must satisfy the validation
+// contract, and re-encoding an accepted record must reproduce the
+// canonical bytes.
+func FuzzHandoffRecord(f *testing.F) {
+	f.Add(EncodeHandoffRecord(HandoffRecord{
+		Target: "http://a:1", Digest: testDigestOf([]byte("x")), Payload: []byte("payload"),
+	}))
+	f.Add(EncodeHandoffRecord(HandoffRecord{
+		Target: "https://node:8321", Digest: testDigestOf([]byte("y")),
+	}))
+	f.Add([]byte{})
+	f.Add([]byte{handoffMagic})
+	f.Add([]byte{handoffMagic, handoffVersion})
+	f.Add([]byte{handoffMagic, handoffVersion, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	f.Add([]byte(strings.Repeat("\x80", 64)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := DecodeHandoffRecord(data)
+		if err != nil {
+			return
+		}
+		if verr := validMemberURL(rec.Target); verr != nil {
+			t.Fatalf("decoder accepted invalid target %q: %v", rec.Target, verr)
+		}
+		if !validDigest(rec.Digest) {
+			t.Fatalf("decoder accepted malformed digest %q", rec.Digest)
+		}
+		if len(rec.Payload) > maxPayloadBytes {
+			t.Fatalf("decoder accepted %d-byte payload", len(rec.Payload))
+		}
+		// The format has no redundancy, so an accepted input must BE the
+		// canonical encoding of the record it decodes to.
+		if enc := EncodeHandoffRecord(rec); !bytes.Equal(enc, data) {
+			t.Fatalf("accepted input is not canonical:\n in: %x\nout: %x", data, enc)
+		}
+	})
+}

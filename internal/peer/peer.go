@@ -84,6 +84,14 @@ type Config struct {
 	// Replicas is the virtual-node count per member (0 = DefaultReplicas).
 	Replicas int
 
+	// ReplicationFactor is how many distinct members own each digest
+	// (successor-list placement on the ring). 0 or 1 keeps the classic
+	// single-owner behaviour; higher values replicate writes to every
+	// owner and let fetches fall through to the next replica when one is
+	// unreachable or serves a payload that fails verification. A factor
+	// above the live member count degrades gracefully to all members.
+	ReplicationFactor int
+
 	// FetchTimeout bounds one fetch, replication or membership attempt.
 	FetchTimeout time.Duration
 	// Retries is the number of extra attempts after the first for an
@@ -142,6 +150,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Replicas <= 0 {
 		c.Replicas = DefaultReplicas
+	}
+	if c.ReplicationFactor <= 0 {
+		c.ReplicationFactor = 1
 	}
 	if c.FetchTimeout <= 0 {
 		c.FetchTimeout = DefaultFetchTimeout
@@ -204,6 +215,15 @@ type Cluster struct {
 	memDone   chan struct{}
 	closeOnce sync.Once
 
+	// sendMu fences the replication queue: enqueues hold it shared,
+	// Close takes it exclusively to mark the queue closed before closing
+	// the channel — membership callbacks (hint drains) can fire from
+	// in-flight worker pushes even while Close drains the queue.
+	sendMu sync.RWMutex
+	closed bool
+
+	hints *hintBuffer
+
 	// qmu guards qtimes, a FIFO of enqueue timestamps mirroring replCh;
 	// its head is the age of the oldest job still waiting for a worker.
 	qmu    sync.Mutex
@@ -215,6 +235,15 @@ type Cluster struct {
 type replJob struct {
 	digest  string
 	payload []byte
+
+	// targets pins the job to explicit members (hint drains and
+	// read-repair re-offers). nil means "the digest's remote owners,
+	// resolved at dequeue" — the normal write-replication path, which
+	// honors ring changes that happen while the job is queued.
+	targets []string
+	// fromHint marks a drained handoff hint: a successful push counts as
+	// a drain, a failed one re-buffers without recounting.
+	fromHint bool
 
 	// Trace lineage of the originating request, so the async push can
 	// open a background trace stitched to it.
@@ -241,6 +270,13 @@ type clusterStats struct {
 	ringChanges    atomic.Uint64
 	heartbeats     atomic.Uint64
 	heartbeatFails atomic.Uint64
+
+	replicaFallthroughs atomic.Uint64
+	readRepairs         atomic.Uint64
+	handoffHinted       atomic.Uint64
+	handoffDrained      atomic.Uint64
+	handoffReassigned   atomic.Uint64
+	handoffDropped      atomic.Uint64
 }
 
 // Stats is a point-in-time snapshot of the cluster counters.
@@ -261,6 +297,15 @@ type Stats struct {
 	RingChanges       uint64 `json:"ring_changes"`
 	Heartbeats        uint64 `json:"heartbeats"`
 	HeartbeatFailures uint64 `json:"heartbeat_failures"`
+
+	ReplicaFallthroughs uint64 `json:"replica_fallthroughs"`
+	ReadRepairs         uint64 `json:"read_repairs"`
+	HandoffHinted       uint64 `json:"handoff_hinted"`
+	HandoffDrained      uint64 `json:"handoff_drained"`
+	HandoffReassigned   uint64 `json:"handoff_reassigned"`
+	HandoffDropped      uint64 `json:"handoff_dropped"`
+	HandoffPending      int    `json:"handoff_pending"`
+	HandoffPendingBytes int    `json:"handoff_pending_bytes"`
 }
 
 // NewCluster validates the seed list, builds the initial ring over it
@@ -285,15 +330,21 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("peer: need at least one seed peer besides Self")
 	}
+	var c *Cluster
 	members := NewMembership(cfg.Self, MembershipConfig{
 		SuspectAfter: cfg.SuspectAfter,
 		DeadAfter:    cfg.DeadAfter,
 		ReapAfter:    cfg.ReapAfter,
+		// The callback captures c before it is assigned; membership only
+		// fires transitions from gossip and ticks, which start below.
+		OnStateChange: func(url string, to MemberState) {
+			c.onMemberStateChange(url, to)
+		},
 	})
 	for _, s := range seeds {
 		members.AddSeed(s)
 	}
-	c := &Cluster{
+	c = &Cluster{
 		cfg:      cfg,
 		self:     cfg.Self,
 		seeds:    seeds,
@@ -304,6 +355,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		replCh:   make(chan replJob, cfg.ReplicationQueue),
 		stopCh:   make(chan struct{}),
 		memDone:  make(chan struct{}),
+		hints:    newHintBuffer(defaultHandoffMaxRecords, defaultHandoffMaxBytes),
 	}
 	c.ring.Store(NewRing(members.Live(), cfg.Replicas))
 	c.replWG.Add(cfg.ReplicationWorkers)
@@ -317,8 +369,17 @@ func NewCluster(cfg Config) (*Cluster, error) {
 // Self returns this instance's ring identity.
 func (c *Cluster) Self() string { return c.self }
 
-// Owner returns the current ring owner of digest.
+// Owner returns the current primary ring owner of digest.
 func (c *Cluster) Owner(digest string) string { return c.ring.Load().Owner(digest) }
+
+// Owners returns digest's current replica set: the first
+// ReplicationFactor distinct members on the ring's successor list.
+func (c *Cluster) Owners(digest string) []string {
+	return c.ring.Load().Owners(digest, c.cfg.ReplicationFactor)
+}
+
+// ReplicationFactor returns the configured replica count per digest.
+func (c *Cluster) ReplicationFactor() int { return c.cfg.ReplicationFactor }
 
 // Members returns the current ring member list (including Self).
 func (c *Cluster) Members() []string { return c.ring.Load().Members() }
@@ -357,6 +418,96 @@ func (c *Cluster) noteSuccess(url string, b *breaker) {
 func (c *Cluster) noteFailure(url string, b *breaker) {
 	if b.failure() {
 		c.members.ObserveSuspect(url)
+	}
+}
+
+// onMemberStateChange reacts to membership transitions for the hinted
+// handoff buffer: a member back alive (refuted suspicion or rejoined)
+// gets its buffered hints drained; one declared dead or left has them
+// reassigned to the digests' surviving owners. Fired outside the
+// membership lock.
+func (c *Cluster) onMemberStateChange(url string, to MemberState) {
+	if c == nil || url == c.self {
+		return
+	}
+	switch to {
+	case StateAlive:
+		c.drainHints(url)
+	case StateDead, StateLeft:
+		c.reassignHints(url)
+	}
+}
+
+// tryEnqueue is the single entry into the replication queue: a
+// non-blocking send, refused once Close has begun so late membership
+// callbacks can never hit a closed channel.
+func (c *Cluster) tryEnqueue(j replJob) bool {
+	c.sendMu.RLock()
+	defer c.sendMu.RUnlock()
+	if c.closed {
+		return false
+	}
+	select {
+	case c.replCh <- j:
+		c.qmu.Lock()
+		c.qtimes = append(c.qtimes, j.enqueued)
+		c.qmu.Unlock()
+		return true
+	default:
+		return false
+	}
+}
+
+// drainHints re-enqueues every hint buffered for target as a pinned
+// replication job. Called when the target transitions back to alive and
+// opportunistically each heartbeat round while it stays healthy; a hint
+// that cannot be enqueued (full queue, shutdown) goes back in the
+// buffer for the next round.
+func (c *Cluster) drainHints(target string) {
+	recs := c.hints.take(target)
+	if len(recs) == 0 {
+		return
+	}
+	requeued := 0
+	for _, rec := range recs {
+		j := replJob{
+			digest:   rec.Digest,
+			payload:  rec.Payload,
+			targets:  []string{rec.Target},
+			fromHint: true,
+			enqueued: time.Now(),
+		}
+		if c.tryEnqueue(j) {
+			requeued++
+		} else {
+			c.hints.add(rec)
+		}
+	}
+	if requeued > 0 {
+		c.log.Info("draining handoff hints", "target", target, "hints", requeued)
+	}
+}
+
+// reassignHints redirects the hints of a dead or departed member to the
+// digests' current owners: the pinned target is dropped and the job
+// re-resolves its owner set at dequeue, exactly like a fresh write.
+func (c *Cluster) reassignHints(target string) {
+	recs := c.hints.take(target)
+	for _, rec := range recs {
+		j := replJob{
+			digest:   rec.Digest,
+			payload:  rec.Payload,
+			enqueued: time.Now(),
+		}
+		if c.tryEnqueue(j) {
+			c.stats.handoffReassigned.Add(1)
+		} else {
+			c.stats.handoffDropped.Add(1)
+		}
+	}
+	if len(recs) > 0 {
+		c.log.Info("reassigned handoff hints from departed member",
+			"target", target, "hints", len(recs))
 	}
 }
 
@@ -448,6 +599,16 @@ func (c *Cluster) heartbeatRound(ctx context.Context) {
 			c.log.Debug("reconnection probe failed", "peer", probe, "err", err)
 		}
 	}
+	// Opportunistic hint drain: a hinted target that is alive with a
+	// closed breaker takes its buffered hints even without a state
+	// transition (covers hints buffered on transient push failures and
+	// drains the transition round could not enqueue).
+	for _, target := range c.hints.targets() {
+		if st, ok := c.members.State(target); ok && st == StateAlive &&
+			c.breakerFor(target).snapshot().State == "closed" {
+			c.drainHints(target)
+		}
+	}
 	c.refreshRing()
 }
 
@@ -486,6 +647,9 @@ func (c *Cluster) Close() {
 	c.closeOnce.Do(func() {
 		close(c.stopCh)
 		<-c.memDone
+		c.sendMu.Lock()
+		c.closed = true
+		c.sendMu.Unlock()
 		close(c.replCh)
 		c.replWG.Wait()
 	})
@@ -493,7 +657,17 @@ func (c *Cluster) Close() {
 
 // Stats returns a snapshot of the cluster counters.
 func (c *Cluster) Stats() Stats {
+	pending, pendingBytes := c.hints.pending()
 	return Stats{
+		ReplicaFallthroughs: c.stats.replicaFallthroughs.Load(),
+		ReadRepairs:         c.stats.readRepairs.Load(),
+		HandoffHinted:       c.stats.handoffHinted.Load(),
+		HandoffDrained:      c.stats.handoffDrained.Load(),
+		HandoffReassigned:   c.stats.handoffReassigned.Load(),
+		HandoffDropped:      c.stats.handoffDropped.Load(),
+		HandoffPending:      pending,
+		HandoffPendingBytes: pendingBytes,
+
 		FetchHits:            c.stats.fetchHits.Load(),
 		FetchMisses:          c.stats.fetchMisses.Load(),
 		FetchErrors:          c.stats.fetchErrors.Load(),

@@ -69,15 +69,46 @@ func NewRing(members []string, replicas int) *Ring {
 
 // Owner returns the member that owns key ("" on an empty ring).
 func (r *Ring) Owner(key string) string {
-	if len(r.points) == 0 {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
 		return ""
 	}
-	h := ringHash(key)
-	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
-	if i == len(r.points) {
-		i = 0 // wrap: the lowest point owns the top arc
+	return owners[0]
+}
+
+// Owners returns the key's successor list: the first n distinct members
+// whose points follow the key's hash clockwise, vnodes of
+// already-chosen members skipped. Owners(key, 1)[0] is Owner(key), and
+// removing a member that is not in the list never changes it — its
+// points are only reached after the list is already full. n larger than
+// the member count degrades gracefully to every member, in successor
+// order. n <= 0 is treated as 1.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.points) == 0 {
+		return nil
 	}
-	return r.nodes[r.points[i].node]
+	if n <= 0 {
+		n = 1
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if start == len(r.points) {
+		start = 0 // wrap: the lowest point owns the top arc
+	}
+	owners := make([]string, 0, n)
+	chosen := make([]bool, len(r.nodes))
+	for i := 0; i < len(r.points) && len(owners) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if chosen[p.node] {
+			continue
+		}
+		chosen[p.node] = true
+		owners = append(owners, r.nodes[p.node])
+	}
+	return owners
 }
 
 // Members returns the deduplicated, sorted member list.

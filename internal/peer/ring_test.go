@@ -4,6 +4,9 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"math/rand"
+	"slices"
+	"sort"
 	"testing"
 )
 
@@ -108,6 +111,98 @@ func TestRingOwnershipStability(t *testing.T) {
 				t.Errorf("moved fraction %.3f, want near %.3f", frac, tc.ideal)
 			}
 		})
+	}
+}
+
+// TestRingOwnersProperties drives the successor-list contract over
+// random member sets and digests: the R owners are distinct live
+// members, the first owner is Owner(), and R larger than the member
+// count degrades to every member in successor order.
+func TestRingOwnersProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(8)
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("http://m%d-%d:1", trial, i)
+		}
+		r := NewRing(members, 0)
+		for _, k := range testKeys(100) {
+			R := 1 + rng.Intn(n+2) // deliberately up to members+2
+			owners := r.Owners(k, R)
+			want := R
+			if want > n {
+				want = n
+			}
+			if len(owners) != want {
+				t.Fatalf("Owners(%q, %d) on %d members returned %d owners, want %d",
+					k, R, n, len(owners), want)
+			}
+			seen := make(map[string]bool, len(owners))
+			for _, o := range owners {
+				if seen[o] {
+					t.Fatalf("Owners(%q, %d) repeated member %s", k, R, o)
+				}
+				seen[o] = true
+			}
+			if owners[0] != r.Owner(k) {
+				t.Fatalf("Owners()[0] = %s, Owner() = %s", owners[0], r.Owner(k))
+			}
+		}
+	}
+}
+
+// TestRingOwnersStableUnderUnrelatedRemoval pins the replica-placement
+// stability property: removing a member that is not in a key's owner
+// list must not change that list — its vnodes are only reached after
+// the successor walk already collected R distinct members.
+func TestRingOwnersStableUnderUnrelatedRemoval(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1", "http://e:1"}
+	full := NewRing(members, 0)
+	const R = 2
+	for _, k := range testKeys(2000) {
+		owners := full.Owners(k, R)
+		inList := make(map[string]bool, len(owners))
+		for _, o := range owners {
+			inList[o] = true
+		}
+		for _, victim := range members {
+			if inList[victim] {
+				continue
+			}
+			survivors := make([]string, 0, len(members)-1)
+			for _, m := range members {
+				if m != victim {
+					survivors = append(survivors, m)
+				}
+			}
+			after := NewRing(survivors, 0).Owners(k, R)
+			if !slices.Equal(owners, after) {
+				t.Fatalf("removing non-owner %s changed Owners(%q, %d): %v -> %v",
+					victim, k, R, owners, after)
+			}
+		}
+	}
+}
+
+// TestRingOwnersDegradesToAllMembers: when R exceeds the live member
+// count, every member is an owner exactly once.
+func TestRingOwnersDegradesToAllMembers(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := NewRing(members, 0)
+	for _, k := range testKeys(200) {
+		owners := r.Owners(k, 10)
+		if len(owners) != len(members) {
+			t.Fatalf("Owners(%q, 10) = %v, want all %d members", k, owners, len(members))
+		}
+		sorted := append([]string{}, owners...)
+		sort.Strings(sorted)
+		if !slices.Equal(sorted, members) {
+			t.Fatalf("Owners(%q, 10) = %v is not a permutation of the member set", k, owners)
+		}
+	}
+	if NewRing(nil, 0).Owners("x", 3) != nil {
+		t.Error("empty ring must return no owners")
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"time"
 
 	"codepack/internal/peer"
@@ -39,7 +40,10 @@ type Config struct {
 	Nodes []string
 	Seeds map[string][]string
 
+	// Replicas is the ring's vnode count per member;
+	// ReplicationFactor is how many members hold each digest (R).
 	Replicas          int
+	ReplicationFactor int
 	HeartbeatInterval time.Duration
 	SuspectAfter      time.Duration
 	DeadAfter         time.Duration
@@ -60,6 +64,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Replicas <= 0 {
 		c.Replicas = peer.DefaultReplicas
+	}
+	if c.ReplicationFactor <= 0 {
+		c.ReplicationFactor = 1
 	}
 	if c.HeartbeatInterval <= 0 {
 		c.HeartbeatInterval = time.Second
@@ -132,8 +139,20 @@ type World struct {
 	groups    map[string]int // partition groups; nil = fully connected
 	committed map[string]bool
 
-	stats Stats
+	stats  Stats
+	events []string
 }
+
+// logf appends one line to the event log, stamped with virtual time.
+// Everything that feeds a line is derived from the seed, so two runs of
+// the same schedule produce byte-identical logs — the determinism guard
+// in sim-smoke diffs them.
+func (w *World) logf(format string, args ...any) {
+	w.events = append(w.events, fmt.Sprintf("%09dus ", w.now/1e3)+fmt.Sprintf(format, args...))
+}
+
+// EventLog returns the full event log, one line per event.
+func (w *World) EventLog() string { return strings.Join(w.events, "\n") }
 
 // New builds a world with every node stopped; call Boot (or Restart
 // individual nodes) to start them.
@@ -191,17 +210,24 @@ func (w *World) Boot() {
 // Crash stops a node hard: volatile state is gone, timers die, in-flight
 // responses to it are discarded. Its durable store (verified entries,
 // the -cache-dir analogue) survives for a later Restart.
-func (w *World) Crash(url string) { w.nodes[url].crash() }
+func (w *World) Crash(url string) {
+	w.logf("crash %s", url)
+	w.nodes[url].crash()
+}
 
 // Restart boots a crashed node: fresh membership at generation 1 (its
 // tombstone, if any, is refuted by incarnation on first contact), cache
 // reloaded from the durable store.
-func (w *World) Restart(url string) { w.nodes[url].start() }
+func (w *World) Restart(url string) {
+	w.logf("restart %s", url)
+	w.nodes[url].start()
+}
 
 // Partition splits the network into the given groups; nodes in
 // different groups cannot exchange messages. Unlisted nodes form an
 // implicit extra group each.
 func (w *World) Partition(groups ...[]string) {
+	w.logf("partition %v", groups)
 	w.groups = make(map[string]int)
 	for i, g := range groups {
 		for _, url := range g {
@@ -218,7 +244,12 @@ func (w *World) Partition(groups ...[]string) {
 }
 
 // Heal removes every partition.
-func (w *World) Heal() { w.groups = nil }
+func (w *World) Heal() {
+	if w.groups != nil {
+		w.logf("heal")
+	}
+	w.groups = nil
+}
 
 func (w *World) blocked(a, b string) bool {
 	return w.groups != nil && w.groups[a] != w.groups[b]
@@ -387,13 +418,13 @@ func (w *World) Settle(maxRounds int) error {
 func (w *World) CheckWarm() (recompressions int, err error) {
 	before := w.stats.Recompressions
 	for _, digest := range w.Committed() {
-		owner := ""
+		owners := ""
 		for _, url := range w.upNodes() {
 			n := w.nodes[url]
-			if o := n.ring.Owner(digest); owner == "" {
-				owner = o
-			} else if o != owner {
-				return 0, fmt.Errorf("sim: ring disagreement for %s: %s vs %s", digest, owner, o)
+			if o := strings.Join(n.ring.Owners(digest, w.cfg.ReplicationFactor), " "); owners == "" {
+				owners = o
+			} else if o != owners {
+				return 0, fmt.Errorf("sim: ring disagreement for %s: [%s] vs [%s]", digest, owners, o)
 			}
 		}
 		for _, url := range w.upNodes() {
@@ -407,6 +438,30 @@ func (w *World) CheckWarm() (recompressions int, err error) {
 		return 0, fmt.Errorf("sim: %d wrong payloads served", w.stats.WrongServed)
 	}
 	return w.stats.Recompressions - before, nil
+}
+
+// CheckReplication asserts the post-convergence placement property:
+// every committed digest is held — quarantined or verified — by every
+// running member of its replica set, so the cluster tolerates the loss
+// of any R-1 of them without a recompression.
+func (w *World) CheckReplication() error {
+	up := w.upNodes()
+	if len(up) == 0 {
+		return fmt.Errorf("sim: no running nodes")
+	}
+	ring := w.nodes[up[0]].ring
+	for _, d := range w.Committed() {
+		for _, o := range ring.Owners(d, w.cfg.ReplicationFactor) {
+			n := w.nodes[o]
+			if !n.up {
+				continue
+			}
+			if _, ok := n.cache[d]; !ok {
+				return fmt.Errorf("sim: replica %s missing committed digest %s", o, d)
+			}
+		}
+	}
+	return nil
 }
 
 func equalStrings(a, b []string) bool {

@@ -3,8 +3,11 @@ package sim
 import (
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
+
+	"codepack/internal/peer"
 )
 
 // The three pinned fault schedules below (partition, crash/restart,
@@ -227,6 +230,270 @@ func TestSimImpostorNeverServesUnverified(t *testing.T) {
 	st := w.Stats()
 	if st.UnverifiedServed != 0 || st.WrongServed != 0 {
 		t.Errorf("impostor schedule violated verification invariants: %+v", st)
+	}
+}
+
+// ownedBy filters digests to those whose replica set (at ring) includes
+// member.
+func ownedBy(w *World, ring *peer.Ring, member string, ds []string) []string {
+	var out []string
+	for _, d := range ds {
+		for _, o := range ring.Owners(d, w.cfg.ReplicationFactor) {
+			if o == member {
+				out = append(out, d)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// TestSimReplicatedCrashZeroRecompressions is the R=2 acceptance
+// schedule: with two replicas per digest, a single-node crash costs zero
+// recompressions — both in the immediate window before the failure
+// detector reacts (fetches fall through to the surviving replica) and
+// after the ring rebalances.
+func TestSimReplicatedCrashZeroRecompressions(t *testing.T) {
+	nodes := nodeNames(5)
+	w := New(7, Config{Nodes: nodes, ReplicationFactor: 2})
+	w.Boot()
+	w.Run(8 * time.Second)
+	if !w.Converged() {
+		t.Fatal("cluster did not form before the fault schedule")
+	}
+
+	ds := digests("r2", 12)
+	for i, d := range ds {
+		w.Compress(nodes[i%len(nodes)], d)
+	}
+	w.Run(2 * time.Second) // async replication fills both owners
+	if err := w.CheckReplication(); err != nil {
+		t.Fatalf("replication did not reach both owners before the crash: %v", err)
+	}
+
+	// Crash a node that is primary owner for some of the digests, so the
+	// surviving-replica walk is actually exercised.
+	ring := w.nodes[nodes[0]].ring
+	victim := ""
+	for _, d := range ds {
+		if o := ring.Owners(d, 2)[0]; o != "" {
+			victim = o
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatal("degenerate placement: no digest has a primary owner")
+	}
+	base := w.Stats().Recompressions
+	w.Crash(victim)
+
+	// Before any suspicion: every digest is still served warm on every
+	// survivor, riding past the dead primary to its replica where needed.
+	for _, url := range nodes {
+		if url == victim {
+			continue
+		}
+		for _, d := range ds {
+			w.Compress(url, d)
+		}
+	}
+	if got := w.Stats().Recompressions - base; got != 0 {
+		t.Errorf("reads through the crash paid %d recompressions, want 0", got)
+	}
+	var fallthroughs int
+	for _, url := range nodes {
+		fallthroughs += w.NodeStats(url).ReplicaFallthroughs
+	}
+	if fallthroughs == 0 {
+		t.Error("no fetch fell through to a surviving replica; schedule exercised nothing")
+	}
+
+	// After the ring rebalances to four members, the warm property and
+	// full replica placement both hold with the node still down.
+	settleAndCheck(t, w)
+	if err := w.CheckReplication(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSimReplicatedPartitionBoundedStaleness: staleness through a
+// partition is bounded by placement — a read on a side holding at least
+// one replica is warm, a read on a side holding none pays exactly one
+// recompression, and after the heal everything reconverges to full
+// replication.
+func TestSimReplicatedPartitionBoundedStaleness(t *testing.T) {
+	nodes := nodeNames(5)
+	w := New(8, Config{Nodes: nodes, ReplicationFactor: 2})
+	w.Boot()
+	w.Run(8 * time.Second)
+	if !w.Converged() {
+		t.Fatal("cluster did not form before the fault schedule")
+	}
+	ds := digests("ps", 12)
+	for i, d := range ds {
+		w.Compress(nodes[i%len(nodes)], d)
+	}
+	w.Run(2 * time.Second)
+	if err := w.CheckReplication(); err != nil {
+		t.Fatalf("replication did not complete before the partition: %v", err)
+	}
+
+	// Classify each digest by whether the majority side holds a replica.
+	ring := w.nodes[nodes[2]].ring
+	maj := map[string]bool{nodes[2]: true, nodes[3]: true, nodes[4]: true}
+	var withReplica, without []string
+	for _, d := range ds {
+		in := false
+		for _, o := range ring.Owners(d, 2) {
+			if maj[o] {
+				in = true
+				break
+			}
+		}
+		if in {
+			withReplica = append(withReplica, d)
+		} else {
+			without = append(without, d)
+		}
+	}
+	if len(withReplica) == 0 || len(without) == 0 {
+		t.Fatalf("degenerate placement for this seed: %d with, %d without an in-side replica",
+			len(withReplica), len(without))
+	}
+
+	w.Partition(nodes[:2], nodes[2:])
+	w.Run(time.Second) // inside the suspect window: the ring still spans the cut
+
+	before := w.Stats().Recompressions
+	for _, d := range withReplica {
+		w.Compress(nodes[2], d)
+	}
+	if got := w.Stats().Recompressions - before; got != 0 {
+		t.Errorf("partition reads with an in-side replica paid %d recompressions, want 0", got)
+	}
+	before = w.Stats().Recompressions
+	want := 0
+	for _, d := range without {
+		if _, held := w.nodes[nodes[3]].cache[d]; !held {
+			want++ // both replicas across the cut and no local copy: one recompression
+		}
+		w.Compress(nodes[3], d)
+	}
+	if got := w.Stats().Recompressions - before; got != want {
+		t.Errorf("partition reads without an in-side replica paid %d recompressions, want %d", got, want)
+	}
+
+	// Both shrunken islands keep taking writes, then the heal restores
+	// one ring with full replication.
+	w.Run(15 * time.Second)
+	for i, d := range digests("ps-min", 4) {
+		w.Compress(nodes[i%2], d)
+	}
+	for i, d := range digests("ps-maj", 4) {
+		w.Compress(nodes[2+i%3], d)
+	}
+	w.Run(2 * time.Second)
+	settleAndCheck(t, w)
+	if err := w.CheckReplication(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSimHandoffDrainAndReassign: pushes to a crashed-but-not-yet-dead
+// member buffer as hints; a rejoin inside the suspect window drains them
+// to the member, while staying down past DeadAfter reassigns them to the
+// digest's surviving replica set.
+func TestSimHandoffDrainAndReassign(t *testing.T) {
+	nodes := nodeNames(4)
+	w := New(9, Config{Nodes: nodes, ReplicationFactor: 2})
+	w.Boot()
+	w.Run(8 * time.Second)
+	if !w.Converged() {
+		t.Fatal("cluster did not form before the fault schedule")
+	}
+	ring := w.nodes[nodes[0]].ring
+
+	// Drain: crash the target, commit digests it owns, rejoin before the
+	// dead timeout — the buffered hints must reach it.
+	w.Crash(nodes[3])
+	drainDs := ownedBy(w, ring, nodes[3], digests("hd", 20))
+	if len(drainDs) == 0 {
+		t.Fatal("degenerate placement: no digest owned by the crashed node")
+	}
+	for _, d := range drainDs {
+		w.Compress(nodes[0], d)
+	}
+	w.Run(2 * time.Second) // pushes time out and buffer as hints
+	if got := w.NodeStats(nodes[0]).HandoffHinted; got == 0 {
+		t.Fatal("pushes to the crashed member buffered no hints")
+	}
+	w.Restart(nodes[3])
+	w.Run(4 * time.Second)
+	if got := w.NodeStats(nodes[0]).HandoffDrained; got == 0 {
+		t.Error("no hint drained after the member rejoined")
+	}
+	for _, d := range drainDs {
+		if _, held := w.nodes[nodes[3]].cache[d]; !held {
+			t.Errorf("rejoined member missing hinted digest %s", d)
+		}
+	}
+
+	// Reassign: crash it again, commit more of its digests, and leave it
+	// down past DeadAfter — the hints must re-replicate to the digests'
+	// surviving owners instead.
+	w.Crash(nodes[3])
+	reassignDs := ownedBy(w, ring, nodes[3], digests("hr", 20))
+	if len(reassignDs) == 0 {
+		t.Fatal("degenerate placement: no reassign digest owned by the crashed node")
+	}
+	for _, d := range reassignDs {
+		w.Compress(nodes[1], d)
+	}
+	w.Run(15 * time.Second) // past DeadAfter: the ring drops the member
+	if got := w.NodeStats(nodes[1]).HandoffReassigned; got == 0 {
+		t.Error("hints for a dead member were not reassigned")
+	}
+
+	w.Restart(nodes[3])
+	settleAndCheck(t, w)
+	if err := w.CheckReplication(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSimEventLogDeterminism is the sim-smoke determinism guard: the
+// same seed and schedule yield a byte-identical event log, so any
+// failing schedule replays exactly.
+func TestSimEventLogDeterminism(t *testing.T) {
+	run := func() string {
+		nodes := nodeNames(4)
+		w := New(11, Config{Nodes: nodes, ReplicationFactor: 2, DropProb: 0.1, DupProb: 0.2})
+		w.Boot()
+		w.Run(6 * time.Second)
+		for i, d := range digests("log", 8) {
+			w.Compress(nodes[i%len(nodes)], d)
+		}
+		w.Partition(nodes[:1], nodes[1:])
+		w.Run(12 * time.Second)
+		w.Crash(nodes[2])
+		w.Run(3 * time.Second)
+		w.Restart(nodes[2])
+		if err := w.Settle(120); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.CheckWarm(); err != nil {
+			t.Fatal(err)
+		}
+		return w.EventLog()
+	}
+	first, second := run(), run()
+	if first != second {
+		t.Error("event logs diverged across identical seeds")
+	}
+	for _, want := range []string{"start ", "crash ", "partition ", "heal", "ring ", "recompress "} {
+		if !strings.Contains(first, want) {
+			t.Errorf("event log records no %q events", want)
+		}
 	}
 }
 

@@ -342,6 +342,33 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# HELP cpackd_peer_repl_queue_age_seconds Age of the oldest still-queued replication job.\n")
 		fmt.Fprintf(w, "# TYPE cpackd_peer_repl_queue_age_seconds gauge\n")
 		fmt.Fprintf(w, "cpackd_peer_repl_queue_age_seconds %g\n", c.ReplQueueOldestAge().Seconds())
+		fmt.Fprintf(w, "# HELP cpackd_peer_replica_factor Configured replicas per digest (R).\n")
+		fmt.Fprintf(w, "# TYPE cpackd_peer_replica_factor gauge\n")
+		fmt.Fprintf(w, "cpackd_peer_replica_factor %d\n", c.ReplicationFactor())
+		fmt.Fprintf(w, "# HELP cpackd_peer_replica_fallthroughs_total Warm-tier hits served by a later replica after the first choice failed.\n")
+		fmt.Fprintf(w, "# TYPE cpackd_peer_replica_fallthroughs_total counter\n")
+		fmt.Fprintf(w, "cpackd_peer_replica_fallthroughs_total %d\n", st.ReplicaFallthroughs)
+		fmt.Fprintf(w, "# HELP cpackd_peer_readrepair_total Lagging replicas re-offered a verified entry after a fetch (local installs included).\n")
+		fmt.Fprintf(w, "# TYPE cpackd_peer_readrepair_total counter\n")
+		fmt.Fprintf(w, "cpackd_peer_readrepair_total %d\n", st.ReadRepairs)
+		fmt.Fprintf(w, "# HELP cpackd_peer_handoff_hinted_total Failed replication pushes buffered as handoff hints.\n")
+		fmt.Fprintf(w, "# TYPE cpackd_peer_handoff_hinted_total counter\n")
+		fmt.Fprintf(w, "cpackd_peer_handoff_hinted_total %d\n", st.HandoffHinted)
+		fmt.Fprintf(w, "# HELP cpackd_peer_handoff_drained_total Handoff hints delivered to their recovered target.\n")
+		fmt.Fprintf(w, "# TYPE cpackd_peer_handoff_drained_total counter\n")
+		fmt.Fprintf(w, "cpackd_peer_handoff_drained_total %d\n", st.HandoffDrained)
+		fmt.Fprintf(w, "# HELP cpackd_peer_handoff_reassigned_total Handoff hints re-routed to surviving owners after their target died or left.\n")
+		fmt.Fprintf(w, "# TYPE cpackd_peer_handoff_reassigned_total counter\n")
+		fmt.Fprintf(w, "cpackd_peer_handoff_reassigned_total %d\n", st.HandoffReassigned)
+		fmt.Fprintf(w, "# HELP cpackd_peer_handoff_dropped_total Handoff hints dropped (buffer overflow or undeliverable).\n")
+		fmt.Fprintf(w, "# TYPE cpackd_peer_handoff_dropped_total counter\n")
+		fmt.Fprintf(w, "cpackd_peer_handoff_dropped_total %d\n", st.HandoffDropped)
+		fmt.Fprintf(w, "# HELP cpackd_peer_handoff_pending Handoff hints currently buffered.\n")
+		fmt.Fprintf(w, "# TYPE cpackd_peer_handoff_pending gauge\n")
+		fmt.Fprintf(w, "cpackd_peer_handoff_pending %d\n", st.HandoffPending)
+		fmt.Fprintf(w, "# HELP cpackd_peer_handoff_pending_bytes Encoded bytes of buffered handoff hints.\n")
+		fmt.Fprintf(w, "# TYPE cpackd_peer_handoff_pending_bytes gauge\n")
+		fmt.Fprintf(w, "cpackd_peer_handoff_pending_bytes %d\n", st.HandoffPendingBytes)
 		fmt.Fprintf(w, "# HELP cpackd_peer_fetch_duration_seconds Warm-tier owner-fetch latency (breaker skips included).\n")
 		fmt.Fprintf(w, "# TYPE cpackd_peer_fetch_duration_seconds histogram\n")
 		writeHistBuckets(w, "cpackd_peer_fetch_duration_seconds", "", m.peerFetch.snapshot())

@@ -10,6 +10,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"slices"
 	"strings"
 	"sync"
 	"testing"
@@ -17,6 +18,7 @@ import (
 
 	"codepack"
 	"codepack/internal/peer"
+	"codepack/internal/trace"
 )
 
 // reserveURL grabs a loopback listener so a member's base URL is known
@@ -417,6 +419,206 @@ func TestPeerConcurrentStress(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// imageWithOwners assembles program variants until one's digest has
+// exactly the wanted replica placement, in successor-list order, so
+// replication tests can steer which members own a digest and in what
+// order the fetch walk visits them. base keeps separate searches in
+// disjoint program ranges — the program name is not part of the digest,
+// so two searches with the same placement condition would otherwise
+// land on the same program.
+func imageWithOwners(t *testing.T, ring *peer.Ring, tag string, base int, want ...string) *codepack.Image {
+	t.Helper()
+	for i := base; i < base+5_000; i++ {
+		im, err := codepack.Assemble(fmt.Sprintf("%s%d", tag, i),
+			strings.Replace(testAsm, "li   $s0, 50", fmt.Sprintf("li   $s0, %d", 50+i), 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if slices.Equal(ring.Owners(codepack.ImageDigest(im), len(want)), want) {
+			return im
+		}
+	}
+	t.Fatalf("no generated program placed its replicas on %v in order", want)
+	return nil
+}
+
+// waitRingQuiet blocks until every server's ring epoch has stopped
+// moving: the boot-time membership joins each bump the epoch and fire a
+// ring-change anti-entropy pass, so a test that seeds a cache by hand
+// must wait them out or a late pass will replicate the seed on its own.
+func waitRingQuiet(t *testing.T, servers ...*Server) {
+	t.Helper()
+	var last []uint64
+	stable := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		cur := make([]uint64, len(servers))
+		for i, s := range servers {
+			cur[i] = s.cluster.RingEpoch()
+		}
+		if !slices.Equal(cur, last) {
+			last, stable = cur, 0
+		} else if stable++; stable >= 20 { // ~100ms of unchanged epochs
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("ring epochs never settled within 5s")
+}
+
+// replicatedConfig is fastPeerConfig at R=2 with a one-failure breaker
+// that stays open for the whole test, so a single failed contact pins a
+// replica as skipped.
+func replicatedConfig(self string, peers ...string) *peer.Config {
+	pc := fastPeerConfig(self, peers...)
+	pc.ReplicationFactor = 2
+	pc.BreakerThreshold = 1
+	pc.BreakerCooldown = time.Hour
+	return pc
+}
+
+// replicaOutcomes indexes a trace's peer-replica spans by their replica
+// position, mapping each to its outcome attr.
+func replicaOutcomes(t *testing.T, tr trace.Trace) map[int]string {
+	t.Helper()
+	out := make(map[int]string)
+	for _, sp := range tr.Spans {
+		if sp.Name != "peer-replica" {
+			continue
+		}
+		ri, ok := sp.Attrs["replica"].(int)
+		if !ok {
+			t.Fatalf("peer-replica span without replica attr: %v", sp.Attrs)
+		}
+		out[ri], _ = sp.Attrs["outcome"].(string)
+	}
+	return out
+}
+
+// TestPeerReplicaFallthroughOnBreakerOpen: with R=2 and the primary
+// replica down, a fetch serves from replica 2 — first by failing the
+// contact (recorded on the peer-fetch span tree), then, once the
+// breaker is open, by skipping the dead primary outright.
+func TestPeerReplicaFallthroughOnBreakerOpen(t *testing.T) {
+	lnDead, urlDead := reserveURL(t)
+	lnDead.Close() // the primary replica: nothing ever listens here
+	lnA, urlA := reserveURL(t)
+	lnB, urlB := reserveURL(t)
+
+	sa, err := New(Config{Logger: quietLogger(), Peer: replicatedConfig(urlA, urlDead, urlB)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	startOn(t, sa, lnA)
+	sb, err := New(Config{Logger: quietLogger(), Peer: replicatedConfig(urlB, urlDead, urlA)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	startOn(t, sb, lnB)
+
+	ring := peer.NewRing([]string{urlDead, urlA, urlB}, peer.DefaultReplicas)
+	im1 := imageWithOwners(t, ring, "ft-a", 0, urlDead, urlA)
+	im2 := imageWithOwners(t, ring, "ft-b", 5_000, urlDead, urlA)
+
+	// Warm the surviving replica: A owns both digests second and caches
+	// the compression locally.
+	compressImageOn(t, urlA, im1)
+	compressImageOn(t, urlA, im2)
+
+	// First fetch on B: the dead primary fails the contact, the walk
+	// falls through to A, and the request is still a warm hit.
+	if resp := compressImageOn(t, urlB, im1); !resp.Cached {
+		t.Error("fallthrough fetch did not report cached")
+	}
+	tr := lastTrace(t, sb, "compress")
+	oc := replicaOutcomes(t, tr)
+	if oc[1] != "unavailable" || oc[2] != "hit" {
+		t.Errorf("first walk outcomes = %v, want replica 1 unavailable, replica 2 hit:\n%s", oc, tr.Tree())
+	}
+
+	// Second fetch: the one failure opened the dead primary's breaker,
+	// so the walk skips it without paying a connection attempt.
+	if resp := compressImageOn(t, urlB, im2); !resp.Cached {
+		t.Error("breaker-skip fetch did not report cached")
+	}
+	waitFor(t, func() bool { return len(sb.tracer.Recent(0, "compress", 2)) >= 2 })
+	tr = sb.tracer.Recent(0, "compress", 2)[0]
+	oc = replicaOutcomes(t, tr)
+	if oc[1] != "breaker-skip" || oc[2] != "hit" {
+		t.Errorf("second walk outcomes = %v, want replica 1 breaker-skip, replica 2 hit:\n%s", oc, tr.Tree())
+	}
+
+	body := scrapeURL(t, urlB)
+	if got := metricValue(t, body, "cpackd_peer_replica_fallthroughs_total"); got != 2 {
+		t.Errorf("cpackd_peer_replica_fallthroughs_total = %v, want 2", got)
+	}
+	if got := metricValue(t, body, "cpackd_peer_hits_total"); got != 2 {
+		t.Errorf("cpackd_peer_hits_total = %v, want 2", got)
+	}
+	if got := metricValue(t, body, "cpackd_peer_replica_factor"); got != 2 {
+		t.Errorf("cpackd_peer_replica_factor = %v, want 2", got)
+	}
+}
+
+// TestPeerReadRepairConvergesLaggingReplica: a replica that answers a
+// clean 404 during a fetch walk receives the verified entry through
+// read-repair — convergence without waiting for an anti-entropy pass
+// (membership here is quiescent, so no pass ever runs after startup).
+func TestPeerReadRepairConvergesLaggingReplica(t *testing.T) {
+	lnA, urlA := reserveURL(t)
+	lnB, urlB := reserveURL(t)
+	lnC, urlC := reserveURL(t)
+
+	boot := func(self string, peers ...string) *Server {
+		s, err := New(Config{Logger: quietLogger(), Peer: replicatedConfig(self, peers...)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	sa := boot(urlA, urlB, urlC)
+	startOn(t, sa, lnA)
+	sb := boot(urlB, urlA, urlC)
+	startOn(t, sb, lnB)
+	sc := boot(urlC, urlA, urlB)
+	startOn(t, sc, lnC)
+
+	// Let the boot-time joins and their anti-entropy passes finish before
+	// seeding, so the only mechanism left that can move the entry to A is
+	// read-repair.
+	waitRingQuiet(t, sa, sb, sc)
+
+	// A digest owned by [A, B]: seed only B, so the primary replica A
+	// lags behind its successor.
+	ring := peer.NewRing([]string{urlA, urlB, urlC}, peer.DefaultReplicas)
+	im := imageWithOwners(t, ring, "rr", 0, urlA, urlB)
+	comp, err := codepack.Compress(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.cache.put(codepack.ImageDigest(im), comp)
+	if got := sa.cache.stats().Entries; got != 0 {
+		t.Fatalf("primary replica already holds %d entries before the fetch", got)
+	}
+
+	// C's fetch walks A (404) then B (hit): a warm response, plus a
+	// read-repair push that re-offers the entry to A.
+	if resp := compressImageOn(t, urlC, im); !resp.Cached {
+		t.Error("fetch through the lagging replica did not report cached")
+	}
+	waitFor(t, func() bool { return sa.cache.stats().Entries == 1 })
+	if got := sa.cache.stats().Unverified; got != 1 {
+		t.Errorf("repaired entry on A not quarantined: unverified = %d", got)
+	}
+	body := scrapeURL(t, urlC)
+	if got := metricValue(t, body, "cpackd_peer_readrepair_total"); got != 1 {
+		t.Errorf("cpackd_peer_readrepair_total = %v, want 1", got)
+	}
+	if got := metricValue(t, body, "cpackd_peer_replica_fallthroughs_total"); got != 1 {
+		t.Errorf("cpackd_peer_replica_fallthroughs_total = %v, want 1", got)
+	}
 }
 
 // scrapeURL is scrape for servers not wrapped in an httptest.Server.

@@ -782,9 +782,9 @@ func (s *Server) compressImage(ctx context.Context, im *codepack.Image) (comp *c
 	return c, digest, cached, nil
 }
 
-// fillMiss is the singleflight leader's path: try the digest's ring
-// owner, fall back to compressing locally, and replicate anything new
-// to its owner.
+// fillMiss is the singleflight leader's path: walk the digest's replica
+// set, fall back to compressing locally, and replicate anything new to
+// its replica set.
 func (s *Server) fillMiss(ctx context.Context, digest string, im *codepack.Image) (*codepack.Compressed, bool, *httpError) {
 	// Re-check under the flight: a previous leader may have finished
 	// filling this digest between our cache miss and acquiring the key.
@@ -802,15 +802,29 @@ func (s *Server) fillMiss(ctx context.Context, digest string, im *codepack.Image
 		return c, true, nil
 	}
 	if s.cluster != nil {
-		payload, owner, outcome := s.cluster.Fetch(ctx, digest)
+		// The verify callback proves a replica's payload decompresses to
+		// exactly the requested program before Fetch trusts it; a failure
+		// makes Fetch charge that replica's breaker and walk on to the
+		// next one. The verified form is captured so a hit installs it
+		// without re-parsing.
+		var comp *codepack.Compressed
+		_, owner, outcome := s.cluster.Fetch(ctx, digest, func(owner string, payload []byte) bool {
+			c, err := codepack.UnmarshalCompressed(im.Name, payload)
+			if err == nil && compMatchesImage(c, im) {
+				comp = c
+				return true
+			}
+			s.metrics.peerErrors.add(1)
+			s.log.Warn("peer payload failed verification, trying next replica",
+				"digest", digest, "peer", owner, "err", err)
+			return false
+		})
 		switch outcome {
 		case peer.FetchHit:
-			if comp := s.verifyPeerPayload(digest, owner, payload, im); comp != nil {
-				s.metrics.peerHits.add(1)
-				s.cache.put(digest, comp)
-				return comp, true, nil
-			}
-			// Verified-bad payload: fall through and compress locally.
+			s.metrics.peerHits.add(1)
+			s.cache.put(digest, comp)
+			s.log.Debug("warm-tier hit", "digest", digest, "peer", owner)
+			return comp, true, nil
 		case peer.FetchMiss:
 			s.metrics.peerMisses.add(1)
 		case peer.FetchUnavailable:
@@ -855,23 +869,6 @@ func (s *Server) cachedVerified(digest string, im *codepack.Image, isRecheck boo
 	s.log.Warn("quarantined replica failed verification, dropping", "digest", digest)
 	s.cache.drop(digest)
 	return nil, false
-}
-
-// verifyPeerPayload turns a peer-served payload into a trusted entry,
-// or reports the owner to the breaker and returns nil. The payload must
-// parse and decompress to exactly the program being requested — the
-// transport checksum already held, so a failure here means the owner
-// mapped this digest to the wrong program.
-func (s *Server) verifyPeerPayload(digest, owner string, payload []byte, im *codepack.Image) *codepack.Compressed {
-	comp, err := codepack.UnmarshalCompressed(im.Name, payload)
-	if err == nil && compMatchesImage(comp, im) {
-		return comp
-	}
-	s.metrics.peerErrors.add(1)
-	s.cluster.ReportBadPayload(owner)
-	s.log.Warn("peer payload failed verification, compressing locally",
-		"digest", digest, "peer", owner, "err", err)
-	return nil
 }
 
 // compMatchesImage reports whether comp decompresses word-for-word to

@@ -121,15 +121,27 @@ func TestSpanPropagatesAcrossPeerFetch(t *testing.T) {
 	if fetch.Attrs["owner"] != urlA || fetch.Attrs["outcome"] != "miss" {
 		t.Errorf("peer-fetch attrs = %v, want owner=%s outcome=miss", fetch.Attrs, urlA)
 	}
-	if _, ok := fetch.Attrs["breaker"]; !ok {
-		t.Errorf("peer-fetch span missing breaker attr: %v", fetch.Attrs)
+	// The walk opens one peer-replica span per replica tried (R=1 here),
+	// carrying the breaker state, with the attempts underneath it.
+	replica, ok := spans["peer-replica"]
+	if !ok {
+		t.Fatalf("fetcher trace has no peer-replica span:\n%s", btr.Tree())
+	}
+	if replica.Parent != fetch.ID {
+		t.Errorf("peer-replica parented on %q, want peer-fetch %q", replica.Parent, fetch.ID)
+	}
+	if _, ok := replica.Attrs["breaker"]; !ok {
+		t.Errorf("peer-replica span missing breaker attr: %v", replica.Attrs)
+	}
+	if replica.Attrs["outcome"] != "miss" {
+		t.Errorf("peer-replica outcome = %v, want miss", replica.Attrs["outcome"])
 	}
 	attempt, ok := spans["peer-attempt"]
 	if !ok {
 		t.Fatalf("fetcher trace has no peer-attempt span:\n%s", btr.Tree())
 	}
-	if attempt.Parent != fetch.ID {
-		t.Errorf("peer-attempt parented on %q, want peer-fetch %q", attempt.Parent, fetch.ID)
+	if attempt.Parent != replica.ID {
+		t.Errorf("peer-attempt parented on %q, want peer-replica %q", attempt.Parent, replica.ID)
 	}
 
 	atr := lastTrace(t, sa, "peer_get")
