@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet bench bench-smoke bench-json fuzz golden serve cluster-smoke sim-smoke obs-smoke clean
+.PHONY: build test race vet bench bench-smoke bench-json fuzz golden serve cluster-smoke sim-smoke obs-smoke tenant-smoke clean
 
 build:
 	$(GO) build ./...
@@ -32,7 +32,7 @@ bench-smoke:
 # member every second, plus the codec microbenchmarks (ns/op, MB/s,
 # allocs/op for encode/decode and the served path cold+warm). Commit the
 # result as BENCH_$(BENCH_N).json.
-BENCH_N ?= 7
+BENCH_N ?= 8
 bench-json:
 	$(GO) run ./cmd/cpackbench -trajectory $(BENCH_N) \
 		-qps 300 -duration 5s -warmup 1s -c 32 \
@@ -51,6 +51,7 @@ fuzz:
 	$(GO) test -run xxx -fuzz 'FuzzRecoverCacheDir$$' -fuzztime $(FUZZTIME) ./internal/server
 	$(GO) test -run xxx -fuzz 'FuzzMembershipMessage$$' -fuzztime $(FUZZTIME) ./internal/peer
 	$(GO) test -run xxx -fuzz 'FuzzHandoffRecord$$' -fuzztime $(FUZZTIME) ./internal/peer
+	$(GO) test -run xxx -fuzz 'FuzzTenantConfig$$' -fuzztime $(FUZZTIME) ./internal/tenant
 
 # Regenerate the pinned experiment tables after an intentional change.
 golden:
@@ -78,6 +79,15 @@ cluster-smoke:
 # same-seed ⇒ byte-identical event-log determinism guard.
 sim-smoke:
 	$(GO) test -race -count=1 ./internal/peer/sim
+
+# Multi-tenant isolation smoke: fair admission must keep a light
+# tenant's p99 under the pinned bound while a 10x-heavier tenant sheds
+# via its own 429s; signed peer traffic must warm-hit while unsigned
+# internal requests are rejected; hot reload must not race admission.
+tenant-smoke:
+	$(GO) test -race -count=1 -run 'TestTenantFairnessSmoke' ./cmd/cpackbench
+	$(GO) test -race -count=1 -run 'TestPeerSignedClusterWarmHit|TestTenantAdmissionReloadStress' ./internal/server
+	$(GO) test -race -count=1 -run 'TestSighupReloadsTenants' ./cmd/cpackd
 
 # Observability smoke: a real cpackd process serves pprof and the trace
 # ring on -debug-addr only, and the span/stage instrumentation holds its

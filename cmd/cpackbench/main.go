@@ -51,6 +51,7 @@ import (
 
 	"codepack/internal/loadgen"
 	"codepack/internal/server"
+	"codepack/internal/tenant"
 )
 
 func main() {
@@ -235,6 +236,20 @@ func selectScenarios(name string, trajectory bool) ([]loadgen.Scenario, error) {
 	return []loadgen.Scenario{s}, nil
 }
 
+// benchTenants builds the in-process server's tenant registry: the two
+// bench tenants the "tenants" scenario replays, plus unrestricted
+// anonymous access so the single-tenant scenarios run unchanged.
+func benchTenants() (*tenant.Registry, error) {
+	cfg := fmt.Sprintf("tenant %s key=%s weight=1\ntenant %s key=%s weight=1\nanon\n",
+		loadgen.BenchTenantLight, loadgen.BenchTenantLightKey,
+		loadgen.BenchTenantHeavy, loadgen.BenchTenantHeavyKey)
+	snap, err := tenant.ParseConfig(cfg, "cpackbench-builtin")
+	if err != nil {
+		return nil, err
+	}
+	return tenant.NewRegistry(snap), nil
+}
+
 // selfServe boots an in-process cpackd on a loopback port, logging
 // suppressed so the harness output stays clean. Pool sizes are pinned
 // rather than derived from GOMAXPROCS so runs compare across machines —
@@ -242,10 +257,15 @@ func selectScenarios(name string, trajectory bool) ([]loadgen.Scenario, error) {
 // than the two light workers the default would give a small box.
 func selfServe() (stop func(), url string, err error) {
 	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	reg, err := benchTenants()
+	if err != nil {
+		return nil, "", err
+	}
 	srv, err := server.New(server.Config{
 		Logger:       quiet,
 		LightWorkers: 8,
 		HeavyWorkers: 2,
+		Tenants:      reg,
 	})
 	if err != nil {
 		return nil, "", err

@@ -89,13 +89,64 @@ func TestFlashcrowdCoalesces(t *testing.T) {
 	}
 }
 
-// TestListScenarios: -list names all seven scenarios.
+// TestTenantFairnessSmoke is the `make tenant-smoke` entrypoint: the
+// tenants scenario floods an in-process cpackd with a 10:1 heavy:light
+// offered-load skew. Weighted-fair admission must keep the light
+// tenant's p99 under a pinned bound and its 429 rate near zero — the
+// heavy tenant's overload may only shed onto the heavy tenant itself.
+func TestTenantFairnessSmoke(t *testing.T) {
+	var out, errs bytes.Buffer
+	err := run([]string{
+		"-scenario", "tenants",
+		"-qps", "400", "-duration", "3s", "-warmup", "500ms",
+		"-c", "64", "-seed", "11", "-json",
+	}, &out, &errs)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, errs.String())
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.TransportErrors != 0 {
+		t.Fatalf("%d transport errors against in-process server", rep.TransportErrors)
+	}
+	light := rep.Tenants[loadgen.BenchTenantLight]
+	heavy := rep.Tenants[loadgen.BenchTenantHeavy]
+	if light == nil || heavy == nil {
+		t.Fatalf("report missing tenant sections: %v", rep.Tenants)
+	}
+	if light.Requests == 0 || heavy.Requests < 5*light.Requests {
+		t.Fatalf("offered-load skew not reproduced: heavy=%d light=%d requests",
+			heavy.Requests, light.Requests)
+	}
+	// The pinned isolation bound: generous enough for CI noise, far below
+	// the multi-second queueing delay the heavy tenant's backlog would
+	// impose on a shared global queue.
+	const lightP99BoundMs = 1500.0
+	if light.Latency.P99 > lightP99BoundMs {
+		t.Errorf("light tenant p99 = %.1fms, want <= %.0fms despite heavy overload",
+			light.Latency.P99, lightP99BoundMs)
+	}
+	if frac := float64(light.Status429()) / float64(light.Requests); frac > 0.03 {
+		t.Errorf("light tenant shed %.1f%% of its requests (%d of %d), want < 3%%",
+			100*frac, light.Status429(), light.Requests)
+	}
+	if rep.Fairness <= 0 || rep.Fairness > 1.0001 {
+		t.Errorf("fairness index %.3f outside (0, 1]", rep.Fairness)
+	}
+	if n := rep.Status5xx(); n != 0 {
+		t.Fatalf("%d 5xx responses: %v", n, rep.ByOp)
+	}
+}
+
+// TestListScenarios: -list names all eight scenarios.
 func TestListScenarios(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-list"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{"uniform", "zipfian", "thrash", "coldstart", "flashcrowd", "mixed", "churn"} {
+	for _, name := range []string{"uniform", "zipfian", "thrash", "coldstart", "flashcrowd", "mixed", "churn", "tenants"} {
 		if !strings.Contains(out.String(), name) {
 			t.Fatalf("-list output missing %q:\n%s", name, out.String())
 		}
@@ -149,8 +200,8 @@ func TestTrajectoryDocument(t *testing.T) {
 	if doc.Schema != loadgen.TrajectorySchema || doc.PR != 99 {
 		t.Fatalf("document header wrong: schema=%q pr=%d", doc.Schema, doc.PR)
 	}
-	if len(doc.Scenarios) != 7 {
-		t.Fatalf("trajectory holds %d scenario reports, want 7", len(doc.Scenarios))
+	if len(doc.Scenarios) != 8 {
+		t.Fatalf("trajectory holds %d scenario reports, want 8", len(doc.Scenarios))
 	}
 	seen := map[string]bool{}
 	for _, rep := range doc.Scenarios {
@@ -162,7 +213,7 @@ func TestTrajectoryDocument(t *testing.T) {
 		}
 		seen[rep.Scenario] = true
 	}
-	if len(seen) != 7 {
+	if len(seen) != 8 {
 		t.Fatalf("duplicate scenarios in trajectory: %v", seen)
 	}
 }

@@ -29,6 +29,14 @@
 // failures degrade to local compression (circuit breaker, never a
 // failed request); peer-served bytes are re-verified before trusted.
 //
+// With -tenants set, every public endpoint authenticates a per-tenant
+// API key, enforces per-tenant rate limits and rolling byte quotas, and
+// admits work into the worker pools through weighted-fair per-tenant
+// queues, so one overloaded tenant backpressures only itself. The file's
+// cluster-key (or the -cluster-key flag) additionally signs node-to-node
+// /internal/v1/* traffic with an HMAC, closing the open-peer-port gap.
+// SIGHUP reloads the tenants file without a restart.
+//
 // With -debug-addr set a second, private listener serves the
 // diagnostics surface: net/http/pprof, the span-trace ring
 // (/debug/trace/recent), /metrics and /debug/vars. The public port
@@ -52,6 +60,7 @@ import (
 
 	"codepack/internal/peer"
 	"codepack/internal/server"
+	"codepack/internal/tenant"
 )
 
 func main() {
@@ -85,6 +94,8 @@ func run(args []string) error {
 		peerSuspect  = fs.Duration("peer-suspect-after", 0, "silence before a member is suspected (0 = default)")
 		peerDead     = fs.Duration("peer-dead-after", 0, "silence before a suspect is declared dead (0 = default)")
 		replicas     = fs.Int("replicas", 0, "cluster replicas per digest (0 = default of 1)")
+		tenantsFile  = fs.String("tenants", "", "tenant config file (API keys, weights, quotas); SIGHUP reloads it")
+		clusterKey   = fs.String("cluster-key", "", "HMAC key signing internal peer traffic (overrides the tenants file's cluster-key)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -115,6 +126,34 @@ func run(args []string) error {
 	}
 	if *traceSlow == 0 {
 		cfg.TraceSlow = -1 // the user asked for no slow-trace logging
+	}
+
+	// Tenant isolation: -tenants declares API keys, weights and quotas;
+	// -cluster-key turns on signed peer traffic even without a tenants
+	// file. Either flag builds a registry; neither keeps open mode.
+	loadTenants := func() (*tenant.Snapshot, error) {
+		snap := tenant.OpenSnapshot()
+		if *tenantsFile != "" {
+			var err error
+			if snap, err = tenant.LoadFile(*tenantsFile); err != nil {
+				return nil, err
+			}
+		}
+		if *clusterKey != "" {
+			snap.ClusterKey = []byte(*clusterKey)
+		}
+		return snap, nil
+	}
+	var reg *tenant.Registry
+	if *tenantsFile != "" || *clusterKey != "" {
+		snap, err := loadTenants()
+		if err != nil {
+			return fmt.Errorf("load -tenants: %w", err)
+		}
+		reg = tenant.NewRegistry(snap)
+		cfg.Tenants = reg
+		log.Info("tenant config loaded", "source", snap.Source,
+			"tenants", len(snap.ByID), "signed_peers", len(snap.ClusterKey) > 0)
 	}
 	if *peers != "" || *peerSelf != "" {
 		if *peers == "" || *peerSelf == "" {
@@ -176,6 +215,26 @@ func run(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// SIGHUP hot-reloads the tenants file: new keys, weights and quotas
+	// apply to the next request, retained tenants keep their accrued
+	// rate/quota debt, and a parse error keeps the old config serving.
+	if reg != nil && *tenantsFile != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for range hup {
+				snap, err := loadTenants()
+				if err != nil {
+					log.Warn("tenant config reload failed; keeping previous config", "err", err)
+					continue
+				}
+				reg.Reload(snap)
+				log.Info("tenant config reloaded", "source", snap.Source, "tenants", len(snap.ByID))
+			}
+		}()
+	}
 
 	errCh := make(chan error, 1)
 	go func() {

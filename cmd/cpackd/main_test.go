@@ -43,10 +43,11 @@ func TestFlagErrors(t *testing.T) {
 
 // daemon is one cpackd subprocess re-executed from the test binary.
 type daemon struct {
-	cmd     *exec.Cmd
-	url     string
-	stderr  *bytes.Buffer
-	debugCh chan string // debug listener address, when -debug-addr was given
+	cmd      *exec.Cmd
+	url      string
+	stderr   *bytes.Buffer
+	debugCh  chan string   // debug listener address, when -debug-addr was given
+	scanDone chan struct{} // closed when the stderr scanner goroutine exits
 }
 
 var (
@@ -71,7 +72,8 @@ func startDaemon(t *testing.T, args ...string) *daemon {
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	d := &daemon{cmd: cmd, stderr: &bytes.Buffer{}, debugCh: make(chan string, 1)}
+	d := &daemon{cmd: cmd, stderr: &bytes.Buffer{},
+		debugCh: make(chan string, 1), scanDone: make(chan struct{})}
 	t.Cleanup(func() {
 		cmd.Process.Kill()
 		cmd.Wait()
@@ -79,6 +81,7 @@ func startDaemon(t *testing.T, args ...string) *daemon {
 
 	addrCh := make(chan string, 1)
 	go func() {
+		defer close(d.scanDone)
 		sc := bufio.NewScanner(io.TeeReader(stderr, d.stderr))
 		for sc.Scan() {
 			if m := listenRE.FindStringSubmatch(sc.Text()); m != nil {
@@ -294,6 +297,100 @@ func TestDebugListenerServesDiagnostics(t *testing.T) {
 		if !strings.Contains(body, span) {
 			t.Errorf("trace ring missing %s:\n%s", span, body)
 		}
+	}
+}
+
+// TestSighupReloadsTenants: a real cpackd started with -tenants
+// enforces API keys on the public surface, and SIGHUP swaps in an
+// edited config — new keys admitted, old keys rejected — without a
+// restart or a dropped listener.
+func TestSighupReloadsTenants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess round trip")
+	}
+	const (
+		key1 = "e2e-key-one-11111111"
+		key2 = "e2e-key-two-22222222"
+	)
+	cfgPath := filepath.Join(t.TempDir(), "tenants.conf")
+	writeCfg := func(key string) {
+		t.Helper()
+		cfg := "tenant alpha key=" + key + " weight=2\n" // no anon line: keyless => 401
+		if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeCfg(key1)
+	d := startDaemon(t, "-addr", "127.0.0.1:0", "-tenants", cfgPath)
+
+	post := func(key string) int {
+		t.Helper()
+		body, err := json.Marshal(map[string]string{"asm": testAsm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, err := http.NewRequest(http.MethodPost, d.url+"/v1/compress", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if key != "" {
+			req.Header.Set("Authorization", "Bearer "+key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("compress: %v; stderr:\n%s", err, d.stderr.String())
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+
+	if code := post(""); code != http.StatusUnauthorized {
+		t.Fatalf("keyless request returned %d, want 401", code)
+	}
+	if code := post(key2); code != http.StatusUnauthorized {
+		t.Fatalf("undeclared key returned %d, want 401", code)
+	}
+	if code := post(key1); code != http.StatusOK {
+		t.Fatalf("declared key returned %d, want 200", code)
+	}
+
+	// Rotate the key on disk and signal the daemon.
+	writeCfg(key2)
+	if err := d.cmd.Process.Signal(syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for post(key2) != http.StatusOK {
+		if time.Now().After(deadline) {
+			t.Fatalf("new key still rejected 15s after SIGHUP; stderr:\n%s", d.stderr.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if code := post(key1); code != http.StatusUnauthorized {
+		t.Fatalf("rotated-out key returned %d, want 401", code)
+	}
+
+	// Stop the daemon (joining the stderr scanner) before inspecting its
+	// log for the reload line.
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { d.cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("cpackd did not exit after SIGTERM")
+	}
+	select {
+	case <-d.scanDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stderr scanner did not finish")
+	}
+	if !strings.Contains(d.stderr.String(), "tenant config reloaded") {
+		t.Errorf("missing reload log line; stderr:\n%s", d.stderr.String())
 	}
 }
 

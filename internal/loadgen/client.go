@@ -72,6 +72,9 @@ func (c *HTTPClient) Do(ctx context.Context, req Request) (int, error) {
 		return 0, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	for k, v := range req.Header {
+		hreq.Header.Set(k, v)
+	}
 	resp, err := c.httpClient().Do(hreq)
 	if err != nil {
 		return 0, err

@@ -66,7 +66,27 @@ type Report struct {
 	// Server carries the /metrics deltas (nil when scraping was
 	// unavailable).
 	Server *ServerDelta `json:"server,omitempty"`
+
+	// Tenants breaks the measured window down per tenant label (nil on
+	// single-tenant scenarios), and Fairness is Jain's index over
+	// weight-normalized per-tenant goodput: 1.0 means every tenant got
+	// goodput exactly proportional to its weight, 1/n means one tenant
+	// took everything.
+	Tenants  map[string]*TenantReport `json:"tenants,omitempty"`
+	Fairness float64                  `json:"fairness,omitempty"`
 }
+
+// TenantReport is one tenant's measured-window slice.
+type TenantReport struct {
+	Weight     int               `json:"weight"`
+	Requests   uint64            `json:"requests"`
+	ByStatus   map[string]uint64 `json:"by_status"`
+	GoodputRPS float64           `json:"goodput_rps"`
+	Latency    LatencyStats      `json:"latency"`
+}
+
+// Status429 counts this tenant's measured-window rate-limit rejections.
+func (t *TenantReport) Status429() uint64 { return t.ByStatus["429"] }
 
 // Status5xx counts measured-window responses with 5xx statuses.
 func (r *Report) Status5xx() uint64 {
@@ -116,6 +136,20 @@ func (r *Report) WriteText(w io.Writer) {
 				s.PeerHits, s.PeerMisses, 100*s.WarmRate)
 		}
 		fmt.Fprintln(w)
+	}
+	if len(r.Tenants) > 0 {
+		names := make([]string, 0, len(r.Tenants))
+		for n := range r.Tenants {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			tr := r.Tenants[n]
+			fmt.Fprintf(w, "  tenant %-8s w=%d  %d reqs (%d limited)  goodput %.1f req/s  p50 %.3fms  p99 %.3fms\n",
+				n, tr.Weight, tr.Requests, tr.Status429(), tr.GoodputRPS,
+				tr.Latency.P50, tr.Latency.P99)
+		}
+		fmt.Fprintf(w, "  fairness (Jain, goodput/weight) %.3f\n", r.Fairness)
 	}
 }
 

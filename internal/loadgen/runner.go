@@ -98,6 +98,78 @@ func (s *statusCounts) snapshot() map[string]map[string]uint64 {
 	return out
 }
 
+// tenantTracker aggregates the measured window per tenant label. Only
+// engaged when the scenario emits tenant-labelled requests.
+type tenantTracker struct {
+	mu   sync.Mutex
+	recs map[string]*Recorder
+	by   map[string]map[string]uint64 // tenant -> status -> count
+	good map[string]uint64            // tenant -> 2xx count
+}
+
+func newTenantTracker() *tenantTracker {
+	return &tenantTracker{
+		recs: make(map[string]*Recorder),
+		by:   make(map[string]map[string]uint64),
+		good: make(map[string]uint64),
+	}
+}
+
+func (t *tenantTracker) record(tenant, status string, ok2xx bool, lat time.Duration) {
+	t.mu.Lock()
+	rec := t.recs[tenant]
+	if rec == nil {
+		rec = NewRecorder()
+		t.recs[tenant] = rec
+		t.by[tenant] = make(map[string]uint64)
+	}
+	t.by[tenant][status]++
+	if ok2xx {
+		t.good[tenant]++
+	}
+	t.mu.Unlock()
+	rec.Observe(lat)
+}
+
+// report assembles the per-tenant section plus Jain's fairness index
+// over weight-normalized goodput. Specs supply weights (absent tenants
+// default to weight 1).
+func (t *tenantTracker) report(specs map[string]TenantSpec, window time.Duration) (map[string]*TenantReport, float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.recs) == 0 {
+		return nil, 0
+	}
+	out := make(map[string]*TenantReport, len(t.recs))
+	var sum, sumSq float64
+	for name, rec := range t.recs {
+		weight := 1
+		if sp, ok := specs[name]; ok && sp.Weight > 0 {
+			weight = sp.Weight
+		}
+		var sent uint64
+		for _, n := range t.by[name] {
+			sent += n
+		}
+		good := float64(t.good[name]) / window.Seconds()
+		out[name] = &TenantReport{
+			Weight:     weight,
+			Requests:   sent,
+			ByStatus:   t.by[name],
+			GoodputRPS: good,
+			Latency:    rec.Snapshot(),
+		}
+		x := good / float64(weight)
+		sum += x
+		sumSq += x * x
+	}
+	fairness := 0.0
+	if n := float64(len(out)); sumSq > 0 {
+		fairness = sum * sum / (n * sumSq) // Jain's index: 1 = perfectly fair
+	}
+	return out, fairness
+}
+
 // Run drives one scenario open loop and returns its report.
 //
 // Arrival i's intended send time is start + i/QPS, fixed up front; the
@@ -135,6 +207,7 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 	rec := NewRecorder()
 	measured := newStatusCounts()
 	warmup := newStatusCounts()
+	tenants := newTenantTracker()
 	var errorsN, completedN, warmupN uint64
 	var countMu sync.Mutex
 
@@ -169,7 +242,12 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 					completedN++
 				}
 				countMu.Unlock()
-				rec.Observe(done.Sub(j.intended))
+				lat := done.Sub(j.intended)
+				rec.Observe(lat)
+				if j.req.Tenant != "" {
+					tenants.record(j.req.Tenant, label,
+						err == nil && status >= 200 && status < 300, lat)
+				}
 			}
 		}()
 	}
@@ -231,6 +309,11 @@ schedule:
 		ThroughputRPS:   float64(completedN+errorsN) / measuredWindow.Seconds(),
 		Latency:         rec.Snapshot(),
 	}
+	var specs map[string]TenantSpec
+	if ts, ok := o.Scenario.(TenantScenario); ok {
+		specs = ts.Tenants()
+	}
+	rep.Tenants, rep.Fairness = tenants.report(specs, measuredWindow)
 	if haveMetrics {
 		if after, err := o.Metrics.ServerStats(ctx); err == nil {
 			rep.Server = diffServerStats(before, after)

@@ -18,9 +18,9 @@ func take(s Scenario, seed int64, n int) []Request {
 	return out
 }
 
-// TestScenarioCatalogue pins the seven required scenarios.
+// TestScenarioCatalogue pins the eight required scenarios.
 func TestScenarioCatalogue(t *testing.T) {
-	want := []string{"churn", "coldstart", "flashcrowd", "mixed", "thrash", "uniform", "zipfian"}
+	want := []string{"churn", "coldstart", "flashcrowd", "mixed", "tenants", "thrash", "uniform", "zipfian"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("scenario names = %v, want %v", got, want)
@@ -193,6 +193,36 @@ func TestFlashcrowdHotDominates(t *testing.T) {
 	}
 	if frac := float64(hot) / draws; frac < 0.90 || frac > 0.99 {
 		t.Fatalf("hot key drew %.1f%% of traffic, want 90%%..99%%", 100*frac)
+	}
+}
+
+// TestTenantsScenarioShape: every request is labelled and keyed, the
+// offered-load skew is ~10:1, and the specs the runner normalizes
+// fairness with cover exactly the labels the stream emits.
+func TestTenantsScenarioShape(t *testing.T) {
+	s, _ := ByName("tenants")
+	ts := s.(TenantScenario)
+	specs := ts.Tenants()
+	if len(specs) != 2 {
+		t.Fatalf("tenants scenario declares %d tenants, want 2", len(specs))
+	}
+	counts := make(map[string]int)
+	for _, r := range take(s, 19, 2200) {
+		sp, ok := specs[r.Tenant]
+		if !ok {
+			t.Fatalf("request labelled with undeclared tenant %q", r.Tenant)
+		}
+		if got := r.Header["Authorization"]; got != "Bearer "+sp.Key {
+			t.Fatalf("tenant %s request carries Authorization %q, want its declared key", r.Tenant, got)
+		}
+		counts[r.Tenant]++
+	}
+	heavy, light := counts[BenchTenantHeavy], counts[BenchTenantLight]
+	if light == 0 {
+		t.Fatal("light tenant sent nothing")
+	}
+	if ratio := float64(heavy) / float64(light); ratio < 6 || ratio > 16 {
+		t.Fatalf("heavy:light offered-load ratio %.1f, want ~10", ratio)
 	}
 }
 

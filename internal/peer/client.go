@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"time"
 
+	"codepack/internal/tenant"
 	"codepack/internal/trace"
 )
 
@@ -212,6 +213,7 @@ func (c *Cluster) fetchOnce(ctx context.Context, owner, digest string) (payload 
 		return nil, false, err
 	}
 	c.setTraceHeader(req, ctx)
+	c.signRequest(req, nil)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return nil, false, err
@@ -383,6 +385,7 @@ func (c *Cluster) push(ctx context.Context, owner, digest string, payload []byte
 	sum := sha256.Sum256(payload)
 	req.Header.Set(SumHeader, hex.EncodeToString(sum[:]))
 	c.setTraceHeader(req, ctx)
+	c.signRequest(req, payload)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		c.noteFailure(owner, b)
@@ -485,6 +488,7 @@ func (c *Cluster) offer(ctx context.Context, owner string, digests []string) (wa
 	}
 	req.Header.Set("Content-Type", "application/json")
 	c.setTraceHeader(req, ctx)
+	c.signRequest(req, body)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		c.noteFailure(owner, b)
@@ -524,6 +528,22 @@ func (c *Cluster) setTraceHeader(req *http.Request, ctx context.Context) {
 	if sid := trace.SpanFromContext(ctx).SpanID(); sid != "" {
 		req.Header.Set(trace.SpanHeader, sid)
 	}
+}
+
+// signRequest stamps an outbound internal request with the cluster's
+// HMAC signature. A no-op when the cluster runs in unsigned open mode
+// (no AuthKey configured). The key func is consulted per request so a
+// SIGHUP key rotation takes effect without rebuilding the client.
+func (c *Cluster) signRequest(req *http.Request, body []byte) {
+	if c.cfg.AuthKey == nil {
+		return
+	}
+	key := c.cfg.AuthKey()
+	if len(key) == 0 {
+		return
+	}
+	req.Header.Set(tenant.InternalHeader,
+		tenant.SignInternal(key, req.Method, req.URL.Path, body, time.Now()))
 }
 
 // shortDigest truncates a content digest for span attributes — enough

@@ -144,6 +144,7 @@ func (c *Cluster) exchange(ctx context.Context, target, path string) (changed bo
 	}
 	req.Header.Set("Content-Type", "application/json")
 	c.setTraceHeader(req, ctx)
+	c.signRequest(req, body)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return false, err
@@ -189,6 +190,7 @@ func (c *Cluster) announceLeave(ctx context.Context, view []MemberInfo) {
 			continue
 		}
 		req.Header.Set("Content-Type", "application/json")
+		c.signRequest(req, body)
 		resp, err := c.client.Do(req)
 		cancel()
 		if err != nil {

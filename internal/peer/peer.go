@@ -135,6 +135,13 @@ type Config struct {
 	// goroutines and HTTP handlers and must not block.
 	OnRingChange func(epoch uint64, members []string)
 
+	// AuthKey, when non-nil, returns the cluster signing key for
+	// outbound node-to-node requests (nil or empty result = unsigned,
+	// the open trusted-network mode). It is a func, not a value, so a
+	// hot config reload rotates the key without rebuilding the cluster;
+	// it is called once per outbound request and must be cheap.
+	AuthKey func() []byte
+
 	// Logger receives peer-traffic warnings (nil = slog.Default()).
 	Logger *slog.Logger
 	// Transport overrides the HTTP transport (tests).

@@ -23,7 +23,7 @@ type traceRecentResponse struct {
 // limit caps the result count.
 func (s *Server) handleTraceRecent(w http.ResponseWriter, r *http.Request) {
 	if s.tracer == nil {
-		s.writeError(w, &httpError{http.StatusNotFound, "tracing is disabled"})
+		s.writeError(w, &httpError{code: http.StatusNotFound, msg: "tracing is disabled"})
 		return
 	}
 	q := r.URL.Query()

@@ -209,8 +209,10 @@ func postCode2(url string, body any) (r struct {
 	return r
 }
 
-// TestRetryAfterSecs: the shed hint scales with backlog per worker and
-// clamps at 30.
+// TestRetryAfterSecs: the shed hint scales with the tenant's own
+// backlog against its fair share of workers and clamps at 30. With a
+// single backlogged tenant the share is the whole pool, matching the
+// old global backlog-per-worker formula.
 func TestRetryAfterSecs(t *testing.T) {
 	cases := []struct {
 		workers, depth int
@@ -222,12 +224,13 @@ func TestRetryAfterSecs(t *testing.T) {
 		{2, 1000, 30},
 	}
 	for _, c := range cases {
-		p := &pool{workers: c.workers, jobs: make(chan *job, max(c.depth, 1))}
-		for i := 0; i < c.depth; i++ {
-			p.jobs <- &job{}
+		p := &pool{workers: c.workers, queues: map[string]*tenantQueue{}}
+		if c.depth > 0 {
+			q := &tenantQueue{id: "anon", weight: 1, jobs: make([]*job, c.depth)}
+			p.queues["anon"] = q
 		}
-		if got := p.retryAfterSecs(); got != c.want {
-			t.Errorf("retryAfterSecs(workers=%d, depth=%d) = %d, want %d",
+		if got := p.retryAfterFor("anon"); got != c.want {
+			t.Errorf("retryAfterFor(workers=%d, depth=%d) = %d, want %d",
 				c.workers, c.depth, got, c.want)
 		}
 	}
@@ -282,12 +285,12 @@ func TestRetryAfterDerived(t *testing.T) {
 func TestRetryAfterHeaderNumeric(t *testing.T) {
 	re := regexp.MustCompile(`^[0-9]+$`)
 	for _, depth := range []int{0, 1, 100, 10_000} {
-		p := &pool{workers: 3, jobs: make(chan *job, max(depth, 1))}
-		for i := 0; i < depth; i++ {
-			p.jobs <- &job{}
+		p := &pool{workers: 3, queues: map[string]*tenantQueue{}}
+		if depth > 0 {
+			p.queues["anon"] = &tenantQueue{id: "anon", weight: 1, jobs: make([]*job, depth)}
 		}
-		v := strconv.Itoa(p.retryAfterSecs())
-		if !re.MatchString(v) || p.retryAfterSecs() < 1 {
+		v := strconv.Itoa(p.retryAfterFor("anon"))
+		if !re.MatchString(v) || p.retryAfterFor("anon") < 1 {
 			t.Errorf("depth %d: Retry-After %q not a positive integer", depth, v)
 		}
 	}

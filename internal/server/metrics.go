@@ -95,6 +95,49 @@ func (e *endpointStats) codes() map[int]uint64 {
 	return out
 }
 
+// tenantStats aggregates one tenant's request metrics. Cardinality is
+// bounded: tenant IDs come from the config file plus the reserved
+// "anon" and "internal" labels.
+type tenantStats struct {
+	mu       sync.Mutex
+	byCode   map[int]uint64
+	limited  map[string]uint64 // denials by reason: rate, quota, queue
+	bytesIn  counter
+	bytesOut counter
+}
+
+func (t *tenantStats) record(code int, in, out int64) {
+	t.mu.Lock()
+	t.byCode[code]++
+	t.mu.Unlock()
+	if in > 0 {
+		t.bytesIn.add(uint64(in))
+	}
+	if out > 0 {
+		t.bytesOut.add(uint64(out))
+	}
+}
+
+func (t *tenantStats) codes() map[int]uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[int]uint64, len(t.byCode))
+	for k, v := range t.byCode {
+		out[k] = v
+	}
+	return out
+}
+
+func (t *tenantStats) limitedByReason() map[string]uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]uint64, len(t.limited))
+	for k, v := range t.limited {
+		out[k] = v
+	}
+	return out
+}
+
 // metrics is the server's observability state, published at /metrics
 // (Prometheus text format) and /debug/vars (expvar-style JSON).
 type metrics struct {
@@ -102,9 +145,13 @@ type metrics struct {
 
 	mu        sync.Mutex
 	endpoints map[string]*endpointStats
+	tenants   map[string]*tenantStats
 
 	shed     counter // 429s from saturated pools
 	timeouts counter // requests that hit their deadline
+
+	authFailures         counter // public requests rejected 401 (missing/unknown API key)
+	internalAuthFailures counter // internal requests rejected 401 (unsigned/mis-signed)
 
 	coalesced counter // compressions served by riding an in-flight fill
 
@@ -128,6 +175,7 @@ func newMetrics() *metrics {
 	return &metrics{
 		start:     time.Now(),
 		endpoints: make(map[string]*endpointStats),
+		tenants:   make(map[string]*tenantStats),
 		stages:    make(map[string]*histogram),
 	}
 }
@@ -177,6 +225,37 @@ func (m *metrics) endpoint(name string) *endpointStats {
 		m.endpoints[name] = e
 	}
 	return e
+}
+
+func (m *metrics) tenant(id string) *tenantStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.tenants[id]
+	if !ok {
+		t = &tenantStats{byCode: make(map[int]uint64), limited: make(map[string]uint64)}
+		m.tenants[id] = t
+	}
+	return t
+}
+
+// tenantLimited counts one denied request for the tenant, by reason
+// ("rate", "quota" or "queue").
+func (m *metrics) tenantLimited(id, reason string) {
+	t := m.tenant(id)
+	t.mu.Lock()
+	t.limited[reason]++
+	t.mu.Unlock()
+}
+
+func (m *metrics) tenantNames() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.tenants))
+	for n := range m.tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 func (m *metrics) endpointNames() []string {
@@ -432,10 +511,63 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "cpackd_cache_persist_snapshot_bytes %d\n", ss.SnapshotBytes)
 	}
 
+	if tenants := m.tenantNames(); len(tenants) > 0 {
+		fmt.Fprintf(w, "# HELP cpackd_tenant_requests_total Requests served, by tenant and status code.\n")
+		fmt.Fprintf(w, "# TYPE cpackd_tenant_requests_total counter\n")
+		for _, id := range tenants {
+			codes := m.tenant(id).codes()
+			sorted := make([]int, 0, len(codes))
+			for c := range codes {
+				sorted = append(sorted, c)
+			}
+			sort.Ints(sorted)
+			for _, c := range sorted {
+				fmt.Fprintf(w, "cpackd_tenant_requests_total{tenant=%q,code=\"%d\"} %d\n", id, c, codes[c])
+			}
+		}
+		fmt.Fprintf(w, "# HELP cpackd_tenant_bytes_total Request and response payload bytes, by tenant.\n")
+		fmt.Fprintf(w, "# TYPE cpackd_tenant_bytes_total counter\n")
+		for _, id := range tenants {
+			t := m.tenant(id)
+			fmt.Fprintf(w, "cpackd_tenant_bytes_total{tenant=%q,direction=\"in\"} %d\n", id, t.bytesIn.value())
+			fmt.Fprintf(w, "cpackd_tenant_bytes_total{tenant=%q,direction=\"out\"} %d\n", id, t.bytesOut.value())
+		}
+		fmt.Fprintf(w, "# HELP cpackd_tenant_limited_total Requests denied per tenant, by reason (rate, quota, queue).\n")
+		fmt.Fprintf(w, "# TYPE cpackd_tenant_limited_total counter\n")
+		for _, id := range tenants {
+			limited := m.tenant(id).limitedByReason()
+			reasons := make([]string, 0, len(limited))
+			for reason := range limited {
+				reasons = append(reasons, reason)
+			}
+			sort.Strings(reasons)
+			for _, reason := range reasons {
+				fmt.Fprintf(w, "cpackd_tenant_limited_total{tenant=%q,reason=%q} %d\n", id, reason, limited[reason])
+			}
+		}
+	}
+	fmt.Fprintf(w, "# HELP cpackd_auth_failures_total Requests rejected 401, by auth kind.\n")
+	fmt.Fprintf(w, "# TYPE cpackd_auth_failures_total counter\n")
+	fmt.Fprintf(w, "cpackd_auth_failures_total{kind=\"api\"} %d\n", m.authFailures.value())
+	fmt.Fprintf(w, "cpackd_auth_failures_total{kind=\"internal\"} %d\n", m.internalAuthFailures.value())
+
 	fmt.Fprintf(w, "# HELP cpackd_queue_depth Jobs queued but not yet running, by pool.\n")
 	fmt.Fprintf(w, "# TYPE cpackd_queue_depth gauge\n")
 	fmt.Fprintf(w, "cpackd_queue_depth{pool=\"light\"} %d\n", s.light.depth())
 	fmt.Fprintf(w, "cpackd_queue_depth{pool=\"heavy\"} %d\n", s.heavy.depth())
+	fmt.Fprintf(w, "# HELP cpackd_tenant_queue_depth Queued jobs per tenant, by pool (backlogged tenants only).\n")
+	fmt.Fprintf(w, "# TYPE cpackd_tenant_queue_depth gauge\n")
+	for _, p := range []*pool{s.light, s.heavy} {
+		depths := p.tenantDepths()
+		ids := make([]string, 0, len(depths))
+		for id := range depths {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Fprintf(w, "cpackd_tenant_queue_depth{tenant=%q,pool=%q} %d\n", id, p.name, depths[id])
+		}
+	}
 
 	fmt.Fprintf(w, "# HELP cpackd_requests_shed_total Requests rejected with 429 because a pool was saturated.\n")
 	fmt.Fprintf(w, "# TYPE cpackd_requests_shed_total counter\n")
@@ -467,6 +599,17 @@ type appVars struct {
 	Stages        map[string]histSnapshot `json:"stages,omitempty"`
 	Traces        uint64                  `json:"traces_recorded"`
 	Peer          *peerVars               `json:"peer,omitempty"`
+	Tenants       map[string]tenantVars   `json:"tenants,omitempty"`
+	AuthFail      map[string]uint64       `json:"auth_failures,omitempty"`
+}
+
+// tenantVars is the per-tenant section of /debug/vars.
+type tenantVars struct {
+	ByCode      map[string]uint64 `json:"requests_by_code"`
+	Limited     map[string]uint64 `json:"limited_by_reason,omitempty"`
+	BytesIn     uint64            `json:"bytes_in"`
+	BytesOut    uint64            `json:"bytes_out"`
+	WindowBytes int64             `json:"quota_window_bytes"`
 }
 
 // peerVars is the warm-tier section of /debug/vars.
@@ -530,6 +673,28 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 		for _, n := range names {
 			snap.Cpackd.Stages[n] = s.metrics.stage(n).snapshot()
 		}
+	}
+	if names := s.metrics.tenantNames(); len(names) > 0 {
+		snap.Cpackd.Tenants = make(map[string]tenantVars, len(names))
+		now := time.Now()
+		for _, id := range names {
+			t := s.metrics.tenant(id)
+			codes := make(map[string]uint64)
+			for c, n := range t.codes() {
+				codes[strconv.Itoa(c)] = n
+			}
+			snap.Cpackd.Tenants[id] = tenantVars{
+				ByCode:      codes,
+				Limited:     t.limitedByReason(),
+				BytesIn:     t.bytesIn.value(),
+				BytesOut:    t.bytesOut.value(),
+				WindowBytes: s.tenants.WindowBytes(id, now),
+			}
+		}
+	}
+	snap.Cpackd.AuthFail = map[string]uint64{
+		"api":      s.metrics.authFailures.value(),
+		"internal": s.metrics.internalAuthFailures.value(),
 	}
 	snap.Cpackd.Traces = s.tracer.Total()
 	runtime.ReadMemStats(&snap.MemStats)

@@ -22,21 +22,47 @@ type job struct {
 	done chan struct{}
 }
 
-// pool is a bounded worker pool: a fixed number of workers drain a
-// fixed-capacity queue. Two pools (light codec work, heavy simulations)
-// keep one class of traffic from starving the other.
-type pool struct {
-	name    string
-	workers int
-	jobs    chan *job
-	wg      sync.WaitGroup
-
-	mu     sync.RWMutex
-	closed bool
+// tenantQueue is one tenant's FIFO backlog plus its virtual-time tag.
+// vt is the start tag the queue's next job will be served at: serving a
+// job advances vt by 1/weight, so a weight-3 tenant's tags advance a
+// third as fast and it drains three jobs for every one a weight-1
+// tenant drains when both are backlogged.
+type tenantQueue struct {
+	id     string
+	weight int
+	jobs   []*job
+	vt     float64
 }
 
-// newPool starts workers goroutines draining a queue of capacity queueLen
-// (0 = no queue: a job is admitted only if a worker is free right now).
+// pool is a bounded worker pool with weighted-fair admission: a fixed
+// number of workers serve per-tenant FIFO queues in start-time
+// fair-queuing (SFQ) order. Each tenant gets its own bounded queue, so
+// saturation is per tenant — one tenant's storm fills only its own
+// queue and backpressures only itself — and dequeue picks the eligible
+// queue with the smallest virtual start time, so service under
+// contention is proportional to configured weights. Two pools (light
+// codec work, heavy simulations) keep one class of traffic from
+// starving the other; the fair scheduler keeps one tenant from
+// starving the rest within a pool.
+type pool struct {
+	name     string
+	workers  int
+	queueCap int // per-tenant queue capacity (0 = admit only if a worker is idle)
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[string]*tenantQueue
+	vtime  float64 // virtual time: start tag of the most recently served job
+	queued int     // jobs admitted but not yet picked up, across all queues
+	idle   int     // workers currently waiting for work
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// newPool starts workers goroutines serving per-tenant queues of
+// capacity queueLen each (0 = no queue: a job is admitted only if a
+// worker is free right now). A single-tenant workload sees exactly the
+// old global-queue behaviour, since only one queue exists.
 func newPool(name string, workers, queueLen int) *pool {
 	if workers < 1 {
 		workers = 1
@@ -44,7 +70,13 @@ func newPool(name string, workers, queueLen int) *pool {
 	if queueLen < 0 {
 		queueLen = 0
 	}
-	p := &pool{name: name, workers: workers, jobs: make(chan *job, queueLen)}
+	p := &pool{
+		name:     name,
+		workers:  workers,
+		queueCap: queueLen,
+		queues:   map[string]*tenantQueue{},
+	}
+	p.cond = sync.NewCond(&p.mu)
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go p.worker()
@@ -54,35 +86,96 @@ func newPool(name string, workers, queueLen int) *pool {
 
 func (p *pool) worker() {
 	defer p.wg.Done()
-	for j := range p.jobs {
+	p.mu.Lock()
+	for {
+		for p.queued == 0 && !p.closed {
+			p.idle++
+			p.cond.Wait()
+			p.idle--
+		}
+		if p.queued == 0 {
+			// closed and drained
+			p.mu.Unlock()
+			return
+		}
+		j := p.dequeueLocked()
+		p.mu.Unlock()
 		if j.ctx.Err() == nil {
 			j.fn()
 		}
 		close(j.done)
+		p.mu.Lock()
 	}
 }
 
-// do submits fn and waits for it to finish or for ctx to end. It never
-// blocks on admission: a full queue returns errSaturated immediately. If
-// ctx ends while the job is queued or running, do returns ctx's error;
-// the job itself is skipped if still queued (a running fn is responsible
-// for honouring ctx, which the simulation path does).
-func (p *pool) do(ctx context.Context, fn func()) error {
+// dequeueLocked pops the head of the non-empty queue with the smallest
+// virtual start time and advances virtual time. O(tenants) per dequeue;
+// tenant count is bounded by the config file, so a heap isn't worth its
+// constant factor here.
+func (p *pool) dequeueLocked() *job {
+	var best *tenantQueue
+	for _, q := range p.queues {
+		if len(q.jobs) == 0 {
+			continue
+		}
+		if best == nil || q.vt < best.vt {
+			best = q
+		}
+	}
+	j := best.jobs[0]
+	best.jobs[0] = nil // release the reference for GC
+	best.jobs = best.jobs[1:]
+	if len(best.jobs) == 0 && cap(best.jobs) == 0 {
+		best.jobs = nil
+	}
+	p.vtime = best.vt
+	best.vt += 1 / float64(max(best.weight, 1))
+	p.queued--
+	return j
+}
+
+// doAs submits fn on behalf of tenant id with the given scheduling
+// weight and waits for it to finish or for ctx to end. It never blocks
+// on admission: a full per-tenant queue returns errSaturated
+// immediately (other tenants' queues are unaffected). If ctx ends while
+// the job is queued or running, doAs returns ctx's error; the job
+// itself is skipped if still queued (a running fn is responsible for
+// honouring ctx, which the simulation path does).
+func (p *pool) doAs(ctx context.Context, id string, weight int, fn func()) error {
 	j := &job{ctx: ctx, fn: fn, done: make(chan struct{})}
-	// The read lock pairs with close()'s write lock so a send can never
-	// race the channel close.
-	p.mu.RLock()
+	p.mu.Lock()
 	if p.closed {
-		p.mu.RUnlock()
+		p.mu.Unlock()
 		return errClosed
 	}
-	select {
-	case p.jobs <- j:
-		p.mu.RUnlock()
-	default:
-		p.mu.RUnlock()
+	q := p.queues[id]
+	if q == nil {
+		q = &tenantQueue{id: id, weight: max(weight, 1)}
+		p.queues[id] = q
+	}
+	q.weight = max(weight, 1) // track live config across reloads
+	if p.queueCap == 0 {
+		// No queueing: admit only while idle workers outnumber jobs
+		// they haven't picked up yet.
+		if p.queued >= p.idle {
+			p.mu.Unlock()
+			return errSaturated
+		}
+	} else if len(q.jobs) >= p.queueCap {
+		p.mu.Unlock()
 		return errSaturated
 	}
+	if len(q.jobs) == 0 && q.vt < p.vtime {
+		// A queue going from idle to backlogged starts at current
+		// virtual time: it competes fairly from now on but cannot
+		// claim credit for the time it was idle.
+		q.vt = p.vtime
+	}
+	q.jobs = append(q.jobs, j)
+	p.queued++
+	p.mu.Unlock()
+	p.cond.Signal()
+
 	select {
 	case <-j.done:
 		return nil
@@ -91,16 +184,80 @@ func (p *pool) do(ctx context.Context, fn func()) error {
 	}
 }
 
-// depth returns the number of admitted jobs not yet picked up by a worker.
-func (p *pool) depth() int { return len(p.jobs) }
+// do submits fn with no tenant attribution: a single anonymous queue at
+// weight 1. Internal callers and pre-tenancy tests use this.
+func (p *pool) do(ctx context.Context, fn func()) error {
+	return p.doAs(ctx, "anon", 1, fn)
+}
 
-// retryAfterSecs is the Retry-After value for a shed request, derived
-// from the live backlog instead of a constant: the queue drains at
-// roughly one job per worker per unit time, so a client should wait
-// about one unit plus the backlog-per-worker ahead of it. Clamped so a
-// pathological backlog never tells clients to go away for minutes.
-func (p *pool) retryAfterSecs() int {
-	secs := 1 + p.depth()/max(p.workers, 1)
+// depth returns the number of admitted jobs not yet picked up by a
+// worker, across all tenant queues.
+func (p *pool) depth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.queued
+}
+
+// depthFor returns one tenant's queued-job count (for metrics).
+func (p *pool) depthFor(id string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if q := p.queues[id]; q != nil {
+		return len(q.jobs)
+	}
+	return 0
+}
+
+// tenantDepths snapshots per-tenant backlog for metric gauges.
+func (p *pool) tenantDepths() map[string]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int, len(p.queues))
+	for id, q := range p.queues {
+		if len(q.jobs) > 0 {
+			out[id] = len(q.jobs)
+		}
+	}
+	return out
+}
+
+// retryAfterFor is the Retry-After value for a shed request from tenant
+// id, derived from that tenant's own backlog and fair share rather than
+// global queue depth: the tenant's queue drains at roughly its weighted
+// share of the workers per unit time, so the wait is its own backlog
+// divided by its own share. An idle or lightly-loaded tenant is never
+// penalised for someone else's storm. Clamped so a pathological backlog
+// never tells clients to go away for minutes.
+func (p *pool) retryAfterFor(id string) int {
+	p.mu.Lock()
+	q := p.queues[id]
+	backlog := 0
+	totalWeight := 0
+	weight := 1
+	for _, tq := range p.queues {
+		if len(tq.jobs) > 0 {
+			totalWeight += max(tq.weight, 1)
+		}
+	}
+	if q != nil {
+		backlog = len(q.jobs)
+		weight = max(q.weight, 1)
+		if backlog == 0 {
+			totalWeight += weight // about to contend
+		}
+	} else {
+		totalWeight += 1
+	}
+	p.mu.Unlock()
+	if totalWeight < 1 {
+		totalWeight = 1
+	}
+	// Fair share of workers, floored at a fraction of one worker.
+	share := float64(p.workers) * float64(weight) / float64(totalWeight)
+	if share <= 0 {
+		share = 1
+	}
+	secs := 1 + int(float64(backlog)/share)
 	if secs > 30 {
 		secs = 30
 	}
@@ -111,10 +268,8 @@ func (p *pool) retryAfterSecs() int {
 // run to completion, and close returns once every worker has exited.
 func (p *pool) close() {
 	p.mu.Lock()
-	if !p.closed {
-		p.closed = true
-		close(p.jobs)
-	}
+	p.closed = true
 	p.mu.Unlock()
+	p.cond.Broadcast()
 	p.wg.Wait()
 }

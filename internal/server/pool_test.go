@@ -112,6 +112,108 @@ func TestPoolCloseDrains(t *testing.T) {
 	}
 }
 
+// TestPoolWeightedFairness backlogs two tenants behind one worker and
+// checks the drain order honours the 3:1 weight ratio: start-time fair
+// queuing serves all six weight-3 jobs within the first eight slots.
+func TestPoolWeightedFairness(t *testing.T) {
+	p := newPool("test", 1, 16)
+	defer p.close()
+	block := make(chan struct{})
+	running := make(chan struct{})
+	go p.doAs(context.Background(), "starter", 1, func() { close(running); <-block })
+	<-running
+
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	enqueue := func(id string, weight, n int) {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				p.doAs(context.Background(), id, weight, func() {
+					mu.Lock()
+					order = append(order, id)
+					mu.Unlock()
+				})
+			}()
+			// Enqueue strictly in order so per-tenant FIFO tags are
+			// deterministic.
+			waitForCond(t, func() bool { return p.depthFor(id) == i+1 })
+		}
+	}
+	enqueue("heavy", 3, 6)
+	enqueue("light", 1, 6)
+	close(block)
+	wg.Wait()
+
+	if len(order) != 12 {
+		t.Fatalf("ran %d jobs, want 12", len(order))
+	}
+	heavyInFirst8 := 0
+	for _, id := range order[:8] {
+		if id == "heavy" {
+			heavyInFirst8++
+		}
+	}
+	// Virtual-time tags: heavy advances 1/3 per job, light 1 per job, so
+	// heavy's six tags (0..5/3) all land before light's third (2.0).
+	if heavyInFirst8 != 6 {
+		t.Fatalf("weight-3 tenant got %d of the first 8 slots, want 6 (order %v)", heavyInFirst8, order)
+	}
+}
+
+// TestPoolPerTenantSaturation proves saturation is per tenant: one
+// tenant filling its queue sheds only itself.
+func TestPoolPerTenantSaturation(t *testing.T) {
+	p := newPool("test", 1, 1)
+	defer p.close()
+	block := make(chan struct{})
+	defer close(block)
+	running := make(chan struct{})
+	go p.doAs(context.Background(), "hog", 1, func() { close(running); <-block })
+	<-running
+
+	go p.doAs(context.Background(), "hog", 1, func() {})
+	waitForCond(t, func() bool { return p.depthFor("hog") == 1 })
+	if err := p.doAs(context.Background(), "hog", 1, func() {}); !errors.Is(err, errSaturated) {
+		t.Fatalf("hog third job: %v, want errSaturated", err)
+	}
+	// The other tenant still has a free queue slot.
+	ok := make(chan error, 1)
+	go func() { ok <- p.doAs(context.Background(), "bystander", 1, func() {}) }()
+	waitForCond(t, func() bool { return p.depthFor("bystander") == 1 })
+}
+
+// TestPoolRetryAfterPerTenant is the satellite fix: Retry-After derives
+// from the shed tenant's own backlog and fair share, so an idle tenant
+// shed by a no-queue admission race is told 1s while the hog that built
+// the backlog is told to back off proportionally.
+func TestPoolRetryAfterPerTenant(t *testing.T) {
+	p := newPool("test", 2, 100)
+	defer p.close()
+	block := make(chan struct{})
+	defer close(block)
+	var started sync.WaitGroup
+	started.Add(2)
+	for i := 0; i < 2; i++ {
+		go p.doAs(context.Background(), "hog", 1, func() { started.Done(); <-block })
+	}
+	started.Wait()
+	for i := 0; i < 40; i++ {
+		go p.doAs(context.Background(), "hog", 1, func() {})
+	}
+	waitForCond(t, func() bool { return p.depthFor("hog") == 40 })
+
+	if got := p.retryAfterFor("idle"); got != 1 {
+		t.Errorf("idle tenant Retry-After = %d, want 1", got)
+	}
+	// Hog: backlog 40, sole active queue, share = 2 workers -> 1+20=21.
+	if got := p.retryAfterFor("hog"); got != 21 {
+		t.Errorf("hog Retry-After = %d, want 21", got)
+	}
+}
+
 func waitForCond(t *testing.T, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)

@@ -53,6 +53,7 @@ import (
 	"codepack"
 	"codepack/internal/harness"
 	"codepack/internal/peer"
+	"codepack/internal/tenant"
 	"codepack/internal/trace"
 )
 
@@ -118,6 +119,13 @@ type Config struct {
 	// disables slow-trace logging).
 	TraceSlow time.Duration
 
+	// Tenants is the multi-tenant isolation tier: API keys, per-tenant
+	// limits, fair-scheduling weights and the peer-signing cluster key
+	// (see internal/tenant). Nil serves in open mode — anonymous
+	// callers admitted unlimited, internal endpoints unsigned —
+	// preserving the pre-tenancy behaviour.
+	Tenants *tenant.Registry
+
 	// Logger receives access and lifecycle logs (nil = slog.Default()).
 	Logger *slog.Logger
 }
@@ -155,6 +163,9 @@ func (c Config) withDefaults() Config {
 	if c.TraceSlow == 0 {
 		c.TraceSlow = DefaultTraceSlow
 	}
+	if c.Tenants == nil {
+		c.Tenants = tenant.NewRegistry(nil)
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
@@ -172,6 +183,7 @@ type Server struct {
 	suite   *harness.Suite
 	metrics *metrics
 	tracer  *trace.Tracer
+	tenants *tenant.Registry
 	mux     *http.ServeMux
 
 	// Warm-tier state (nil cluster = standalone instance).
@@ -217,6 +229,7 @@ func New(cfg Config) (*Server, error) {
 		cache:   cache,
 		suite:   harness.NewSuite(cfg.BenchMaxInstr),
 		metrics: newMetrics(),
+		tenants: cfg.Tenants,
 		mux:     http.NewServeMux(),
 	}
 	if cfg.TraceCapacity >= 0 {
@@ -265,6 +278,12 @@ func (s *Server) joinCluster(pc peer.Config) error {
 	if pc.Tracer == nil {
 		pc.Tracer = s.tracer
 	}
+	if pc.AuthKey == nil {
+		// Outbound peer requests sign with the live cluster key, so a
+		// SIGHUP key rotation applies to the next request without a
+		// restart.
+		pc.AuthKey = s.tenants.ClusterKey
+	}
 	aeCh := make(chan uint64, 1)
 	pc.OnRingChange = func(epoch uint64, members []string) {
 		s.metrics.ringChanges.add(1)
@@ -279,12 +298,12 @@ func (s *Server) joinCluster(pc peer.Config) error {
 	}
 	s.cluster = cluster
 	h := peer.NewHandler(peerSource{s}, s.log)
-	s.mux.Handle("GET "+peer.CachePathPrefix+"{digest}", s.instrument("peer_get", h.Get))
-	s.mux.Handle("PUT "+peer.CachePathPrefix+"{digest}", s.instrument("peer_put", h.Put))
-	s.mux.Handle("POST "+peer.OfferPath, s.instrument("peer_offer", h.Offer))
-	s.mux.Handle("POST "+peer.JoinPath, s.instrument("peer_membership", cluster.HandleJoin))
-	s.mux.Handle("POST "+peer.HeartbeatPath, s.instrument("peer_membership", cluster.HandleHeartbeat))
-	s.mux.Handle("POST "+peer.LeavePath, s.instrument("peer_membership", cluster.HandleLeave))
+	s.mux.Handle("GET "+peer.CachePathPrefix+"{digest}", s.instrumentInternal("peer_get", h.Get))
+	s.mux.Handle("PUT "+peer.CachePathPrefix+"{digest}", s.instrumentInternal("peer_put", h.Put))
+	s.mux.Handle("POST "+peer.OfferPath, s.instrumentInternal("peer_offer", h.Offer))
+	s.mux.Handle("POST "+peer.JoinPath, s.instrumentInternal("peer_membership", cluster.HandleJoin))
+	s.mux.Handle("POST "+peer.HeartbeatPath, s.instrumentInternal("peer_membership", cluster.HandleHeartbeat))
+	s.mux.Handle("POST "+peer.LeavePath, s.instrumentInternal("peer_membership", cluster.HandleLeave))
 	s.log.Info("joined peer cache cluster",
 		"self", cluster.Self(), "seeds", len(cluster.Members())-1)
 
@@ -518,16 +537,19 @@ type errorResponse struct {
 
 // --- request plumbing ----------------------------------------------------
 
-// httpError is a handler failure with its response status.
+// httpError is a handler failure with its response status. retryAfter,
+// when positive, is emitted as a Retry-After header (429 denials carry
+// the shed tenant's own backoff).
 type httpError struct {
-	code int
-	msg  string
+	code       int
+	msg        string
+	retryAfter int
 }
 
 func (e *httpError) Error() string { return e.msg }
 
 func badRequest(format string, args ...any) *httpError {
-	return &httpError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
 // statusWriter captures the status code and byte count of a response.
@@ -562,10 +584,24 @@ func (c *countReader) Read(p []byte) (int, error) {
 
 func (c *countReader) Close() error { return c.r.Close() }
 
-// instrument wraps an endpoint handler with the per-request deadline, the
-// body-size cap, request-ID tracing, metrics recording and the structured
-// access log.
+// instrument wraps a public endpoint handler with tenant
+// authentication and admission (API key -> 401, rate/quota -> 429 with
+// the tenant's own Retry-After), the per-request deadline, the
+// body-size cap, request-ID tracing, metrics recording (tenant
+// labelled) and the structured access log.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
+	return s.instrumented(name, false, h)
+}
+
+// instrumentInternal is instrument for the /internal/v1/* node-to-node
+// endpoints: instead of API-key auth it verifies the HMAC cluster
+// signature (tenant.InternalHeader) when a cluster key is configured,
+// and labels traffic with the reserved "internal" tenant.
+func (s *Server) instrumentInternal(name string, h http.HandlerFunc) http.Handler {
+	return s.instrumented(name, true, h)
+}
+
+func (s *Server) instrumented(name string, internal bool, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		ctx := r.Context()
@@ -598,17 +634,46 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
 		r.Body = body
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 
-		h(sw, r)
+		// Resolve the caller before any work: internal traffic by
+		// cluster signature, public traffic by API key + admission.
+		// Denied requests skip the handler but still flow through the
+		// common metrics/span/log recording below, tenant-labelled.
+		tenantID := tenant.AnonID
+		if internal {
+			tenantID = tenant.InternalID
+			if herr := s.verifyInternalAuth(r); herr != nil {
+				s.writeError(sw, herr)
+			} else {
+				h(sw, r)
+			}
+		} else {
+			tn, herr := s.authenticate(r)
+			if tn != nil {
+				tenantID = tn.ID
+			}
+			if herr != nil {
+				s.writeError(sw, herr)
+			} else {
+				r = r.WithContext(tenant.NewContext(r.Context(), tn))
+				h(sw, r)
+			}
+		}
 
+		root.SetAttr("tenant", tenantID)
 		root.SetAttr("status", sw.code)
 		root.End()
 		dur := time.Since(start)
 		s.metrics.endpoint(name).record(sw.code, body.n, sw.bytes, dur)
+		s.metrics.tenant(tenantID).record(sw.code, body.n, sw.bytes)
+		if !internal {
+			s.tenants.AccountBytes(tenantID, body.n+sw.bytes, time.Now())
+		}
 		s.log.LogAttrs(ctx, slog.LevelInfo, "request",
 			slog.String("endpoint", name),
 			slog.String("method", r.Method),
 			slog.String("path", r.URL.Path),
 			slog.String("request_id", reqID),
+			slog.String("tenant", tenantID),
 			slog.Int("status", sw.code),
 			slog.Int64("bytes_in", body.n),
 			slog.Int64("bytes_out", sw.bytes),
@@ -647,21 +712,29 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func (s *Server) writeError(w http.ResponseWriter, e *httpError) {
+	if e.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.retryAfter))
+	}
 	s.writeJSON(w, e.code, errorResponse{Error: e.msg})
 }
 
-// dispatch runs fn on the given pool and writes its result, translating
-// pool conditions to statuses: saturated -> 429 + Retry-After, draining ->
-// 503, deadline -> 503.
+// dispatch runs fn on the given pool under the request tenant's queue
+// and weight, and writes fn's result, translating pool conditions to
+// statuses: the tenant's queue full -> 429 + that tenant's own
+// Retry-After, draining -> 503, deadline -> 503.
 func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, p *pool, op string, fn func(ctx context.Context) (any, *httpError)) {
 	ctx := r.Context()
+	tenantID, weight := tenant.AnonID, 1
+	if tn := tenant.FromContext(ctx); tn != nil {
+		tenantID, weight = tn.ID, tn.Weight
+	}
 	var resp any
 	var herr *httpError
 	// queue-wait measures admission latency: it ends the moment the
 	// pooled fn starts running (the second End, for shed/closed paths
 	// where the fn never runs, is an idempotent no-op).
 	_, qs := trace.Start(ctx, "queue-wait", trace.String("pool", p.name))
-	err := p.do(ctx, func() {
+	err := p.doAs(ctx, tenantID, weight, func() {
 		qs.End()
 		if s.testHook != nil {
 			s.testHook(op)
@@ -673,19 +746,22 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, p *pool, op st
 	case err == nil:
 	case errors.Is(err, errSaturated):
 		s.metrics.shed.add(1)
-		w.Header().Set("Retry-After", strconv.Itoa(p.retryAfterSecs()))
-		s.writeError(w, &httpError{http.StatusTooManyRequests,
-			fmt.Sprintf("%s worker pool saturated, retry later", p.name)})
+		s.metrics.tenantLimited(tenantID, "queue")
+		s.writeError(w, &httpError{
+			code:       http.StatusTooManyRequests,
+			msg:        fmt.Sprintf("%s worker pool saturated for tenant %s, retry later", p.name, tenantID),
+			retryAfter: p.retryAfterFor(tenantID),
+		})
 		return
 	case errors.Is(err, errClosed):
-		s.writeError(w, &httpError{http.StatusServiceUnavailable, "server is shutting down"})
+		s.writeError(w, &httpError{code: http.StatusServiceUnavailable, msg: "server is shutting down"})
 		return
 	case errors.Is(err, context.DeadlineExceeded):
 		s.metrics.timeouts.add(1)
-		s.writeError(w, &httpError{http.StatusServiceUnavailable, "request deadline exceeded"})
+		s.writeError(w, &httpError{code: http.StatusServiceUnavailable, msg: "request deadline exceeded"})
 		return
 	default: // context.Canceled: client went away; best-effort status
-		s.writeError(w, &httpError{http.StatusServiceUnavailable, "request canceled"})
+		s.writeError(w, &httpError{code: http.StatusServiceUnavailable, msg: "request canceled"})
 		return
 	}
 	if herr != nil {
@@ -729,7 +805,7 @@ func (s *Server) resolveImage(ctx context.Context, ref ProgramRef) (*codepack.Im
 	case ref.Benchmark != "":
 		b, err := s.suite.BenchContext(ctx, ref.Benchmark)
 		if err != nil {
-			return nil, &httpError{http.StatusNotFound, err.Error()}
+			return nil, &httpError{code: http.StatusNotFound, msg: err.Error()}
 		}
 		return b.Image, nil
 	case ref.Asm != "":
@@ -972,20 +1048,20 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		// see it, and compare word for word.
 		reloaded, err := codepack.UnmarshalCompressed(im.Name, comp.Marshal())
 		if err != nil {
-			return nil, &httpError{http.StatusInternalServerError, fmt.Sprintf("reload: %v", err)}
+			return nil, &httpError{code: http.StatusInternalServerError, msg: fmt.Sprintf("reload: %v", err)}
 		}
 		out, err := reloaded.Decompress()
 		if err != nil {
-			return nil, &httpError{http.StatusInternalServerError, fmt.Sprintf("decompress: %v", err)}
+			return nil, &httpError{code: http.StatusInternalServerError, msg: fmt.Sprintf("decompress: %v", err)}
 		}
 		if len(out) != len(im.Text) {
-			return nil, &httpError{http.StatusInternalServerError,
-				fmt.Sprintf("round trip length mismatch: got %d want %d", len(out), len(im.Text))}
+			return nil, &httpError{code: http.StatusInternalServerError,
+				msg: fmt.Sprintf("round trip length mismatch: got %d want %d", len(out), len(im.Text))}
 		}
 		for i, word := range out {
 			if word != im.Text[i] {
-				return nil, &httpError{http.StatusInternalServerError,
-					fmt.Sprintf("round trip mismatch at instruction %d", i)}
+				return nil, &httpError{code: http.StatusInternalServerError,
+					msg: fmt.Sprintf("round trip mismatch at instruction %d", i)}
 			}
 		}
 		return VerifyResponse{
@@ -1068,7 +1144,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			if ctx.Err() != nil {
 				// dispatch translates the context error to 503; returning
 				// it here keeps the pooled fn's result unused.
-				return nil, &httpError{http.StatusServiceUnavailable, err.Error()}
+				return nil, &httpError{code: http.StatusServiceUnavailable, msg: err.Error()}
 			}
 			return nil, badRequest("simulate: %v", err)
 		}
@@ -1095,7 +1171,7 @@ func (s *Server) handleBench(w http.ResponseWriter, r *http.Request) {
 	s.dispatch(w, r, s.light, "bench", func(ctx context.Context) (any, *httpError) {
 		b, err := s.suite.BenchContext(ctx, name)
 		if err != nil {
-			return nil, &httpError{http.StatusNotFound, err.Error()}
+			return nil, &httpError{code: http.StatusNotFound, msg: err.Error()}
 		}
 		st := b.Comp.Stats()
 		return BenchResponse{

@@ -45,8 +45,8 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func(ctx context.Co
 			return f.comp, true, true, f.herr
 		case <-ctx.Done():
 			ws.SetAttr("outcome", "abandoned")
-			return nil, false, true, &httpError{http.StatusServiceUnavailable,
-				"request ended while waiting on an in-flight compression"}
+			return nil, false, true, &httpError{code: http.StatusServiceUnavailable,
+				msg: "request ended while waiting on an in-flight compression"}
 		}
 	}
 	f := &flight{done: make(chan struct{})}

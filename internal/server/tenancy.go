@@ -1,0 +1,76 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"codepack/internal/tenant"
+)
+
+// apiKey extracts the presented API key: "Authorization: Bearer <key>"
+// (canonical) or "X-Api-Key: <key>" (curl-friendly). Empty when the
+// caller presented neither.
+func apiKey(r *http.Request) string {
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		if key, ok := strings.CutPrefix(auth, "Bearer "); ok {
+			return strings.TrimSpace(key)
+		}
+		return auth // a malformed scheme fails lookup, not silently anon
+	}
+	return strings.TrimSpace(r.Header.Get("X-Api-Key"))
+}
+
+// authenticate resolves the request's tenant and runs its rate-limit and
+// byte-quota admission checks. The tenant is returned even when the
+// request is denied (for labels); herr carries the 401/429 to write.
+func (s *Server) authenticate(r *http.Request) (*tenant.Tenant, *httpError) {
+	key := apiKey(r)
+	tn, ok := s.tenants.Lookup(key)
+	if !ok {
+		s.metrics.authFailures.add(1)
+		msg := "unknown API key"
+		if key == "" {
+			msg = "missing API key (Authorization: Bearer <key>)"
+		}
+		return nil, &httpError{code: http.StatusUnauthorized, msg: msg}
+	}
+	d := s.tenants.Admit(tn, time.Now())
+	if !d.OK {
+		s.metrics.tenantLimited(tn.ID, d.Reason)
+		return tn, &httpError{
+			code:       http.StatusTooManyRequests,
+			msg:        fmt.Sprintf("tenant %s over its %s limit, retry later", tn.ID, d.Reason),
+			retryAfter: int(d.RetryAfter / time.Second),
+		}
+	}
+	return tn, nil
+}
+
+// verifyInternalAuth checks the HMAC signature on a node-to-node
+// request. With no cluster key configured the internal endpoints are
+// open (the pre-tenancy trusted-network deployment). The body is read
+// (already capped by MaxBytesReader) to verify the payload hash, then
+// replaced so the handler sees it intact.
+func (s *Server) verifyInternalAuth(r *http.Request) *httpError {
+	key := s.tenants.ClusterKey()
+	if len(key) == 0 {
+		return nil
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return badRequest("read body: %v", err)
+	}
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	hdr := r.Header.Get(tenant.InternalHeader)
+	if err := tenant.VerifyInternal(key, hdr, r.Method, r.URL.Path, body, time.Now()); err != nil {
+		s.metrics.internalAuthFailures.add(1)
+		s.log.Warn("rejected unsigned or mis-signed internal request",
+			"method", r.Method, "path", r.URL.Path, "remote", r.RemoteAddr, "err", err)
+		return &httpError{code: http.StatusUnauthorized, msg: "invalid internal request signature"}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package tenant
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzTenantConfig throws arbitrary bytes at the tenants config parser.
+// The contract under fuzz: never panic, and every successfully parsed
+// snapshot satisfies the invariants the server relies on — valid IDs,
+// positive weights, well-formed keys, consistent indexes — and survives
+// a registry admit/account cycle.
+func FuzzTenantConfig(f *testing.F) {
+	f.Add(validSeed)
+	f.Add("tenant a key=aaaaaaaa weight=0")
+	f.Add("tenant a key=aaaaaaaa\ntenant a key=bbbbbbbb")
+	f.Add("tenant a key=samekey1\ntenant b key=samekey1")
+	f.Add("cluster-key short")
+	f.Add("anon rate=abc")
+	f.Add("tenant \x00 key=aaaaaaaa")
+	f.Add("tenant a key=aaaaaaaa quota=9999999999999GiB")
+	f.Add("tenant a key=aaaaaaaa rate=1e308 burst=-0")
+	f.Add("# only comments\n\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		snap, err := ParseConfig(src, "fuzz")
+		if err != nil {
+			return
+		}
+		for id, tn := range snap.ByID {
+			if id != tn.ID {
+				t.Fatalf("ByID[%q].ID = %q", id, tn.ID)
+			}
+			if id != AnonID && !ValidID(id) {
+				t.Fatalf("accepted invalid id %q", id)
+			}
+			if tn.Weight < 1 {
+				t.Fatalf("accepted weight %d for %q", tn.Weight, id)
+			}
+			if tn.RateRPS < 0 || tn.Burst < 0 || tn.QuotaBytes < 0 {
+				t.Fatalf("negative limits for %q: %+v", id, tn)
+			}
+			if tn.RateRPS > 0 && tn.Burst < 1 {
+				t.Fatalf("rate without burst for %q: %+v", id, tn)
+			}
+			if id == AnonID {
+				if tn.Key != "" {
+					t.Fatalf("anon has a key")
+				}
+				continue
+			}
+			if err := validateKey(tn.Key); err != nil {
+				t.Fatalf("accepted bad key for %q: %v", id, err)
+			}
+			if snap.ByKey[tn.Key] != tn {
+				t.Fatalf("ByKey index inconsistent for %q", id)
+			}
+		}
+		if len(snap.ClusterKey) > 0 {
+			if err := validateKey(string(snap.ClusterKey)); err != nil {
+				t.Fatalf("accepted bad cluster key: %v", err)
+			}
+		}
+		// A parsed snapshot must be usable: run one admit/account cycle
+		// through a registry without panicking.
+		r := NewRegistry(snap)
+		now := time.Unix(1_000_000, 0)
+		for id, tn := range snap.ByID {
+			r.Admit(tn, now)
+			r.AccountBytes(id, 123, now)
+			r.WindowBytes(id, now)
+		}
+		r.Reload(snap)
+	})
+}
+
+const validSeed = `cluster-key s3cret-cluster-key
+tenant acme key=acme-key-123 weight=3 rate=100 burst=20 quota=10MiB
+anon weight=1 rate=5
+`

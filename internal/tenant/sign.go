@@ -1,0 +1,57 @@
+package tenant
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// InternalHeader carries the HMAC signature on node-to-node requests.
+// Format: v1:<unix-ts>:<hex(hmac-sha256(key, method\npath\nts\nhex(sha256(body))))>.
+// The body hash binds the signature to the payload; the timestamp bounds
+// replay to the skew window (the protocol is idempotent content-addressed
+// cache traffic, so a bounded replay only wastes work).
+const InternalHeader = "X-Cpackd-Internal"
+
+// MaxClockSkew is how far a signed request's timestamp may differ from
+// the verifier's clock in either direction.
+const MaxClockSkew = 2 * time.Minute
+
+// SignInternal computes the InternalHeader value for a request.
+func SignInternal(key []byte, method, path string, body []byte, now time.Time) string {
+	ts := strconv.FormatInt(now.Unix(), 10)
+	return "v1:" + ts + ":" + internalMAC(key, method, path, ts, body)
+}
+
+func internalMAC(key []byte, method, path, ts string, body []byte) string {
+	bodySum := sha256.Sum256(body)
+	mac := hmac.New(sha256.New, key)
+	fmt.Fprintf(mac, "%s\n%s\n%s\n%s", method, path, ts, hex.EncodeToString(bodySum[:]))
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// VerifyInternal checks a presented InternalHeader value against the
+// cluster key. It returns a descriptive error (never shown to the
+// caller; for logs/metrics) on any failure. Comparison is constant-time.
+func VerifyInternal(key []byte, header, method, path string, body []byte, now time.Time) error {
+	parts := strings.Split(header, ":")
+	if len(parts) != 3 || parts[0] != "v1" {
+		return fmt.Errorf("malformed %s header", InternalHeader)
+	}
+	ts, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil {
+		return fmt.Errorf("malformed timestamp")
+	}
+	if d := now.Unix() - ts; d > int64(MaxClockSkew/time.Second) || d < -int64(MaxClockSkew/time.Second) {
+		return fmt.Errorf("timestamp outside ±%v skew window", MaxClockSkew)
+	}
+	want := internalMAC(key, method, path, parts[1], body)
+	if !hmac.Equal([]byte(want), []byte(parts[2])) {
+		return fmt.Errorf("signature mismatch")
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package tenant
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	key := []byte("cluster-secret-1")
+	now := time.Unix(10_000, 0)
+	body := []byte(`{"digest":"abc"}`)
+	h := SignInternal(key, "PUT", "/internal/v1/cache/abc", body, now)
+	if !strings.HasPrefix(h, "v1:10000:") {
+		t.Fatalf("header = %q", h)
+	}
+	if err := VerifyInternal(key, h, "PUT", "/internal/v1/cache/abc", body, now); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	// Within the skew window either direction.
+	if err := VerifyInternal(key, h, "PUT", "/internal/v1/cache/abc", body, now.Add(MaxClockSkew-time.Second)); err != nil {
+		t.Fatalf("verify near skew edge: %v", err)
+	}
+}
+
+func TestVerifyRejects(t *testing.T) {
+	key := []byte("cluster-secret-1")
+	now := time.Unix(10_000, 0)
+	body := []byte("payload")
+	h := SignInternal(key, "GET", "/internal/v1/cache/abc", body, now)
+
+	cases := []struct {
+		name   string
+		header string
+		method string
+		path   string
+		body   []byte
+		key    []byte
+		at     time.Time
+	}{
+		{"wrong key", h, "GET", "/internal/v1/cache/abc", body, []byte("other-key-000000"), now},
+		{"tampered body", h, "GET", "/internal/v1/cache/abc", []byte("evil"), key, now},
+		{"wrong path", h, "GET", "/internal/v1/cache/zzz", body, key, now},
+		{"wrong method", h, "PUT", "/internal/v1/cache/abc", body, key, now},
+		{"stale", h, "GET", "/internal/v1/cache/abc", body, key, now.Add(MaxClockSkew + time.Minute)},
+		{"future", h, "GET", "/internal/v1/cache/abc", body, key, now.Add(-MaxClockSkew - time.Minute)},
+		{"empty header", "", "GET", "/internal/v1/cache/abc", body, key, now},
+		{"garbage header", "v1:nope", "GET", "/internal/v1/cache/abc", body, key, now},
+		{"bad version", "v2:10000:abcd", "GET", "/internal/v1/cache/abc", body, key, now},
+		{"bad ts", "v1:notanum:abcd", "GET", "/internal/v1/cache/abc", body, key, now},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := VerifyInternal(tc.key, tc.header, tc.method, tc.path, tc.body, tc.at); err == nil {
+				t.Fatal("verified, want rejection")
+			}
+		})
+	}
+}
+
+func TestSignEmptyBody(t *testing.T) {
+	key := []byte("cluster-secret-1")
+	now := time.Unix(99, 0)
+	h := SignInternal(key, "GET", "/internal/v1/cache/abc", nil, now)
+	if err := VerifyInternal(key, h, "GET", "/internal/v1/cache/abc", nil, now); err != nil {
+		t.Fatalf("nil body verify: %v", err)
+	}
+	// nil and empty body sign identically (both hash to sha256("")).
+	if err := VerifyInternal(key, h, "GET", "/internal/v1/cache/abc", []byte{}, now); err != nil {
+		t.Fatalf("empty body verify: %v", err)
+	}
+}

@@ -1,0 +1,119 @@
+// Package tenant is the multi-tenant isolation tier for cpackd: API-key
+// authentication for the public endpoints, HMAC signing for node-to-node
+// traffic, per-tenant token-bucket rate limits and rolling byte quotas,
+// and the weights the server's fair-admission pools schedule by.
+//
+// The package is deliberately dependency-free and side-effect-free: it
+// owns identity, limits and signing, while enforcement (401/429 mapping,
+// queue scheduling, metric labels) stays in internal/server. A Registry
+// holds an immutable Snapshot of the parsed config behind an atomic
+// pointer so lookups on the request path never take a lock, and limiter
+// state lives outside the snapshot keyed by tenant ID so a SIGHUP reload
+// changes limits without forgiving accumulated debt.
+package tenant
+
+import (
+	"context"
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// Well-known tenant IDs. They are reserved in the config grammar so a
+// config file cannot shadow them with a different meaning.
+const (
+	// AnonID labels unauthenticated callers. A config enables anonymous
+	// access by declaring an `anon` line with its limits; without one,
+	// requests that present no (or an unknown) key are rejected.
+	AnonID = "anon"
+	// InternalID labels authenticated node-to-node traffic on
+	// /internal/v1/*. It is implicit: peer requests are admitted by the
+	// cluster signing key, not an API key, and bypass tenant quotas
+	// (the peer tier has its own backpressure).
+	InternalID = "internal"
+)
+
+// Tenant is one authenticated principal: its key, its scheduling weight
+// and its limits. Tenants are immutable once parsed; a reload swaps the
+// whole Snapshot.
+type Tenant struct {
+	// ID is the stable tenant label used on metrics, spans and logs.
+	// IDs are lowercase [a-z0-9_-], at most 32 bytes, so label
+	// cardinality on /metrics stays bounded by the config file.
+	ID string
+	// Key is the bearer API key presented in Authorization headers.
+	// Empty for the anon pseudo-tenant.
+	Key string
+	// Weight is the fair-share scheduling weight (>= 1). A tenant with
+	// weight 3 drains three queue slots for every one a weight-1 tenant
+	// drains when both are backlogged.
+	Weight int
+	// RateRPS is the token-bucket refill rate in requests/second;
+	// 0 means unlimited.
+	RateRPS float64
+	// Burst is the token-bucket capacity; defaults to max(1, RateRPS)
+	// when a rate is set.
+	Burst float64
+	// QuotaBytes bounds request+response bytes over the rolling
+	// QuotaWindow; 0 means unlimited.
+	QuotaBytes int64
+}
+
+// Anon reports whether this is the anonymous pseudo-tenant.
+func (t *Tenant) Anon() bool { return t.ID == AnonID }
+
+var idRe = regexp.MustCompile(`^[a-z0-9][a-z0-9_-]{0,31}$`)
+
+// ValidID reports whether s is a legal tenant ID: lowercase
+// alphanumeric plus -_ and at most 32 bytes, so IDs are safe as metric
+// label values and log fields without escaping.
+func ValidID(s string) bool { return idRe.MatchString(s) }
+
+// validateKey enforces the API-key shape: 8..128 printable ASCII bytes
+// with no whitespace, so keys survive header transport and config-file
+// round-trips unmodified.
+func validateKey(key string) error {
+	if len(key) < 8 || len(key) > 128 {
+		return fmt.Errorf("key must be 8..128 bytes, got %d", len(key))
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if c <= ' ' || c > '~' {
+			return fmt.Errorf("key contains non-printable or whitespace byte at offset %d", i)
+		}
+	}
+	return nil
+}
+
+// ctxKey is the context key type for the request's resolved tenant.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying t.
+func NewContext(ctx context.Context, t *Tenant) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the tenant attached to ctx, or nil.
+func FromContext(ctx context.Context) *Tenant {
+	t, _ := ctx.Value(ctxKey{}).(*Tenant)
+	return t
+}
+
+// LabelFromContext returns the bounded-cardinality tenant label for
+// metrics and logs: the tenant's ID, or "anon" when no tenant is
+// attached (open mode, internal callers that skipped auth).
+func LabelFromContext(ctx context.Context) string {
+	if t := FromContext(ctx); t != nil {
+		return t.ID
+	}
+	return AnonID
+}
+
+// redact returns a loggable form of an API key: first four bytes then
+// an ellipsis. Never log full keys.
+func redact(key string) string {
+	if len(key) <= 4 {
+		return strings.Repeat("*", len(key))
+	}
+	return key[:4] + "…"
+}
