@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet bench bench-smoke bench-json fuzz golden serve cluster-smoke sim-smoke obs-smoke tenant-smoke clean
+.PHONY: build test race vet bench bench-smoke bench-json bench-compare fuzz golden serve cluster-smoke sim-smoke obs-smoke tenant-smoke clean
 
 build:
 	$(GO) build ./...
@@ -32,7 +32,7 @@ bench-smoke:
 # member every second, plus the codec microbenchmarks (ns/op, MB/s,
 # allocs/op for encode/decode and the served path cold+warm). Commit the
 # result as BENCH_$(BENCH_N).json.
-BENCH_N ?= 8
+BENCH_N ?= 9
 bench-json:
 	$(GO) run ./cmd/cpackbench -trajectory $(BENCH_N) \
 		-qps 300 -duration 5s -warmup 1s -c 32 \
@@ -40,12 +40,19 @@ bench-json:
 		-out BENCH_$(BENCH_N).json
 	@echo wrote BENCH_$(BENCH_N).json
 
+# Guard the codec microbenchmarks against regression: re-run them and
+# fail if any shared benchmark is >20% slower than the committed
+# trajectory after anchor normalization (see cmd/benchcompare).
+bench-compare:
+	$(GO) run ./cmd/benchcompare
+
 # Short fuzz pass over every fuzz target (FUZZTIME=10s per target).
 fuzz:
 	$(GO) test -run xxx -fuzz 'FuzzAssemble$$' -fuzztime $(FUZZTIME) ./internal/asm
 	$(GO) test -run xxx -fuzz 'FuzzExecute$$' -fuzztime $(FUZZTIME) ./internal/asm
 	$(GO) test -run xxx -fuzz 'FuzzUnmarshalCompressed$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run xxx -fuzz 'FuzzDecodeCorruptRegion$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run xxx -fuzz 'FuzzDecodeEquivalence$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run xxx -fuzz 'FuzzBitStream$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run xxx -fuzz 'FuzzLoadCacheLog$$' -fuzztime $(FUZZTIME) ./internal/server
 	$(GO) test -run xxx -fuzz 'FuzzRecoverCacheDir$$' -fuzztime $(FUZZTIME) ./internal/server

@@ -70,8 +70,9 @@ type usageError string
 func (e usageError) Error() string { return string(e) }
 
 // microBenchPattern selects the codec microbenchmarks a trajectory folds
-// in: encode and decode throughput plus the served path cold and warm.
-const microBenchPattern = "CompressThroughput|DecompressThroughput|ServerCompress"
+// in: encode and decode throughput, the reference-vs-fast decoder split
+// and the pooled serve-path decode, plus the served path cold and warm.
+const microBenchPattern = "CompressThroughput|DecompressThroughput|DecodeThroughput|DecodePooled|ServerCompress"
 
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("cpackbench", flag.ContinueOnError)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"codepack/internal/isa"
 	"codepack/internal/program"
@@ -23,6 +24,10 @@ type Compressed struct {
 
 	blocks []blockMeta
 	stats  Stats
+
+	// fast caches the table-driven decoder's dispatch tables (built from
+	// High/Low on first decode; see fastdecode.go).
+	fast atomic.Pointer[fastTabs]
 }
 
 // blockMeta records where a block lives and how its instructions are laid
@@ -258,8 +263,21 @@ func (c *Compressed) LookupBlock(b int) (start uint32, raw bool, err error) {
 	return e.Block0Start + e.Block0Len, e.Raw1, nil
 }
 
-// DecodeBlock decompresses block b into out.
+// DecodeBlock decompresses block b into out with the decoder selected by
+// the current DecodeMode (the table-driven fast path by default; see
+// fastdecode.go).
 func (c *Compressed) DecodeBlock(b int, out *[BlockInstrs]isa.Word) error {
+	if CurrentDecodeMode() == DecodeReference {
+		return c.DecodeBlockReference(b, out)
+	}
+	return c.fastDecode(b, out, nil)
+}
+
+// DecodeBlockReference decompresses block b with the bit-at-a-time tag
+// walker, regardless of the current DecodeMode. It is the correctness
+// oracle the fast decoder is differentially tested against, and the
+// implementation closest to what the decompression hardware does.
+func (c *Compressed) DecodeBlockReference(b int, out *[BlockInstrs]isa.Word) error {
 	start, raw, err := c.LookupBlock(b)
 	if err != nil {
 		return err
@@ -332,15 +350,7 @@ func decodeHalf(r *bitReader, d *Dict) (uint16, error) {
 
 // Decompress reconstructs the full native text section (without padding).
 func (c *Compressed) Decompress() ([]isa.Word, error) {
-	out := make([]isa.Word, 0, len(c.blocks)*BlockInstrs)
-	var blk [BlockInstrs]isa.Word
-	for b := range c.blocks {
-		if err := c.DecodeBlock(b, &blk); err != nil {
-			return nil, err
-		}
-		out = append(out, blk[:]...)
-	}
-	return out[:c.NumInstr], nil
+	return c.AppendDecompress(make([]isa.Word, 0, len(c.blocks)*BlockInstrs))
 }
 
 // DecodeAt decompresses the single instruction at native address addr,

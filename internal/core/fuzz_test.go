@@ -50,9 +50,135 @@ func FuzzDecodeCorruptRegion(f *testing.F) {
 		if err != nil {
 			return
 		}
-		var out [BlockInstrs]isa.Word
+		var out, ref [BlockInstrs]isa.Word
 		for b := 0; b < c.NumBlocks(); b++ {
-			_ = c.DecodeBlock(b, &out)
+			// Both decoders must survive corruption; when both accept a
+			// block they must still agree word for word.
+			errFast := c.DecodeBlockFast(b, &out)
+			errRef := c.DecodeBlockReference(b, &ref)
+			if errFast == nil && errRef == nil && out != ref {
+				t.Fatalf("block %d of corrupted image: fast %x, reference %x", b, out, ref)
+			}
+		}
+	})
+}
+
+// FuzzDecodeEquivalence compresses arbitrary programs and asserts the
+// fast table-driven decoder is word-for-word identical to the reference
+// tag walker across every decode entry point: whole-image Decompress,
+// per-block DecodeBlock (including raw and padded tail blocks), and
+// address-wise DecodeAt. This is the CI-enforced invariant that lets the
+// serve path run the fast decoder by default.
+func FuzzDecodeEquivalence(f *testing.F) {
+	rng := rand.New(rand.NewSource(13))
+	seed := func(text []isa.Word) {
+		raw := make([]byte, 4*len(text))
+		for i, w := range text {
+			raw[4*i] = byte(w >> 24)
+			raw[4*i+1] = byte(w >> 16)
+			raw[4*i+2] = byte(w >> 8)
+			raw[4*i+3] = byte(w)
+		}
+		f.Add(raw, uint8(0))
+	}
+	seed(synthText(rng, 96))
+	seed(make([]isa.Word, 40))   // all-zero: maximally compressible
+	seed([]isa.Word{0xDEADBEEF}) // single instruction, padded tail
+	f.Add([]byte{0x01, 0x02, 0x03}, uint8(5))
+	f.Fuzz(func(t *testing.T, data []byte, trim uint8) {
+		// Reassemble the bytes into an instruction stream; trim varies
+		// the length mod the group size so padded tails are exercised.
+		// The word cap bounds per-exec cost: the engine replays the body
+		// thousands of times when minimizing an interesting input, so a
+		// cheap body is what keeps the CI fuzz budget productive. Six
+		// blocks still span multiple groups, raw blocks and padded tails.
+		n := (len(data) + 3) / 4
+		if n == 0 {
+			n = 1
+		}
+		if n > 6*BlockInstrs {
+			n = 6 * BlockInstrs
+		}
+		if cut := int(trim) % GroupInstrs; n > cut {
+			n -= cut
+		}
+		text := make([]isa.Word, n)
+		for i := range text {
+			var w uint32
+			for j := 0; j < 4; j++ {
+				w <<= 8
+				if o := 4*i + j; o < len(data) {
+					w |= uint32(data[o])
+				}
+			}
+			text[i] = w
+		}
+		c, err := CompressWords("fuzz", isa.TextBase, text)
+		if err != nil {
+			t.Fatalf("compress: %v", err)
+		}
+
+		// Whole image: both decoders must succeed and agree.
+		fast, err := c.Decompress()
+		if err != nil {
+			t.Fatalf("fast decompress: %v", err)
+		}
+		if len(fast) != n {
+			t.Fatalf("fast decoded %d words, want %d", len(fast), n)
+		}
+		var refBlk, fastBlk [BlockInstrs]isa.Word
+		var pos [BlockInstrs]uint16
+		for b := 0; b < c.NumBlocks(); b++ {
+			if err := c.DecodeBlockReference(b, &refBlk); err != nil {
+				t.Fatalf("reference block %d: %v", b, err)
+			}
+			// The positions variant IS the fast path, plus the
+			// byte-arrival contract: consumed bits == encoder cumBits.
+			if err := c.DecodeBlockPositions(b, &fastBlk, &pos); err != nil {
+				t.Fatalf("fast block %d: %v", b, err)
+			}
+			if refBlk != fastBlk {
+				t.Fatalf("block %d: fast %x, reference %x", b, fastBlk, refBlk)
+			}
+			for i := 0; i < BlockInstrs; i++ {
+				if want := c.InstrReadyBytes(b, i); int(pos[i]+7)/8 != want {
+					t.Fatalf("block %d instr %d: fast consumes %d bits (%d bytes), InstrReadyBytes %d",
+						b, i, pos[i], int(pos[i]+7)/8, want)
+				}
+			}
+			for i := 0; i < BlockInstrs; i++ {
+				idx := b*BlockInstrs + i
+				if idx >= n {
+					break
+				}
+				if fastBlk[i] != text[idx] {
+					t.Fatalf("word %d: decoded %#x, original %#x", idx, fastBlk[i], text[idx])
+				}
+			}
+		}
+		// Address-wise: DecodeAt under both modes on a sample of addresses.
+		prev := SetDecodeMode(DecodeReference)
+		defer SetDecodeMode(prev)
+		for _, idx := range []int{0, n / 2, n - 1} {
+			addr := isa.TextBase + uint32(4*idx)
+			wRef, err := c.DecodeAt(addr)
+			if err != nil {
+				t.Fatalf("reference DecodeAt %#x: %v", addr, err)
+			}
+			if wRef != text[idx] {
+				t.Fatalf("reference DecodeAt %#x = %#x, want %#x", addr, wRef, text[idx])
+			}
+		}
+		SetDecodeMode(DecodeFast)
+		for _, idx := range []int{0, n / 2, n - 1} {
+			addr := isa.TextBase + uint32(4*idx)
+			wFast, err := c.DecodeAt(addr)
+			if err != nil {
+				t.Fatalf("fast DecodeAt %#x: %v", addr, err)
+			}
+			if wFast != text[idx] {
+				t.Fatalf("fast DecodeAt %#x = %#x, want %#x", addr, wFast, text[idx])
+			}
 		}
 	})
 }

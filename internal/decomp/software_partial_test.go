@@ -1,0 +1,149 @@
+package decomp
+
+import (
+	"testing"
+
+	"codepack/internal/core"
+	"codepack/internal/isa"
+	"codepack/internal/mem"
+)
+
+// Cycle-exact tests for the software handler's DecodeWholeBlock=false
+// path, which decodes only up to the end of the requested line. All use
+// paperComp (block 0 encodes at exactly 3 bytes per instruction) on the
+// baseline bus (8-byte width, 10-cycle first latency, 2-cycle rate), so
+// every arrival time can be derived by hand the same way the Figure 2
+// tests do.
+
+// newSoftwareBus is newSoftware but returns the engine's bus too, so
+// tests can read traffic counters.
+func newSoftwareBus(t *testing.T, cfg SoftwareConfig) (*Software, *mem.Bus) {
+	t.Helper()
+	bus := newBus(t, mem.Baseline())
+	e, err := NewSoftware(paperComp(t), bus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, bus
+}
+
+// TestSoftwarePartialFirstLineTiming pins the whole partial-decode
+// schedule for a first-line miss. Trap at 30; index entry beat at 40;
+// the handler fetches only InstrReadyBytes(block, 7) = 24 of the block's
+// 48 bytes (3 beats: 50, 52, 54); serial decode at 6 cycles/instr is
+// compute-bound: 56, 62, ..., 98; return-from-trap adds TrapOverhead/2,
+// and nothing is forwarded out of the handler, so every instruction of
+// the line becomes visible at 98 + 15 = 113.
+func TestSoftwarePartialFirstLineTiming(t *testing.T) {
+	cfg := DefaultSoftware()
+	cfg.DecodeWholeBlock = false
+	sw, bus := newSoftwareBus(t, cfg)
+	fill := sw.FetchLine(0, isa.TextBase, 0)
+	for i, r := range fill.Ready {
+		if r != 113 {
+			t.Errorf("Ready[%d] = %d, want 113", i, r)
+		}
+	}
+	if fill.Done != 113 {
+		t.Errorf("Done = %d, want 113", fill.Done)
+	}
+	// Fetch traffic proves the partial read: one 4-byte index burst plus
+	// a 24-byte block burst = 1 + 3 beats. A whole-block fetch would
+	// move 48 bytes (6 beats).
+	if s := bus.Stats(); s.Bursts != 2 || s.Beats != 4 {
+		t.Errorf("bus traffic = %d bursts / %d beats, want 2/4", s.Bursts, s.Beats)
+	}
+}
+
+// TestSoftwarePartialSecondLineIsWholeBlock drives the limit = lineOff +
+// LineInstrs = 16 case: a second-line miss under partial decode must
+// decode through the end of the block (fetching all 48 bytes) and still
+// not retain a buffer. The schedule matches a whole-block decode —
+// done[15] = 146, return at 161 — so partial mode only wins on
+// first-line misses.
+func TestSoftwarePartialSecondLineIsWholeBlock(t *testing.T) {
+	cfg := DefaultSoftware()
+	cfg.DecodeWholeBlock = false
+	sw, bus := newSoftwareBus(t, cfg)
+	fill := sw.FetchLine(0, isa.TextBase+32, 0)
+	for i, r := range fill.Ready {
+		if r != 161 {
+			t.Errorf("Ready[%d] = %d, want 161", i, r)
+		}
+	}
+	if s := bus.Stats(); s.Bursts != 2 || s.Beats != 7 {
+		t.Errorf("bus traffic = %d bursts / %d beats, want 2/7", s.Bursts, s.Beats)
+	}
+	// The first half of the block was decoded on the way to line 1 but
+	// must NOT be buffered: a later first-line miss re-reads the block.
+	sw.FetchLine(1000, isa.TextBase, 0)
+	if s := sw.Stats(); s.BufferHits != 0 || s.BlockReads != 2 {
+		t.Errorf("buffer hits/block reads = %d/%d, want 0/2", s.BufferHits, s.BlockReads)
+	}
+}
+
+// TestSoftwarePartialByteArrivalGating lowers the decode cost to 1
+// cycle/instr so the bus, not the handler, is the bottleneck: each
+// decode step must wait for its codeword's bytes. Instructions 0-1 ride
+// beat 0 (cycle 50), 2-4 beat 1 (52), 5-7 beat 2 (54); serial decode
+// lands the 8th at 58, so the trap returns at 58 + 15 = 73. Ignoring
+// byte arrival would finish decode at 48 and return at 63.
+func TestSoftwarePartialByteArrivalGating(t *testing.T) {
+	cfg := DefaultSoftware()
+	cfg.DecodeWholeBlock = false
+	cfg.CyclesPerInstr = 1
+	sw, _ := newSoftwareBus(t, cfg)
+	fill := sw.FetchLine(0, isa.TextBase, 0)
+	if fill.Done != 73 {
+		t.Errorf("Done = %d, want 73 (byte-arrival gated)", fill.Done)
+	}
+}
+
+// TestSoftwareNoForwardingFromTrap checks the structural property behind
+// the pinned schedules: a software handler cannot forward individual
+// instructions to the core mid-trap, so every Ready time in a fill that
+// actually ran the handler equals the return-from-trap time, in both
+// whole-block and partial modes.
+func TestSoftwareNoForwardingFromTrap(t *testing.T) {
+	for _, whole := range []bool{true, false} {
+		cfg := DefaultSoftware()
+		cfg.DecodeWholeBlock = whole
+		sw := newSoftware(t, cfg)
+		for _, addr := range []uint32{isa.TextBase, isa.TextBase + 96} {
+			sw.bufValid = false // force the handler path
+			fill := sw.FetchLine(0, addr, 3)
+			for i := 1; i < LineInstrs; i++ {
+				if fill.Ready[i] != fill.Ready[0] {
+					t.Fatalf("whole=%v addr=%#x: Ready[%d]=%d != Ready[0]=%d — forwarded out of a trap",
+						whole, addr, i, fill.Ready[i], fill.Ready[0])
+				}
+			}
+			if fill.Done != fill.Ready[0] {
+				t.Fatalf("whole=%v: Done=%d != Ready=%d", whole, fill.Done, fill.Ready[0])
+			}
+		}
+	}
+}
+
+// TestSoftwarePartialReadyMatchesFastDecoder ties the timing model to
+// the real decoder: the bytes the handler fetches for a partial decode
+// (InstrReadyBytes of the last decoded instruction) are exactly the
+// bytes the fast table-driven decoder consumes for those instructions,
+// so the modelled fetch is neither optimistic nor padded.
+func TestSoftwarePartialReadyMatchesFastDecoder(t *testing.T) {
+	c := paperComp(t)
+	var out [core.BlockInstrs]isa.Word
+	var pos [core.BlockInstrs]uint16
+	for b := 0; b < 4; b++ {
+		if err := c.DecodeBlockPositions(b, &out, &pos); err != nil {
+			t.Fatalf("block %d: %v", b, err)
+		}
+		for _, last := range []int{LineInstrs - 1, core.BlockInstrs - 1} {
+			want := int(pos[last]+7) / 8
+			if got := c.InstrReadyBytes(b, last); got != want {
+				t.Fatalf("block %d instr %d: handler fetches %d bytes, fast decoder needs %d",
+					b, last, got, want)
+			}
+		}
+	}
+}

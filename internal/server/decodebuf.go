@@ -1,0 +1,38 @@
+package server
+
+import (
+	"sync"
+
+	"codepack/internal/isa"
+)
+
+// decodeBufs recycles the word slices the serve path decodes into. The
+// fill path verifies every peer payload and quarantined replica by full
+// decompression, and the decompress/verify endpoints decode entire
+// programs per request; without reuse each of those is a text-sized
+// allocation held just long enough to compare or marshal. The pool plus
+// Compressed.AppendDecompress keeps steady-state decodes at zero
+// allocations (BenchmarkDecodePooled pins this).
+//
+// The pool traffics in *[]isa.Word so that returning a buffer does not
+// allocate a fresh slice header; callers write any regrown slice back
+// through the pointer before releasing it.
+//
+// Pooled buffers keep whatever capacity their largest program needed;
+// sync.Pool's GC-driven eviction bounds how long oversized ones linger.
+var decodeBufs = sync.Pool{
+	New: func() any { return new([]isa.Word) },
+}
+
+// getDecodeBuf returns a pooled buffer pointer. Decode with
+// AppendDecompress((*bp)[:0]), store the result back via *bp, and hand
+// the pointer to putDecodeBuf once the contents are dead.
+func getDecodeBuf() *[]isa.Word {
+	return decodeBufs.Get().(*[]isa.Word)
+}
+
+// putDecodeBuf returns a buffer to the pool. The caller must not retain
+// the slice after this.
+func putDecodeBuf(bp *[]isa.Word) {
+	decodeBufs.Put(bp)
+}

@@ -950,11 +950,19 @@ func (s *Server) cachedVerified(digest string, im *codepack.Image, isRecheck boo
 // compMatchesImage reports whether comp decompresses word-for-word to
 // im's text section — the poisoning-proof check applied to every byte
 // that did not come from a local compression or the verified store.
+// The decode runs through the pooled buffers: verification output is
+// dead as soon as the comparison finishes, so the fill path never pays
+// a text-sized allocation per peer payload.
 func compMatchesImage(comp *codepack.Compressed, im *codepack.Image) bool {
 	if comp.TextBase != im.TextBase {
 		return false
 	}
-	text, err := comp.Decompress()
+	bp := getDecodeBuf()
+	defer putDecodeBuf(bp)
+	text, err := comp.AppendDecompress((*bp)[:0])
+	if text != nil {
+		*bp = text
+	}
 	if err != nil || len(text) != len(im.Text) {
 		return false
 	}
@@ -1011,7 +1019,14 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, badRequest("compressed image: %v", err)
 		}
-		text, err := comp.Decompress()
+		// Decode into a pooled buffer: the text only lives until the
+		// image is marshalled into the response.
+		bp := getDecodeBuf()
+		defer putDecodeBuf(bp)
+		text, err := comp.AppendDecompress((*bp)[:0])
+		if text != nil {
+			*bp = text
+		}
 		if err != nil {
 			return nil, badRequest("decompress: %v", err)
 		}
@@ -1050,7 +1065,14 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, &httpError{code: http.StatusInternalServerError, msg: fmt.Sprintf("reload: %v", err)}
 		}
-		out, err := reloaded.Decompress()
+		// The round-trip text is compared and discarded, so decode it
+		// into a pooled buffer.
+		bp := getDecodeBuf()
+		defer putDecodeBuf(bp)
+		out, err := reloaded.AppendDecompress((*bp)[:0])
+		if out != nil {
+			*bp = out
+		}
 		if err != nil {
 			return nil, &httpError{code: http.StatusInternalServerError, msg: fmt.Sprintf("decompress: %v", err)}
 		}
