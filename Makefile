@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet bench bench-smoke bench-json bench-compare fuzz golden serve cluster-smoke sim-smoke obs-smoke tenant-smoke clean
+.PHONY: build test race vet bench bench-smoke bench-json bench-compare fuzz golden serve cluster-smoke sim-smoke obs-smoke tenant-smoke slo-smoke clean
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,7 @@ fuzz:
 	$(GO) test -run xxx -fuzz 'FuzzMembershipMessage$$' -fuzztime $(FUZZTIME) ./internal/peer
 	$(GO) test -run xxx -fuzz 'FuzzHandoffRecord$$' -fuzztime $(FUZZTIME) ./internal/peer
 	$(GO) test -run xxx -fuzz 'FuzzTenantConfig$$' -fuzztime $(FUZZTIME) ./internal/tenant
+	$(GO) test -run xxx -fuzz 'FuzzSLOConfig$$' -fuzztime $(FUZZTIME) ./internal/obs
 
 # Regenerate the pinned experiment tables after an intentional change.
 golden:
@@ -102,6 +103,17 @@ tenant-smoke:
 obs-smoke:
 	$(GO) test -race -count=1 -run 'TestDebugListenerServesDiagnostics' ./cmd/cpackd
 	$(GO) test -race -count=1 -run 'TestCompressMissSpanTree|TestSpanPropagatesAcrossPeerFetch|TestStageHistogramsRendered|TestSlowTraceLogged' ./internal/server
+
+# SLO smoke: on a two-member signed cluster, injected latency must flip
+# the fast-burn alert to page within one evaluation tick, the page must
+# land a CPU profile in the on-disk ring, the OpenMetrics scrape must
+# carry an exemplar that resolves in /debug/trace/recent, and
+# /debug/cluster must aggregate SLO burn from both members. Also lints
+# the full /metrics exposition in both formats and checks the lock-free
+# histogram under -race.
+slo-smoke:
+	$(GO) test -race -count=1 -run 'TestSLOSmoke|TestMetricsExpositionLint|TestLintRejectsMalformed|TestExemplarResolvesInTraceRing|TestHistogramAtomicConsistency' ./internal/server
+	$(GO) test -race -count=1 ./internal/obs
 
 clean:
 	$(GO) clean ./...

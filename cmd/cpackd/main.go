@@ -39,9 +39,18 @@
 //
 // With -debug-addr set a second, private listener serves the
 // diagnostics surface: net/http/pprof, the span-trace ring
-// (/debug/trace/recent), /metrics and /debug/vars. The public port
+// (/debug/trace/recent, sized by -trace-ring), /metrics, /debug/vars,
+// /debug/slo, /debug/cluster and /debug/profiles/. The public port
 // never exposes pprof. Requests slower than -trace-slow log their full
 // span tree.
+//
+// With -slos set, every public request is graded against burn-rate
+// SLOs (multi-window: 5m/1h fast, 30m/6h slow) and the alert state is
+// served at /debug/slo and as cpackd_slo_* metrics; SIGHUP reloads the
+// file. With -profile-dir set, a paging objective or a slow trace
+// snapshots CPU/heap/goroutine profiles into a bounded on-disk ring
+// served at /debug/profiles/. /debug/cluster merges every member's
+// signed /internal/v1/health into one fleet view.
 package main
 
 import (
@@ -58,9 +67,11 @@ import (
 	"syscall"
 	"time"
 
+	"codepack/internal/obs"
 	"codepack/internal/peer"
 	"codepack/internal/server"
 	"codepack/internal/tenant"
+	"codepack/internal/trace"
 )
 
 func main() {
@@ -96,6 +107,10 @@ func run(args []string) error {
 		replicas     = fs.Int("replicas", 0, "cluster replicas per digest (0 = default of 1)")
 		tenantsFile  = fs.String("tenants", "", "tenant config file (API keys, weights, quotas); SIGHUP reloads it")
 		clusterKey   = fs.String("cluster-key", "", "HMAC key signing internal peer traffic (overrides the tenants file's cluster-key)")
+		slosFile     = fs.String("slos", "", "SLO config file (burn-rate objectives); SIGHUP reloads it")
+		traceRing    = fs.Int("trace-ring", trace.DefaultCapacity, "completed-trace ring capacity at /debug/trace/recent (<=0 disables tracing)")
+		profileDir   = fs.String("profile-dir", "", "capture triggered CPU/heap/goroutine profiles into this directory (bounded ring; empty = disabled)")
+		profileKeep  = fs.Int("profile-keep", 0, "triggered profile sets retained in -profile-dir (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -122,10 +137,36 @@ func run(args []string) error {
 		MaxInstr:       *maxInstr,
 		RequestTimeout: *timeout,
 		TraceSlow:      *traceSlow,
+		TraceCapacity:  *traceRing,
 		Logger:         log,
 	}
 	if *traceSlow == 0 {
 		cfg.TraceSlow = -1 // the user asked for no slow-trace logging
+	}
+	if *traceRing <= 0 {
+		cfg.TraceCapacity = -1 // the user asked for no tracing
+	}
+
+	// SLOs and triggered profiling: -slos declares burn-rate objectives
+	// the server grades every public request against; -profile-dir makes
+	// a page-level breach (or a slow trace) snapshot the process into a
+	// bounded on-disk profile ring.
+	var sloEng *obs.Engine
+	if *slosFile != "" {
+		snap, err := obs.LoadFile(*slosFile)
+		if err != nil {
+			return fmt.Errorf("load -slos: %w", err)
+		}
+		sloEng = obs.NewEngine(snap, obs.EngineConfig{Logger: log})
+		cfg.SLO = sloEng
+		log.Info("slo config loaded", "source", snap.Source, "objectives", len(snap.Objectives))
+	}
+	if *profileDir != "" {
+		cfg.Profile = &obs.ProfilerConfig{
+			Dir:         *profileDir,
+			MaxCaptures: *profileKeep,
+			Logger:      log,
+		}
 	}
 
 	// Tenant isolation: -tenants declares API keys, weights and quotas;
@@ -216,22 +257,34 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	// SIGHUP hot-reloads the tenants file: new keys, weights and quotas
-	// apply to the next request, retained tenants keep their accrued
-	// rate/quota debt, and a parse error keeps the old config serving.
-	if reg != nil && *tenantsFile != "" {
+	// SIGHUP hot-reloads the tenants and SLO files: new keys, weights,
+	// quotas and objectives apply to the next request; objectives whose
+	// shape is unchanged keep their accrued error-budget history; a parse
+	// error in either file keeps that file's old config serving.
+	if (reg != nil && *tenantsFile != "") || sloEng != nil {
 		hup := make(chan os.Signal, 1)
 		signal.Notify(hup, syscall.SIGHUP)
 		defer signal.Stop(hup)
 		go func() {
 			for range hup {
-				snap, err := loadTenants()
-				if err != nil {
-					log.Warn("tenant config reload failed; keeping previous config", "err", err)
-					continue
+				if reg != nil && *tenantsFile != "" {
+					snap, err := loadTenants()
+					if err != nil {
+						log.Warn("tenant config reload failed; keeping previous config", "err", err)
+					} else {
+						reg.Reload(snap)
+						log.Info("tenant config reloaded", "source", snap.Source, "tenants", len(snap.ByID))
+					}
 				}
-				reg.Reload(snap)
-				log.Info("tenant config reloaded", "source", snap.Source, "tenants", len(snap.ByID))
+				if sloEng != nil {
+					snap, err := obs.LoadFile(*slosFile)
+					if err != nil {
+						log.Warn("slo config reload failed; keeping previous config", "err", err)
+					} else {
+						sloEng.Reload(snap)
+						log.Info("slo config reloaded", "source", snap.Source, "objectives", len(snap.Objectives))
+					}
+				}
 			}
 		}()
 	}

@@ -35,6 +35,10 @@ type ServerStats struct {
 	Coalesced   uint64 `json:"coalesced"`
 	PeerHits    uint64 `json:"peer_hits"`
 	PeerMisses  uint64 `json:"peer_misses"`
+	// SLOWorstState is the worst cpackd_slo_state gauge across all
+	// objectives at scrape time: 0 ok, 1 warn, 2 page. Stays 0 when the
+	// server has no SLO config loaded.
+	SLOWorstState uint64 `json:"slo_worst_state"`
 }
 
 // HTTPClient is the Executor and MetricsSource for a live cpackd.
@@ -124,6 +128,15 @@ func parseServerStats(r io.Reader) (ServerStats, error) {
 		}
 		name, value, ok := strings.Cut(line, " ")
 		if !ok {
+			continue
+		}
+		// cpackd_slo_state is a labelled per-objective gauge; track the
+		// worst value seen so a run's report says whether the server was
+		// burning budget while under load.
+		if strings.HasPrefix(name, "cpackd_slo_state{") || name == "cpackd_slo_state" {
+			if v, err := strconv.ParseFloat(strings.TrimSpace(value), 64); err == nil && v >= 0 && uint64(v) > st.SLOWorstState {
+				st.SLOWorstState = uint64(v)
+			}
 			continue
 		}
 		dst, ok := targets[name]

@@ -38,6 +38,9 @@ type ServerDelta struct {
 	// replication tier's figure of merit (the churn scenario asserts a
 	// floor on it).
 	WarmRate float64 `json:"warm_rate"`
+	// SLOWorstState is the worst per-objective alert state scraped after
+	// the run (0 ok, 1 warn, 2 page) — a gauge, not a delta.
+	SLOWorstState uint64 `json:"slo_worst_state"`
 }
 
 // Report is one scenario run's machine-readable result.

@@ -340,6 +340,8 @@ func diffServerStats(before, after ServerStats) *ServerDelta {
 		Coalesced:   sub(after.Coalesced, before.Coalesced),
 		PeerHits:    sub(after.PeerHits, before.PeerHits),
 		PeerMisses:  sub(after.PeerMisses, before.PeerMisses),
+		// The SLO state is a gauge: report the post-run value, not a diff.
+		SLOWorstState: after.SLOWorstState,
 	}
 	if lookups := d.CacheHits + d.CacheMisses; lookups > 0 {
 		d.HitRate = float64(d.CacheHits) / float64(lookups)

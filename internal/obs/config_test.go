@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseConfig(t *testing.T) {
+	src := `
+# fleet SLOs
+slo compress-p99 target=99 endpoint=compress latency=250ms window=1h
+slo availability target=99.9 window=6h fast-burn=10 slow-burn=3
+slo acme-decode target=95 tenant=acme latency=5ms
+`
+	snap, err := ParseConfig(src, "test")
+	if err != nil {
+		t.Fatalf("ParseConfig: %v", err)
+	}
+	if len(snap.Objectives) != 3 {
+		t.Fatalf("got %d objectives, want 3", len(snap.Objectives))
+	}
+	o := snap.Objectives[0]
+	if o.Name != "compress-p99" || o.Endpoint != "compress" || o.Target != 0.99 ||
+		o.Latency != 250*time.Millisecond || o.Window != time.Hour {
+		t.Fatalf("objective 0 parsed wrong: %+v", o)
+	}
+	o = snap.Objectives[1]
+	if o.Latency != 0 || o.FastBurn != 10 || o.SlowBurn != 3 || o.Window != 6*time.Hour {
+		t.Fatalf("objective 1 parsed wrong: %+v", o)
+	}
+	o = snap.Objectives[2]
+	if o.Tenant != "acme" || o.Target != 0.95 {
+		t.Fatalf("objective 2 parsed wrong: %+v", o)
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"tenant x", "unknown directive"},
+		{"slo", "needs a name"},
+		{"slo UPPER target=99", "invalid slo name"},
+		{"slo a target=99\nslo a target=98", "duplicate slo"},
+		{"slo a", "missing target="},
+		{"slo a target=0", "target must be"},
+		{"slo a target=100", "target must be"},
+		{"slo a target=abc", "target must be"},
+		{"slo a target=99 latency=-3ms", "latency must be"},
+		{"slo a target=99 latency=25h", "latency must be"},
+		{"slo a target=99 window=5s", "window must be"},
+		{"slo a target=99 fast-burn=0", "fast-burn must be"},
+		{"slo a target=99 slow-burn=-1", "slow-burn must be"},
+		{"slo a target=99 bogus=1", "unknown attribute"},
+		{"slo a target=99 endpoint=", "malformed attribute"},
+		{"slo a target=99 endpoint=UP", "invalid endpoint"},
+		{"slo a target=99 tenant=b@d", "invalid tenant"},
+	}
+	for _, tc := range cases {
+		_, err := ParseConfig(tc.src, "bad")
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseConfig(%q) err=%v, want substring %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestParseConfigLineNumbers(t *testing.T) {
+	_, err := ParseConfig("# ok\n\nslo a target=99\nslo b target=boom\n", "slos.conf")
+	if err == nil || !strings.Contains(err.Error(), "slos.conf:4:") {
+		t.Fatalf("want error naming line 4, got %v", err)
+	}
+}
+
+func FuzzSLOConfig(f *testing.F) {
+	f.Add("slo a target=99 endpoint=compress latency=250ms")
+	f.Add("slo a target=99.9 window=6h fast-burn=14 slow-burn=6")
+	f.Add("# comment\n\nslo x target=50 tenant=t")
+	f.Add("slo " + strings.Repeat("a", 100) + " target=99")
+	f.Add("slo a target=1e308")
+	f.Add("slo a target=99 latency=9999999999999h")
+	f.Fuzz(func(t *testing.T, src string) {
+		snap, err := ParseConfig(src, "fuzz")
+		if err != nil {
+			return
+		}
+		// Whatever parses must survive the engine end to end.
+		for _, o := range snap.Objectives {
+			if o.Target <= 0 || o.Target >= 1 {
+				t.Fatalf("parsed target out of range: %+v", o)
+			}
+			if !validName(o.Name) {
+				t.Fatalf("parsed invalid name: %q", o.Name)
+			}
+		}
+		e := NewEngine(snap, EngineConfig{Now: func() time.Time { return time.Unix(1000, 0) }})
+		e.Record("compress", "t", 500, time.Second)
+		e.Evaluate()
+		if got := len(e.Status()); got != len(snap.Objectives) {
+			t.Fatalf("status has %d objectives, config %d", got, len(snap.Objectives))
+		}
+		e.Stop()
+	})
+}

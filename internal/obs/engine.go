@@ -1,0 +1,438 @@
+package obs
+
+import (
+	"log/slog"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is an objective's alert state.
+type State int
+
+const (
+	StateOK State = iota
+	StateWarn
+	StatePage
+)
+
+func (s State) String() string {
+	switch s {
+	case StateWarn:
+		return "warn"
+	case StatePage:
+		return "page"
+	}
+	return "ok"
+}
+
+// EngineConfig parameterizes an Engine; the zero value works.
+type EngineConfig struct {
+	// EvalInterval paces the alert-state evaluation loop
+	// (0 = 10s).
+	EvalInterval time.Duration
+	// BucketWidth is the error-budget ring resolution (0 = 10s).
+	BucketWidth time.Duration
+	// FastShort/FastLong are the paging burn windows (0 = 5m/1h);
+	// SlowShort/SlowLong the warning ones (0 = 30m/6h). Tests shrink
+	// them; production keeps the defaults.
+	FastShort, FastLong time.Duration
+	SlowShort, SlowLong time.Duration
+	// Now overrides the clock (tests).
+	Now func() time.Time
+	// Logger receives alert transitions (nil = slog.Default()).
+	Logger *slog.Logger
+}
+
+func (c EngineConfig) withDefaults() EngineConfig {
+	if c.EvalInterval <= 0 {
+		c.EvalInterval = 10 * time.Second
+	}
+	if c.BucketWidth <= 0 {
+		c.BucketWidth = 10 * time.Second
+	}
+	if c.FastShort <= 0 {
+		c.FastShort = 5 * time.Minute
+	}
+	if c.FastLong <= 0 {
+		c.FastLong = time.Hour
+	}
+	if c.SlowShort <= 0 {
+		c.SlowShort = 30 * time.Minute
+	}
+	if c.SlowLong <= 0 {
+		c.SlowLong = 6 * time.Hour
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Alert is one state transition, delivered to the OnAlert hook.
+type Alert struct {
+	SLO      string
+	From, To State
+	// BurnFastShort/BurnFastLong are the paging-window burn rates at
+	// the moment of the transition.
+	BurnFastShort, BurnFastLong float64
+	// BudgetRemaining is the fraction of the error budget left over the
+	// objective's accounting window (negative when overspent).
+	BudgetRemaining float64
+}
+
+// objState is one tracked objective: its declaration, its budget ring
+// and its alert state machine.
+type objState struct {
+	obj  Objective
+	ring *budgetRing
+
+	mu          sync.Mutex
+	state       State
+	lastChange  time.Time
+	transitions [3]uint64 // entries into ok/warn/page
+}
+
+// Engine tracks every declared objective: Record feeds request
+// outcomes in, the evaluation loop advances the alert state machines,
+// and Status/metrics snapshots read the result. Reload swaps the
+// objective set atomically (the SIGHUP path), carrying ring and alert
+// state across for objectives whose shape is unchanged.
+type Engine struct {
+	cfg EngineConfig
+
+	objs atomic.Pointer[[]*objState]
+
+	onAlert atomic.Pointer[func(Alert)]
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stopCh    chan struct{}
+	done      chan struct{}
+
+	source atomic.Pointer[string]
+}
+
+// NewEngine builds an Engine over the snapshot's objectives. Call
+// Start to run the evaluation loop and Stop to end it.
+func NewEngine(snap *Snapshot, cfg EngineConfig) *Engine {
+	e := &Engine{
+		cfg:    cfg.withDefaults(),
+		stopCh: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	empty := []*objState{}
+	e.objs.Store(&empty)
+	e.Reload(snap)
+	return e
+}
+
+// SetOnAlert installs the state-transition hook (the server logs,
+// counts and triggers profile captures from it). Safe to call before
+// or after Start.
+func (e *Engine) SetOnAlert(f func(Alert)) {
+	if f == nil {
+		e.onAlert.Store(nil)
+		return
+	}
+	e.onAlert.Store(&f)
+}
+
+// Source names where the active config came from.
+func (e *Engine) Source() string {
+	if s := e.source.Load(); s != nil {
+		return *s
+	}
+	return ""
+}
+
+// Reload swaps in a new objective set. Objectives whose shape (name,
+// scope, target, latency, window) is unchanged keep their ring history
+// and alert state, so a SIGHUP that only tweaks burn thresholds never
+// blanks a budget mid-incident.
+func (e *Engine) Reload(snap *Snapshot) {
+	if snap == nil {
+		snap = &Snapshot{Source: "empty"}
+	}
+	old := *e.objs.Load()
+	byName := make(map[string]*objState, len(old))
+	for _, os := range old {
+		byName[os.obj.Name] = os
+	}
+	next := make([]*objState, 0, len(snap.Objectives))
+	for _, o := range snap.Objectives {
+		if o.Window <= 0 {
+			o.Window = DefaultWindow
+		}
+		if o.FastBurn <= 0 {
+			o.FastBurn = DefaultFastBurn
+		}
+		if o.SlowBurn <= 0 {
+			o.SlowBurn = DefaultSlowBurn
+		}
+		if prev, ok := byName[o.Name]; ok && prev.obj.sameShape(o) {
+			prev.obj = o // carry ring + alert state, adopt new thresholds
+			next = append(next, prev)
+			continue
+		}
+		span := e.cfg.SlowLong
+		if o.Window > span {
+			span = o.Window
+		}
+		next = append(next, &objState{
+			obj:  o,
+			ring: newBudgetRing(e.cfg.BucketWidth, span),
+		})
+	}
+	e.objs.Store(&next)
+	src := snap.Source
+	e.source.Store(&src)
+}
+
+// Record feeds one finished public request into every objective whose
+// scope matches. It is on the serving hot path: a linear scan over a
+// handful of objectives and one bucket increment each.
+func (e *Engine) Record(endpoint, tenantID string, code int, dur time.Duration) {
+	if e == nil {
+		return
+	}
+	objs := *e.objs.Load()
+	if len(objs) == 0 {
+		return
+	}
+	now := e.cfg.Now()
+	for _, os := range objs {
+		o := &os.obj
+		if o.Endpoint != "" && o.Endpoint != endpoint {
+			continue
+		}
+		if o.Tenant != "" && o.Tenant != tenantID {
+			continue
+		}
+		bad := code >= 500 || (o.Latency > 0 && dur > o.Latency)
+		os.ring.add(now, bad)
+	}
+}
+
+// burnRate converts a window's good/bad counts into a burn rate: the
+// observed bad fraction divided by the error-budget fraction. 1.0
+// spends the budget exactly over the window; an empty window burns 0.
+func burnRate(good, bad uint64, budgetFrac float64) float64 {
+	total := good + bad
+	if total == 0 || budgetFrac <= 0 {
+		return 0
+	}
+	return (float64(bad) / float64(total)) / budgetFrac
+}
+
+// Evaluate runs one alert-state pass over every objective, firing the
+// OnAlert hook on transitions. The loop calls it every EvalInterval;
+// tests call it directly.
+func (e *Engine) Evaluate() {
+	now := e.cfg.Now()
+	for _, os := range *e.objs.Load() {
+		o := &os.obj
+		budget := o.budgetFraction()
+		fsGood, fsBad := os.ring.sum(now, e.cfg.FastShort)
+		flGood, flBad := os.ring.sum(now, e.cfg.FastLong)
+		ssGood, ssBad := os.ring.sum(now, e.cfg.SlowShort)
+		slGood, slBad := os.ring.sum(now, e.cfg.SlowLong)
+		burnFS := burnRate(fsGood, fsBad, budget)
+		burnFL := burnRate(flGood, flBad, budget)
+		burnSS := burnRate(ssGood, ssBad, budget)
+		burnSL := burnRate(slGood, slBad, budget)
+
+		next := StateOK
+		switch {
+		case burnFS >= o.FastBurn && burnFL >= o.FastBurn:
+			next = StatePage
+		case burnSS >= o.SlowBurn && burnSL >= o.SlowBurn:
+			next = StateWarn
+		}
+
+		os.mu.Lock()
+		prev := os.state
+		if next != prev {
+			os.state = next
+			os.lastChange = now
+			os.transitions[next]++
+		}
+		os.mu.Unlock()
+		if next == prev {
+			continue
+		}
+		alert := Alert{
+			SLO:             o.Name,
+			From:            prev,
+			To:              next,
+			BurnFastShort:   burnFS,
+			BurnFastLong:    burnFL,
+			BudgetRemaining: budgetRemaining(os, now),
+		}
+		e.cfg.Logger.Info("slo state change",
+			"slo", o.Name, "from", prev.String(), "to", next.String(),
+			"burn_fast_short", burnFS, "burn_fast_long", burnFL,
+			"budget_remaining", alert.BudgetRemaining)
+		if f := e.onAlert.Load(); f != nil {
+			(*f)(alert)
+		}
+	}
+}
+
+// budgetRemaining is the fraction of the objective's error budget left
+// over its accounting window: 1 with no spend, 0 exactly exhausted,
+// negative when overspent.
+func budgetRemaining(os *objState, now time.Time) float64 {
+	good, bad := os.ring.sum(now, os.obj.Window)
+	total := good + bad
+	if total == 0 {
+		return 1
+	}
+	budget := float64(total) * os.obj.budgetFraction()
+	if budget <= 0 {
+		return 0
+	}
+	return 1 - float64(bad)/budget
+}
+
+// Start launches the evaluation loop; it is a no-op on repeat calls.
+func (e *Engine) Start() {
+	if e == nil {
+		return
+	}
+	e.startOnce.Do(func() {
+		go func() {
+			defer close(e.done)
+			t := time.NewTicker(e.cfg.EvalInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-e.stopCh:
+					return
+				case <-t.C:
+					e.Evaluate()
+				}
+			}
+		}()
+	})
+}
+
+// Stop ends the evaluation loop. Safe to call even if Start never ran.
+func (e *Engine) Stop() {
+	if e == nil {
+		return
+	}
+	e.stopOnce.Do(func() {
+		close(e.stopCh)
+		e.startOnce.Do(func() { close(e.done) }) // never started: release waiters
+		<-e.done
+	})
+}
+
+// WindowBurn is one burn window's live reading.
+type WindowBurn struct {
+	Window string  `json:"window"`
+	Burn   float64 `json:"burn_rate"`
+	Good   uint64  `json:"good"`
+	Bad    uint64  `json:"bad"`
+}
+
+// ObjectiveStatus is one objective's full live status — the /debug/slo
+// and /internal/v1/health shape.
+type ObjectiveStatus struct {
+	Name            string       `json:"name"`
+	Endpoint        string       `json:"endpoint,omitempty"`
+	Tenant          string       `json:"tenant,omitempty"`
+	Target          float64      `json:"target"`
+	LatencyMS       float64      `json:"latency_ms,omitempty"` // 0 = availability objective
+	Window          string       `json:"window"`
+	State           string       `json:"state"`
+	BudgetRemaining float64      `json:"budget_remaining"`
+	Good            uint64       `json:"good"` // over the budget window
+	Bad             uint64       `json:"bad"`
+	Burn            []WindowBurn `json:"burn"`
+	FastBurn        float64      `json:"fast_burn_threshold"`
+	SlowBurn        float64      `json:"slow_burn_threshold"`
+	LastChange      time.Time    `json:"last_change"`
+	Pages           uint64       `json:"pages_total"`
+	Warns           uint64       `json:"warns_total"`
+}
+
+// fmtWindow renders a burn window compactly ("5m", "1h", "90s").
+func fmtWindow(d time.Duration) string {
+	s := d.String()
+	for {
+		switch {
+		case strings.HasSuffix(s, "m0s"):
+			s = strings.TrimSuffix(s, "0s")
+		case strings.HasSuffix(s, "h0m"):
+			s = strings.TrimSuffix(s, "0m")
+		default:
+			return s
+		}
+	}
+}
+
+// Status snapshots every objective, with burn rates computed live over
+// the engine's four windows.
+func (e *Engine) Status() []ObjectiveStatus {
+	if e == nil {
+		return nil
+	}
+	now := e.cfg.Now()
+	objs := *e.objs.Load()
+	out := make([]ObjectiveStatus, 0, len(objs))
+	for _, os := range objs {
+		o := &os.obj
+		st := ObjectiveStatus{
+			Name:      o.Name,
+			Endpoint:  o.Endpoint,
+			Tenant:    o.Tenant,
+			Target:    o.Target,
+			LatencyMS: float64(o.Latency) / float64(time.Millisecond),
+			Window:    fmtWindow(o.Window),
+			FastBurn:  o.FastBurn,
+			SlowBurn:  o.SlowBurn,
+		}
+		for _, w := range []time.Duration{e.cfg.FastShort, e.cfg.FastLong, e.cfg.SlowShort, e.cfg.SlowLong} {
+			good, bad := os.ring.sum(now, w)
+			st.Burn = append(st.Burn, WindowBurn{
+				Window: fmtWindow(w),
+				Burn:   burnRate(good, bad, o.budgetFraction()),
+				Good:   good,
+				Bad:    bad,
+			})
+		}
+		st.Good, st.Bad = os.ring.sum(now, o.Window)
+		st.BudgetRemaining = budgetRemaining(os, now)
+		os.mu.Lock()
+		st.State = os.state.String()
+		st.LastChange = os.lastChange
+		st.Warns = os.transitions[StateWarn]
+		st.Pages = os.transitions[StatePage]
+		os.mu.Unlock()
+		out = append(out, st)
+	}
+	return out
+}
+
+// WorstState returns the most severe current alert state across every
+// objective ("ok" with none declared).
+func (e *Engine) WorstState() State {
+	if e == nil {
+		return StateOK
+	}
+	worst := StateOK
+	for _, os := range *e.objs.Load() {
+		os.mu.Lock()
+		if os.state > worst {
+			worst = os.state
+		}
+		os.mu.Unlock()
+	}
+	return worst
+}

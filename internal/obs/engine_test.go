@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// testClock is a settable clock for driving the engine deterministically.
+type testClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newTestClock() *testClock { return &testClock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testEngine(t *testing.T, src string, clk *testClock) *Engine {
+	t.Helper()
+	snap, err := ParseConfig(src, "test")
+	if err != nil {
+		t.Fatalf("ParseConfig: %v", err)
+	}
+	e := NewEngine(snap, EngineConfig{
+		BucketWidth: time.Second,
+		FastShort:   5 * time.Second,
+		FastLong:    20 * time.Second,
+		SlowShort:   30 * time.Second,
+		SlowLong:    60 * time.Second,
+		Now:         clk.Now,
+	})
+	t.Cleanup(e.Stop)
+	return e
+}
+
+func TestBudgetRing(t *testing.T) {
+	r := newBudgetRing(time.Second, 10*time.Second)
+	base := time.Unix(100, 0)
+	r.add(base, false)
+	r.add(base, true)
+	r.add(base.Add(3*time.Second), false)
+	good, bad := r.sum(base.Add(3*time.Second), 10*time.Second)
+	if good != 2 || bad != 1 {
+		t.Fatalf("sum over full window = %d/%d, want 2 good 1 bad", good, bad)
+	}
+	// A 2s window should only see the newest bucket.
+	good, bad = r.sum(base.Add(3*time.Second), 2*time.Second)
+	if good != 1 || bad != 0 {
+		t.Fatalf("sum over 2s = %d/%d, want 1 good 0 bad", good, bad)
+	}
+	// After the ring ages out, old counts are gone.
+	good, bad = r.sum(base.Add(30*time.Second), 10*time.Second)
+	if good != 0 || bad != 0 {
+		t.Fatalf("aged-out sum = %d/%d, want zeros", good, bad)
+	}
+}
+
+func TestEnginePageOnFastBurn(t *testing.T) {
+	clk := newTestClock()
+	e := testEngine(t, "slo p99 target=99 latency=10ms", clk)
+
+	var alerts []Alert
+	e.SetOnAlert(func(a Alert) { alerts = append(alerts, a) })
+
+	// All traffic breaches the latency objective: burn rate 1/0.01 = 100x,
+	// far over the default 14x page threshold in both fast windows.
+	for i := 0; i < 100; i++ {
+		e.Record("compress", "", 200, 50*time.Millisecond)
+		clk.Advance(100 * time.Millisecond)
+	}
+	e.Evaluate()
+	if got := e.WorstState(); got != StatePage {
+		t.Fatalf("state = %v, want page", got)
+	}
+	if len(alerts) != 1 || alerts[0].To != StatePage || alerts[0].SLO != "p99" {
+		t.Fatalf("alerts = %+v, want one ok->page for p99", alerts)
+	}
+	if alerts[0].BurnFastShort < DefaultFastBurn {
+		t.Fatalf("fast-short burn %v below page threshold", alerts[0].BurnFastShort)
+	}
+	if alerts[0].BudgetRemaining >= 0 {
+		t.Fatalf("budget remaining %v, want overspent (negative)", alerts[0].BudgetRemaining)
+	}
+
+	st := e.Status()
+	if len(st) != 1 || st[0].State != "page" || st[0].Pages != 1 {
+		t.Fatalf("status = %+v, want paged once", st)
+	}
+
+	// Healthy traffic long enough for every window to clear recovers.
+	for i := 0; i < 700; i++ {
+		e.Record("compress", "", 200, time.Millisecond)
+		clk.Advance(100 * time.Millisecond)
+	}
+	e.Evaluate()
+	if got := e.WorstState(); got != StateOK {
+		t.Fatalf("state after recovery = %v, want ok", got)
+	}
+	if len(alerts) != 2 || alerts[1].To != StateOK {
+		t.Fatalf("alerts = %+v, want page->ok transition recorded", alerts)
+	}
+}
+
+func TestEngineScopeMatching(t *testing.T) {
+	clk := newTestClock()
+	e := testEngine(t, `
+slo compress-only target=99 endpoint=compress latency=10ms
+slo acme-only target=99 tenant=acme latency=10ms
+`, clk)
+
+	// Slow traffic on a different endpoint/tenant must not burn either.
+	for i := 0; i < 50; i++ {
+		e.Record("simulate", "other", 200, time.Second)
+	}
+	e.Evaluate()
+	if got := e.WorstState(); got != StateOK {
+		t.Fatalf("unscoped traffic burned a scoped SLO: %v", got)
+	}
+
+	for i := 0; i < 50; i++ {
+		e.Record("compress", "acme", 200, time.Second)
+	}
+	e.Evaluate()
+	for _, st := range e.Status() {
+		if st.State != "page" {
+			t.Fatalf("slo %s = %s, want page", st.Name, st.State)
+		}
+	}
+}
+
+func TestEngineAvailabilityObjective(t *testing.T) {
+	clk := newTestClock()
+	e := testEngine(t, "slo avail target=99", clk)
+
+	// Slow but successful requests never burn an availability objective.
+	for i := 0; i < 50; i++ {
+		e.Record("compress", "", 200, 10*time.Second)
+	}
+	e.Evaluate()
+	if got := e.WorstState(); got != StateOK {
+		t.Fatalf("slow 2xx burned availability SLO: %v", got)
+	}
+	for i := 0; i < 50; i++ {
+		e.Record("compress", "", 503, time.Millisecond)
+	}
+	e.Evaluate()
+	if got := e.WorstState(); got != StatePage {
+		t.Fatalf("5xx storm did not page: %v", got)
+	}
+}
+
+func TestEngineReloadPreservesState(t *testing.T) {
+	clk := newTestClock()
+	e := testEngine(t, "slo p99 target=99 latency=10ms", clk)
+	for i := 0; i < 50; i++ {
+		e.Record("compress", "", 200, time.Second)
+	}
+	e.Evaluate()
+	if e.WorstState() != StatePage {
+		t.Fatal("setup: want page")
+	}
+
+	// Same shape, new thresholds: ring and alert state carry over.
+	snap, _ := ParseConfig("slo p99 target=99 latency=10ms fast-burn=500", "v2")
+	e.Reload(snap)
+	st := e.Status()
+	if st[0].State != "page" || st[0].Bad == 0 {
+		t.Fatalf("reload blanked carried state: %+v", st[0])
+	}
+	if st[0].FastBurn != 500 {
+		t.Fatalf("reload did not adopt new threshold: %+v", st[0])
+	}
+
+	// Changed shape (new target): fresh ring, state resets.
+	snap, _ = ParseConfig("slo p99 target=95 latency=10ms", "v3")
+	e.Reload(snap)
+	st = e.Status()
+	if st[0].State != "ok" || st[0].Bad != 0 {
+		t.Fatalf("shape change kept stale state: %+v", st[0])
+	}
+	if e.Source() != "v3" {
+		t.Fatalf("source = %q, want v3", e.Source())
+	}
+}
+
+func TestEngineRecordConcurrent(t *testing.T) {
+	clk := newTestClock()
+	e := testEngine(t, "slo p99 target=99 latency=10ms", clk)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				e.Record("compress", "", 200, time.Millisecond)
+				e.Record("compress", "", 200, 50*time.Millisecond)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				e.Evaluate()
+				e.Status()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	st := e.Status()
+	if st[0].Good+st[0].Bad != 8000 {
+		t.Fatalf("lost observations: good=%d bad=%d", st[0].Good, st[0].Bad)
+	}
+}

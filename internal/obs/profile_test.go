@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func waitFor(t *testing.T, what string, ok func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if ok() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestProfilerCaptureAndEvict(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewProfiler(ProfilerConfig{
+		Dir:         dir,
+		MaxCaptures: 2,
+		CPUDuration: 50 * time.Millisecond,
+		Cooldown:    time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatalf("NewProfiler: %v", err)
+	}
+	defer p.Close()
+
+	for i := 0; i < 4; i++ {
+		p.Trigger("slo_page")
+		want := uint64(i + 1)
+		waitFor(t, "capture", func() bool { return p.Stats().Captured == want })
+	}
+
+	st := p.Stats()
+	if st.Captured != 4 || st.Retained != 2 || st.Evicted != 2 {
+		t.Fatalf("stats = %+v, want 4 captured / 2 retained / 2 evicted", st)
+	}
+	caps := p.Captures()
+	if len(caps) != 2 {
+		t.Fatalf("got %d capture sets, want 2", len(caps))
+	}
+	// Each retained set has cpu+heap+goroutine files, present on disk;
+	// evicted sets are gone from disk.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 6 {
+		t.Fatalf("dir has %d files, want 6 (2 sets x 3 profiles)", len(entries))
+	}
+	for _, c := range caps {
+		if len(c.Files) != 3 || c.Reason != "slo_page" {
+			t.Fatalf("capture set = %+v, want 3 files reason slo_page", c)
+		}
+		for _, f := range c.Files {
+			if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+				t.Fatalf("retained file %s missing: %v", f, err)
+			}
+		}
+	}
+}
+
+func TestProfilerCooldownDrops(t *testing.T) {
+	p, err := NewProfiler(ProfilerConfig{
+		Dir:         t.TempDir(),
+		CPUDuration: 20 * time.Millisecond,
+		Cooldown:    time.Hour,
+	})
+	if err != nil {
+		t.Fatalf("NewProfiler: %v", err)
+	}
+	defer p.Close()
+
+	p.Trigger("first")
+	waitFor(t, "first capture", func() bool { return p.Stats().Captured == 1 })
+	p.Trigger("second")
+	waitFor(t, "cooldown drop", func() bool { return p.Stats().Dropped == 1 })
+	if st := p.Stats(); st.Captured != 1 {
+		t.Fatalf("cooldown did not hold: %+v", st)
+	}
+}
+
+func TestProfilerAdoptsExisting(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewProfiler(ProfilerConfig{Dir: dir, CPUDuration: 20 * time.Millisecond, Cooldown: time.Nanosecond})
+	if err != nil {
+		t.Fatalf("NewProfiler: %v", err)
+	}
+	p.Trigger("before_restart")
+	waitFor(t, "capture", func() bool { return p.Stats().Captured == 1 })
+	p.Close()
+
+	p2, err := NewProfiler(ProfilerConfig{Dir: dir})
+	if err != nil {
+		t.Fatalf("restart NewProfiler: %v", err)
+	}
+	defer p2.Close()
+	caps := p2.Captures()
+	if len(caps) != 1 || caps[0].Reason != "before_restart" || len(caps[0].Files) != 3 {
+		t.Fatalf("restart did not adopt prior captures: %+v", caps)
+	}
+}
+
+func TestProfilerHandler(t *testing.T) {
+	p, err := NewProfiler(ProfilerConfig{Dir: t.TempDir(), CPUDuration: 20 * time.Millisecond, Cooldown: time.Nanosecond})
+	if err != nil {
+		t.Fatalf("NewProfiler: %v", err)
+	}
+	defer p.Close()
+	p.Trigger("smoke")
+	waitFor(t, "capture", func() bool { return p.Stats().Captured == 1 })
+
+	h := p.Handler("/debug/profiles")
+
+	// Listing.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/profiles/", nil))
+	var listing struct {
+		Stats    ProfilerStats `json:"stats"`
+		Captures []Capture     `json:"captures"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &listing); err != nil {
+		t.Fatalf("listing not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(listing.Captures) != 1 || listing.Stats.Captured != 1 {
+		t.Fatalf("listing = %+v", listing)
+	}
+
+	// Fetch each profile file.
+	for _, f := range listing.Captures[0].Files {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/profiles/"+f, nil))
+		if rec.Code != 200 || rec.Body.Len() == 0 {
+			t.Fatalf("fetch %s: code=%d len=%d", f, rec.Code, rec.Body.Len())
+		}
+	}
+
+	// Unknown and traversal-shaped names 404.
+	for _, bad := range []string{"nope.pprof", "..%2f..%2fetc%2fpasswd", "../secret"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/profiles/"+bad, nil))
+		if rec.Code != 404 {
+			t.Fatalf("fetch %q: code=%d, want 404", bad, rec.Code)
+		}
+	}
+}
+
+func TestSanitizeReason(t *testing.T) {
+	if got := sanitizeReason("SLO page: p99!"); got != "slo_page__p99_" {
+		t.Fatalf("sanitizeReason = %q", got)
+	}
+	if got := sanitizeReason(""); got != "manual" {
+		t.Fatalf("empty reason = %q", got)
+	}
+	if got := sanitizeReason(strings.Repeat("x", 100)); len(got) != 32 {
+		t.Fatalf("long reason not bounded: %d bytes", len(got))
+	}
+}

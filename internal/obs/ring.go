@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// budgetRing is a sliding error-budget window: good/bad request counts
+// in fixed-width time buckets, enough of them to cover the engine's
+// longest burn window. Writes land in the bucket of "now"; sums walk
+// backwards over however many buckets a window spans. Buckets that time
+// passed over without traffic are zeroed lazily on the next touch.
+type budgetRing struct {
+	mu    sync.Mutex
+	width time.Duration // bucket width
+	good  []uint64
+	bad   []uint64
+	last  int64 // absolute index (unixNano/width) of the newest written bucket
+}
+
+func newBudgetRing(width time.Duration, span time.Duration) *budgetRing {
+	n := int(span / width)
+	if n < 1 {
+		n = 1
+	}
+	return &budgetRing{
+		width: width,
+		good:  make([]uint64, n),
+		bad:   make([]uint64, n),
+		last:  -1,
+	}
+}
+
+// advance zeroes every bucket between the last written one and idx, so
+// a quiet stretch does not leave stale counts where new time lands.
+// Caller holds mu.
+func (r *budgetRing) advance(idx int64) {
+	if r.last < 0 || idx-r.last >= int64(len(r.good)) {
+		// First touch, or the whole ring has aged out.
+		for i := range r.good {
+			r.good[i], r.bad[i] = 0, 0
+		}
+		r.last = idx
+		return
+	}
+	for i := r.last + 1; i <= idx; i++ {
+		slot := int(i % int64(len(r.good)))
+		r.good[slot], r.bad[slot] = 0, 0
+	}
+	if idx > r.last {
+		r.last = idx
+	}
+}
+
+// add records one request outcome at now.
+func (r *budgetRing) add(now time.Time, bad bool) {
+	idx := now.UnixNano() / int64(r.width)
+	r.mu.Lock()
+	r.advance(idx)
+	slot := int(idx % int64(len(r.good)))
+	if bad {
+		r.bad[slot]++
+	} else {
+		r.good[slot]++
+	}
+	r.mu.Unlock()
+}
+
+// sum returns the good/bad totals over the trailing window ending at
+// now. A window longer than the ring clamps to the whole ring.
+func (r *budgetRing) sum(now time.Time, window time.Duration) (good, bad uint64) {
+	idx := now.UnixNano() / int64(r.width)
+	n := int(window / r.width)
+	if n < 1 {
+		n = 1
+	}
+	if n > len(r.good) {
+		n = len(r.good)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.advance(idx)
+	for i := 0; i < n; i++ {
+		slot := int((idx - int64(i)) % int64(len(r.good)))
+		if slot < 0 {
+			slot += len(r.good)
+		}
+		good += r.good[slot]
+		bad += r.bad[slot]
+	}
+	return good, bad
+}

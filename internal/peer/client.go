@@ -27,7 +27,59 @@ const (
 	// same per-record sum the durable store keeps — so a corrupted or
 	// substituted body is rejected before it is even parsed.
 	SumHeader = "X-Cpackd-Sum"
+	// HealthPath is the signed per-node health summary endpoint;
+	// /debug/cluster pulls it from every live member and merges the
+	// answers into one fleet view.
+	HealthPath = "/internal/v1/health"
 )
+
+// maxHealthBytes bounds a peer's health summary response.
+const maxHealthBytes = 1 << 20
+
+// FetchHealth GETs one member's signed health summary, returning the
+// raw JSON document for the caller to decode (the server owns the
+// schema; the peer layer only moves the bytes). Breaker-gated like
+// every other peer call, one attempt — /debug/cluster reports an
+// unreachable member rather than waiting on retries.
+func (c *Cluster) FetchHealth(ctx context.Context, member string) ([]byte, error) {
+	b := c.breakerFor(member)
+	if !b.allow() {
+		c.stats.breakerSkips.Add(1)
+		return nil, fmt.Errorf("peer: breaker open for %s", member)
+	}
+	actx, cancel := context.WithTimeout(ctx, c.cfg.FetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, member+HealthPath, nil)
+	if err != nil {
+		return nil, err
+	}
+	c.setTraceHeader(req, ctx)
+	c.signRequest(req, nil)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.noteFailure(member, b)
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode >= 500 {
+			c.noteFailure(member, b)
+		} else {
+			c.noteSuccess(member, b)
+		}
+		return nil, fmt.Errorf("peer: health returned %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxHealthBytes))
+	if err != nil {
+		c.noteFailure(member, b)
+		return nil, err
+	}
+	c.noteSuccess(member, b)
+	return body, nil
+}
 
 // FetchOutcome classifies one warm-tier lookup.
 type FetchOutcome int

@@ -69,6 +69,11 @@ func (s *Server) DebugHandler() http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("GET /debug/trace/recent", s.handleTraceRecent)
 	mux.HandleFunc("GET /debug/vars", s.handleVars)
+	mux.HandleFunc("GET /debug/slo", s.handleDebugSLO)
+	mux.HandleFunc("GET /debug/cluster", s.handleDebugCluster)
+	if s.profiler != nil {
+		mux.Handle("GET /debug/profiles/", s.profiler.Handler("/debug/profiles"))
+	}
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }

@@ -2,8 +2,7 @@ package server
 
 import (
 	"encoding/json"
-	"fmt"
-	"io"
+	"math"
 	"net/http"
 	"os"
 	"runtime"
@@ -13,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"codepack/internal/obs"
 	"codepack/internal/peer"
 )
 
@@ -30,27 +30,58 @@ var latencyBuckets = []float64{
 	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
-// histogram is a fixed-bucket latency histogram.
+// histogram is a fixed-bucket latency histogram. It is lock-free on
+// the observe path — every request used to serialize on a mutex here —
+// with per-bucket atomic counters, the running sum sharded across CAS'd
+// float64 cells to spread contention, and one exemplar slot per bucket
+// carrying the trace ID of the newest observation that landed there.
 type histogram struct {
-	mu     sync.Mutex
-	counts [numBuckets + 1]uint64 // one per bucket, plus +Inf
-	sum    float64
-	n      uint64
+	counts    [numBuckets + 1]atomic.Uint64 // one per bucket, plus +Inf
+	sums      [histSumShards]atomic.Uint64  // float64 bit patterns
+	n         atomic.Uint64
+	exemplars [numBuckets + 1]atomic.Pointer[exemplar]
 }
 
 // numBuckets must equal len(latencyBuckets); array-sized so histograms embed flat.
 const numBuckets = 16
 
-func (h *histogram) observe(sec float64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	i := sort.SearchFloat64s(latencyBuckets, sec)
-	h.counts[i]++
-	h.sum += sec
-	h.n++
+// histSumShards spreads the float sum across cells so concurrent
+// observers rarely CAS the same word. Power of two; shard choice keys
+// off the bucket index, which already varies with the observation.
+const histSumShards = 8
+
+// exemplar links one histogram bucket to the trace that most recently
+// landed in it, surfaced as an OpenMetrics exemplar on /metrics.
+type exemplar struct {
+	TraceID string
+	Value   float64 // seconds
+	Time    time.Time
 }
 
-// histSnapshot is one consistent view of a histogram.
+func (h *histogram) observe(sec float64) { h.observeTraced(sec, "") }
+
+// observeTraced records one observation, tagging the bucket's exemplar
+// slot with the trace it came from (empty traceID leaves exemplars
+// untouched).
+func (h *histogram) observeTraced(sec float64, traceID string) {
+	i := sort.SearchFloat64s(latencyBuckets, sec)
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	shard := &h.sums[i&(histSumShards-1)]
+	for {
+		old := shard.Load()
+		if shard.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+sec)) {
+			break
+		}
+	}
+	if traceID != "" {
+		h.exemplars[i].Store(&exemplar{TraceID: traceID, Value: sec, Time: time.Now()})
+	}
+}
+
+// histSnapshot is one view of a histogram. Reads are atomic per field:
+// a snapshot taken mid-observation may momentarily show n one ahead of
+// the bucket totals, but counts never tear and totals never decrease.
 type histSnapshot struct {
 	Counts [numBuckets + 1]uint64 `json:"counts"`
 	Sum    float64                `json:"sum_seconds"`
@@ -58,9 +89,24 @@ type histSnapshot struct {
 }
 
 func (h *histogram) snapshot() histSnapshot {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return histSnapshot{Counts: h.counts, Sum: h.sum, N: h.n}
+	var s histSnapshot
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	for i := range h.sums {
+		s.Sum += math.Float64frombits(h.sums[i].Load())
+	}
+	s.N = h.n.Load()
+	return s
+}
+
+// exemplarView returns the per-bucket exemplars (nil = none yet).
+func (h *histogram) exemplarView() [numBuckets + 1]*exemplar {
+	var out [numBuckets + 1]*exemplar
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
 }
 
 // endpointStats aggregates one endpoint's request metrics.
@@ -72,11 +118,11 @@ type endpointStats struct {
 	bytesOut counter
 }
 
-func (e *endpointStats) record(code int, in, out int64, dur time.Duration) {
+func (e *endpointStats) record(code int, in, out int64, dur time.Duration, traceID string) {
 	e.mu.Lock()
 	e.byCode[code]++
 	e.mu.Unlock()
-	e.latency.observe(dur.Seconds())
+	e.latency.observeTraced(dur.Seconds(), traceID)
 	if in > 0 {
 		e.bytesIn.add(uint64(in))
 	}
@@ -182,8 +228,10 @@ func newMetrics() *metrics {
 
 // observeStage records one completed span into its stage histogram;
 // it is the tracer's OnSpanEnd hook and runs on every span, so the
-// slow path is only the first sighting of a new stage name.
-func (m *metrics) observeStage(name string, d time.Duration) {
+// slow path is only the first sighting of a new stage name. The span's
+// trace ID becomes the bucket's exemplar, linking every histogram
+// spike back to a span tree in /debug/trace/recent.
+func (m *metrics) observeStage(name string, d time.Duration, traceID string) {
 	m.stageMu.Lock()
 	h, ok := m.stages[name]
 	if !ok {
@@ -191,9 +239,9 @@ func (m *metrics) observeStage(name string, d time.Duration) {
 		m.stages[name] = h
 	}
 	m.stageMu.Unlock()
-	h.observe(d.Seconds())
+	h.observeTraced(d.Seconds(), traceID)
 	if name == "peer-fetch" {
-		m.peerFetch.observe(d.Seconds())
+		m.peerFetch.observeTraced(d.Seconds(), traceID)
 	}
 }
 
@@ -269,314 +317,6 @@ func (m *metrics) endpointNames() []string {
 	return names
 }
 
-// writeHistBuckets renders one histogram series in the Prometheus text
-// format; labels is the rendered label set without braces ("" for none).
-func writeHistBuckets(w io.Writer, metric, labels string, snap histSnapshot) {
-	sep := ""
-	if labels != "" {
-		sep = ","
-	}
-	var cum uint64
-	for i, bound := range latencyBuckets {
-		cum += snap.Counts[i]
-		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n",
-			metric, labels, sep, strconv.FormatFloat(bound, 'g', -1, 64), cum)
-	}
-	cum += snap.Counts[numBuckets]
-	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", metric, labels, sep, cum)
-	if labels == "" {
-		fmt.Fprintf(w, "%s_sum %g\n", metric, snap.Sum)
-		fmt.Fprintf(w, "%s_count %d\n", metric, snap.N)
-	} else {
-		fmt.Fprintf(w, "%s_sum{%s} %g\n", metric, labels, snap.Sum)
-		fmt.Fprintf(w, "%s_count{%s} %d\n", metric, labels, snap.N)
-	}
-}
-
-// handleMetrics renders the Prometheus text exposition format.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	m := s.metrics
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-
-	fmt.Fprintf(w, "# HELP cpackd_uptime_seconds Time since the server started.\n")
-	fmt.Fprintf(w, "# TYPE cpackd_uptime_seconds gauge\n")
-	fmt.Fprintf(w, "cpackd_uptime_seconds %g\n", time.Since(m.start).Seconds())
-
-	fmt.Fprintf(w, "# HELP cpackd_requests_total Requests served, by endpoint and status code.\n")
-	fmt.Fprintf(w, "# TYPE cpackd_requests_total counter\n")
-	names := m.endpointNames()
-	for _, name := range names {
-		e := m.endpoint(name)
-		codes := e.codes()
-		sorted := make([]int, 0, len(codes))
-		for c := range codes {
-			sorted = append(sorted, c)
-		}
-		sort.Ints(sorted)
-		for _, c := range sorted {
-			fmt.Fprintf(w, "cpackd_requests_total{endpoint=%q,code=\"%d\"} %d\n", name, c, codes[c])
-		}
-	}
-
-	fmt.Fprintf(w, "# HELP cpackd_request_duration_seconds Request latency, by endpoint.\n")
-	fmt.Fprintf(w, "# TYPE cpackd_request_duration_seconds histogram\n")
-	for _, name := range names {
-		snap := m.endpoint(name).latency.snapshot()
-		var cum uint64
-		for i, bound := range latencyBuckets {
-			cum += snap.Counts[i]
-			fmt.Fprintf(w, "cpackd_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
-				name, strconv.FormatFloat(bound, 'g', -1, 64), cum)
-		}
-		cum += snap.Counts[numBuckets]
-		fmt.Fprintf(w, "cpackd_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, cum)
-		fmt.Fprintf(w, "cpackd_request_duration_seconds_sum{endpoint=%q} %g\n", name, snap.Sum)
-		fmt.Fprintf(w, "cpackd_request_duration_seconds_count{endpoint=%q} %d\n", name, snap.N)
-	}
-
-	fmt.Fprintf(w, "# HELP cpackd_bytes_total Request and response payload bytes, by endpoint.\n")
-	fmt.Fprintf(w, "# TYPE cpackd_bytes_total counter\n")
-	for _, name := range names {
-		e := m.endpoint(name)
-		fmt.Fprintf(w, "cpackd_bytes_total{endpoint=%q,direction=\"in\"} %d\n", name, e.bytesIn.value())
-		fmt.Fprintf(w, "cpackd_bytes_total{endpoint=%q,direction=\"out\"} %d\n", name, e.bytesOut.value())
-	}
-
-	cs := s.cache.stats()
-	fmt.Fprintf(w, "# HELP cpackd_cache_hits_total Content-addressed cache hits.\n")
-	fmt.Fprintf(w, "# TYPE cpackd_cache_hits_total counter\n")
-	fmt.Fprintf(w, "cpackd_cache_hits_total %d\n", cs.Hits)
-	fmt.Fprintf(w, "# HELP cpackd_cache_misses_total Content-addressed cache misses.\n")
-	fmt.Fprintf(w, "# TYPE cpackd_cache_misses_total counter\n")
-	fmt.Fprintf(w, "cpackd_cache_misses_total %d\n", cs.Misses)
-	fmt.Fprintf(w, "# HELP cpackd_cache_evictions_total Entries evicted from the cache.\n")
-	fmt.Fprintf(w, "# TYPE cpackd_cache_evictions_total counter\n")
-	fmt.Fprintf(w, "cpackd_cache_evictions_total %d\n", cs.Evictions)
-	fmt.Fprintf(w, "# HELP cpackd_cache_entries Resident cache entries.\n")
-	fmt.Fprintf(w, "# TYPE cpackd_cache_entries gauge\n")
-	fmt.Fprintf(w, "cpackd_cache_entries %d\n", cs.Entries)
-	fmt.Fprintf(w, "# HELP cpackd_cache_bytes Resident compressed bytes.\n")
-	fmt.Fprintf(w, "# TYPE cpackd_cache_bytes gauge\n")
-	fmt.Fprintf(w, "cpackd_cache_bytes %d\n", cs.Bytes)
-	fmt.Fprintf(w, "# HELP cpackd_cache_unverified_entries Quarantined replicated entries awaiting verification.\n")
-	fmt.Fprintf(w, "# TYPE cpackd_cache_unverified_entries gauge\n")
-	fmt.Fprintf(w, "cpackd_cache_unverified_entries %d\n", cs.Unverified)
-
-	fmt.Fprintf(w, "# HELP cpackd_compress_coalesced_total Requests served by riding another request's in-flight compression.\n")
-	fmt.Fprintf(w, "# TYPE cpackd_compress_coalesced_total counter\n")
-	fmt.Fprintf(w, "cpackd_compress_coalesced_total %d\n", s.metrics.coalesced.value())
-
-	if stages := m.stageNames(); len(stages) > 0 {
-		fmt.Fprintf(w, "# HELP cpackd_stage_duration_seconds Pipeline-stage duration, by traced span name.\n")
-		fmt.Fprintf(w, "# TYPE cpackd_stage_duration_seconds histogram\n")
-		for _, name := range stages {
-			writeHistBuckets(w, "cpackd_stage_duration_seconds",
-				fmt.Sprintf("stage=%q", name), m.stage(name).snapshot())
-		}
-	}
-	if s.tracer != nil {
-		fmt.Fprintf(w, "# HELP cpackd_traces_recorded_total Completed traces recorded into the trace ring (evicted ones included).\n")
-		fmt.Fprintf(w, "# TYPE cpackd_traces_recorded_total counter\n")
-		fmt.Fprintf(w, "cpackd_traces_recorded_total %d\n", s.tracer.Total())
-	}
-
-	if c := s.cluster; c != nil {
-		st := c.Stats()
-		fmt.Fprintf(w, "# HELP cpackd_peer_hits_total Cache fills served by a peer (verified).\n")
-		fmt.Fprintf(w, "# TYPE cpackd_peer_hits_total counter\n")
-		fmt.Fprintf(w, "cpackd_peer_hits_total %d\n", s.metrics.peerHits.value())
-		fmt.Fprintf(w, "# HELP cpackd_peer_misses_total Warm-tier lookups the owner answered empty.\n")
-		fmt.Fprintf(w, "# TYPE cpackd_peer_misses_total counter\n")
-		fmt.Fprintf(w, "cpackd_peer_misses_total %d\n", s.metrics.peerMisses.value())
-		fmt.Fprintf(w, "# HELP cpackd_peer_errors_total Peer fetch failures, breaker skips and failed payload verifications.\n")
-		fmt.Fprintf(w, "# TYPE cpackd_peer_errors_total counter\n")
-		fmt.Fprintf(w, "cpackd_peer_errors_total %d\n", s.metrics.peerErrors.value())
-		fmt.Fprintf(w, "# HELP cpackd_peer_replications_total Entries pushed to their ring owner (async replication + anti-entropy).\n")
-		fmt.Fprintf(w, "# TYPE cpackd_peer_replications_total counter\n")
-		fmt.Fprintf(w, "cpackd_peer_replications_total %d\n", st.ReplicationsSent)
-		fmt.Fprintf(w, "# HELP cpackd_peer_replications_dropped_total Replication jobs dropped because the queue was full.\n")
-		fmt.Fprintf(w, "# TYPE cpackd_peer_replications_dropped_total counter\n")
-		fmt.Fprintf(w, "cpackd_peer_replications_dropped_total %d\n", st.ReplicationsDropped)
-		fmt.Fprintf(w, "# HELP cpackd_peer_offered_digests_total Digests offered to ring owners during anti-entropy.\n")
-		fmt.Fprintf(w, "# TYPE cpackd_peer_offered_digests_total counter\n")
-		fmt.Fprintf(w, "cpackd_peer_offered_digests_total %d\n", st.OfferedDigests)
-		fmt.Fprintf(w, "# HELP cpackd_peer_members Ring members in the current view (including self).\n")
-		fmt.Fprintf(w, "# TYPE cpackd_peer_members gauge\n")
-		fmt.Fprintf(w, "cpackd_peer_members %d\n", len(c.Members()))
-		fmt.Fprintf(w, "# HELP cpackd_peer_ring_epoch Membership version the current ring reflects.\n")
-		fmt.Fprintf(w, "# TYPE cpackd_peer_ring_epoch gauge\n")
-		fmt.Fprintf(w, "cpackd_peer_ring_epoch %d\n", c.RingEpoch())
-		fmt.Fprintf(w, "# HELP cpackd_peer_ring_changes_total Ring rebuilds driven by membership changes.\n")
-		fmt.Fprintf(w, "# TYPE cpackd_peer_ring_changes_total counter\n")
-		fmt.Fprintf(w, "cpackd_peer_ring_changes_total %d\n", s.metrics.ringChanges.value())
-		fmt.Fprintf(w, "# HELP cpackd_peer_antientropy_passes_total Anti-entropy passes completed (startup + ring changes).\n")
-		fmt.Fprintf(w, "# TYPE cpackd_peer_antientropy_passes_total counter\n")
-		fmt.Fprintf(w, "cpackd_peer_antientropy_passes_total %d\n", s.metrics.aePasses.value())
-		fmt.Fprintf(w, "# HELP cpackd_peer_heartbeats_total Successful membership gossip exchanges sent.\n")
-		fmt.Fprintf(w, "# TYPE cpackd_peer_heartbeats_total counter\n")
-		fmt.Fprintf(w, "cpackd_peer_heartbeats_total %d\n", st.Heartbeats)
-		fmt.Fprintf(w, "# HELP cpackd_peer_repl_queue_depth Replication jobs waiting for a worker.\n")
-		fmt.Fprintf(w, "# TYPE cpackd_peer_repl_queue_depth gauge\n")
-		fmt.Fprintf(w, "cpackd_peer_repl_queue_depth %d\n", c.ReplQueueDepth())
-		fmt.Fprintf(w, "# HELP cpackd_peer_repl_queue_age_seconds Age of the oldest still-queued replication job.\n")
-		fmt.Fprintf(w, "# TYPE cpackd_peer_repl_queue_age_seconds gauge\n")
-		fmt.Fprintf(w, "cpackd_peer_repl_queue_age_seconds %g\n", c.ReplQueueOldestAge().Seconds())
-		fmt.Fprintf(w, "# HELP cpackd_peer_replica_factor Configured replicas per digest (R).\n")
-		fmt.Fprintf(w, "# TYPE cpackd_peer_replica_factor gauge\n")
-		fmt.Fprintf(w, "cpackd_peer_replica_factor %d\n", c.ReplicationFactor())
-		fmt.Fprintf(w, "# HELP cpackd_peer_replica_fallthroughs_total Warm-tier hits served by a later replica after the first choice failed.\n")
-		fmt.Fprintf(w, "# TYPE cpackd_peer_replica_fallthroughs_total counter\n")
-		fmt.Fprintf(w, "cpackd_peer_replica_fallthroughs_total %d\n", st.ReplicaFallthroughs)
-		fmt.Fprintf(w, "# HELP cpackd_peer_readrepair_total Lagging replicas re-offered a verified entry after a fetch (local installs included).\n")
-		fmt.Fprintf(w, "# TYPE cpackd_peer_readrepair_total counter\n")
-		fmt.Fprintf(w, "cpackd_peer_readrepair_total %d\n", st.ReadRepairs)
-		fmt.Fprintf(w, "# HELP cpackd_peer_handoff_hinted_total Failed replication pushes buffered as handoff hints.\n")
-		fmt.Fprintf(w, "# TYPE cpackd_peer_handoff_hinted_total counter\n")
-		fmt.Fprintf(w, "cpackd_peer_handoff_hinted_total %d\n", st.HandoffHinted)
-		fmt.Fprintf(w, "# HELP cpackd_peer_handoff_drained_total Handoff hints delivered to their recovered target.\n")
-		fmt.Fprintf(w, "# TYPE cpackd_peer_handoff_drained_total counter\n")
-		fmt.Fprintf(w, "cpackd_peer_handoff_drained_total %d\n", st.HandoffDrained)
-		fmt.Fprintf(w, "# HELP cpackd_peer_handoff_reassigned_total Handoff hints re-routed to surviving owners after their target died or left.\n")
-		fmt.Fprintf(w, "# TYPE cpackd_peer_handoff_reassigned_total counter\n")
-		fmt.Fprintf(w, "cpackd_peer_handoff_reassigned_total %d\n", st.HandoffReassigned)
-		fmt.Fprintf(w, "# HELP cpackd_peer_handoff_dropped_total Handoff hints dropped (buffer overflow or undeliverable).\n")
-		fmt.Fprintf(w, "# TYPE cpackd_peer_handoff_dropped_total counter\n")
-		fmt.Fprintf(w, "cpackd_peer_handoff_dropped_total %d\n", st.HandoffDropped)
-		fmt.Fprintf(w, "# HELP cpackd_peer_handoff_pending Handoff hints currently buffered.\n")
-		fmt.Fprintf(w, "# TYPE cpackd_peer_handoff_pending gauge\n")
-		fmt.Fprintf(w, "cpackd_peer_handoff_pending %d\n", st.HandoffPending)
-		fmt.Fprintf(w, "# HELP cpackd_peer_handoff_pending_bytes Encoded bytes of buffered handoff hints.\n")
-		fmt.Fprintf(w, "# TYPE cpackd_peer_handoff_pending_bytes gauge\n")
-		fmt.Fprintf(w, "cpackd_peer_handoff_pending_bytes %d\n", st.HandoffPendingBytes)
-		fmt.Fprintf(w, "# HELP cpackd_peer_fetch_duration_seconds Warm-tier owner-fetch latency (breaker skips included).\n")
-		fmt.Fprintf(w, "# TYPE cpackd_peer_fetch_duration_seconds histogram\n")
-		writeHistBuckets(w, "cpackd_peer_fetch_duration_seconds", "", m.peerFetch.snapshot())
-		fmt.Fprintf(w, "# HELP cpackd_peer_breaker_state Per-peer breaker state: 0 closed, 1 half-open, 2 open.\n")
-		fmt.Fprintf(w, "# TYPE cpackd_peer_breaker_state gauge\n")
-		fmt.Fprintf(w, "# HELP cpackd_peer_breaker_opens_total Times each peer's breaker has opened.\n")
-		fmt.Fprintf(w, "# TYPE cpackd_peer_breaker_opens_total counter\n")
-		fmt.Fprintf(w, "# HELP cpackd_peer_member_state Per-peer membership state: 0 alive, 1 suspect, 2 dead, 3 left.\n")
-		fmt.Fprintf(w, "# TYPE cpackd_peer_member_state gauge\n")
-		for _, h := range c.Health() {
-			state := 0
-			switch h.State {
-			case "half-open":
-				state = 1
-			case "open":
-				state = 2
-			}
-			fmt.Fprintf(w, "cpackd_peer_breaker_state{peer=%q} %d\n", h.URL, state)
-			fmt.Fprintf(w, "cpackd_peer_breaker_opens_total{peer=%q} %d\n", h.URL, h.Opens)
-			ms := 0
-			switch h.Member {
-			case "suspect":
-				ms = 1
-			case "dead":
-				ms = 2
-			case "left":
-				ms = 3
-			}
-			fmt.Fprintf(w, "cpackd_peer_member_state{peer=%q} %d\n", h.URL, ms)
-		}
-	}
-
-	if st := s.cache.store; st != nil {
-		ss := st.statsSnapshot()
-		fmt.Fprintf(w, "# HELP cpackd_cache_persist_restored_entries Cache entries restored from disk at startup.\n")
-		fmt.Fprintf(w, "# TYPE cpackd_cache_persist_restored_entries gauge\n")
-		fmt.Fprintf(w, "cpackd_cache_persist_restored_entries %d\n", ss.RestoredEntries)
-		fmt.Fprintf(w, "# HELP cpackd_cache_persist_replayed_bytes Log and snapshot bytes replayed at startup.\n")
-		fmt.Fprintf(w, "# TYPE cpackd_cache_persist_replayed_bytes gauge\n")
-		fmt.Fprintf(w, "cpackd_cache_persist_replayed_bytes %d\n", ss.BytesReplayed)
-		fmt.Fprintf(w, "# HELP cpackd_cache_persist_records_skipped_total Persisted records rejected during recovery.\n")
-		fmt.Fprintf(w, "# TYPE cpackd_cache_persist_records_skipped_total counter\n")
-		fmt.Fprintf(w, "cpackd_cache_persist_records_skipped_total %d\n", ss.RecordsSkipped)
-		fmt.Fprintf(w, "# HELP cpackd_cache_persist_tail_truncations_total Torn log tails truncated during recovery.\n")
-		fmt.Fprintf(w, "# TYPE cpackd_cache_persist_tail_truncations_total counter\n")
-		fmt.Fprintf(w, "cpackd_cache_persist_tail_truncations_total %d\n", ss.TailTruncations)
-		fmt.Fprintf(w, "# HELP cpackd_cache_persist_appends_total Entries appended to the cache log.\n")
-		fmt.Fprintf(w, "# TYPE cpackd_cache_persist_appends_total counter\n")
-		fmt.Fprintf(w, "cpackd_cache_persist_appends_total %d\n", ss.Appends)
-		fmt.Fprintf(w, "# HELP cpackd_cache_persist_append_errors_total Cache log append failures.\n")
-		fmt.Fprintf(w, "# TYPE cpackd_cache_persist_append_errors_total counter\n")
-		fmt.Fprintf(w, "cpackd_cache_persist_append_errors_total %d\n", ss.AppendErrors)
-		fmt.Fprintf(w, "# HELP cpackd_cache_persist_compactions_total Snapshot compactions completed.\n")
-		fmt.Fprintf(w, "# TYPE cpackd_cache_persist_compactions_total counter\n")
-		fmt.Fprintf(w, "cpackd_cache_persist_compactions_total %d\n", ss.Compactions)
-		fmt.Fprintf(w, "# HELP cpackd_cache_persist_log_bytes Current cache log size.\n")
-		fmt.Fprintf(w, "# TYPE cpackd_cache_persist_log_bytes gauge\n")
-		fmt.Fprintf(w, "cpackd_cache_persist_log_bytes %d\n", ss.LogBytes)
-		fmt.Fprintf(w, "# HELP cpackd_cache_persist_snapshot_bytes Last compacted snapshot size.\n")
-		fmt.Fprintf(w, "# TYPE cpackd_cache_persist_snapshot_bytes gauge\n")
-		fmt.Fprintf(w, "cpackd_cache_persist_snapshot_bytes %d\n", ss.SnapshotBytes)
-	}
-
-	if tenants := m.tenantNames(); len(tenants) > 0 {
-		fmt.Fprintf(w, "# HELP cpackd_tenant_requests_total Requests served, by tenant and status code.\n")
-		fmt.Fprintf(w, "# TYPE cpackd_tenant_requests_total counter\n")
-		for _, id := range tenants {
-			codes := m.tenant(id).codes()
-			sorted := make([]int, 0, len(codes))
-			for c := range codes {
-				sorted = append(sorted, c)
-			}
-			sort.Ints(sorted)
-			for _, c := range sorted {
-				fmt.Fprintf(w, "cpackd_tenant_requests_total{tenant=%q,code=\"%d\"} %d\n", id, c, codes[c])
-			}
-		}
-		fmt.Fprintf(w, "# HELP cpackd_tenant_bytes_total Request and response payload bytes, by tenant.\n")
-		fmt.Fprintf(w, "# TYPE cpackd_tenant_bytes_total counter\n")
-		for _, id := range tenants {
-			t := m.tenant(id)
-			fmt.Fprintf(w, "cpackd_tenant_bytes_total{tenant=%q,direction=\"in\"} %d\n", id, t.bytesIn.value())
-			fmt.Fprintf(w, "cpackd_tenant_bytes_total{tenant=%q,direction=\"out\"} %d\n", id, t.bytesOut.value())
-		}
-		fmt.Fprintf(w, "# HELP cpackd_tenant_limited_total Requests denied per tenant, by reason (rate, quota, queue).\n")
-		fmt.Fprintf(w, "# TYPE cpackd_tenant_limited_total counter\n")
-		for _, id := range tenants {
-			limited := m.tenant(id).limitedByReason()
-			reasons := make([]string, 0, len(limited))
-			for reason := range limited {
-				reasons = append(reasons, reason)
-			}
-			sort.Strings(reasons)
-			for _, reason := range reasons {
-				fmt.Fprintf(w, "cpackd_tenant_limited_total{tenant=%q,reason=%q} %d\n", id, reason, limited[reason])
-			}
-		}
-	}
-	fmt.Fprintf(w, "# HELP cpackd_auth_failures_total Requests rejected 401, by auth kind.\n")
-	fmt.Fprintf(w, "# TYPE cpackd_auth_failures_total counter\n")
-	fmt.Fprintf(w, "cpackd_auth_failures_total{kind=\"api\"} %d\n", m.authFailures.value())
-	fmt.Fprintf(w, "cpackd_auth_failures_total{kind=\"internal\"} %d\n", m.internalAuthFailures.value())
-
-	fmt.Fprintf(w, "# HELP cpackd_queue_depth Jobs queued but not yet running, by pool.\n")
-	fmt.Fprintf(w, "# TYPE cpackd_queue_depth gauge\n")
-	fmt.Fprintf(w, "cpackd_queue_depth{pool=\"light\"} %d\n", s.light.depth())
-	fmt.Fprintf(w, "cpackd_queue_depth{pool=\"heavy\"} %d\n", s.heavy.depth())
-	fmt.Fprintf(w, "# HELP cpackd_tenant_queue_depth Queued jobs per tenant, by pool (backlogged tenants only).\n")
-	fmt.Fprintf(w, "# TYPE cpackd_tenant_queue_depth gauge\n")
-	for _, p := range []*pool{s.light, s.heavy} {
-		depths := p.tenantDepths()
-		ids := make([]string, 0, len(depths))
-		for id := range depths {
-			ids = append(ids, id)
-		}
-		sort.Strings(ids)
-		for _, id := range ids {
-			fmt.Fprintf(w, "cpackd_tenant_queue_depth{tenant=%q,pool=%q} %d\n", id, p.name, depths[id])
-		}
-	}
-
-	fmt.Fprintf(w, "# HELP cpackd_requests_shed_total Requests rejected with 429 because a pool was saturated.\n")
-	fmt.Fprintf(w, "# TYPE cpackd_requests_shed_total counter\n")
-	fmt.Fprintf(w, "cpackd_requests_shed_total %d\n", s.metrics.shed.value())
-	fmt.Fprintf(w, "# HELP cpackd_request_timeouts_total Requests that exceeded their deadline.\n")
-	fmt.Fprintf(w, "# TYPE cpackd_request_timeouts_total counter\n")
-	fmt.Fprintf(w, "cpackd_request_timeouts_total %d\n", s.metrics.timeouts.value())
-}
-
 // varsSnapshot is the /debug/vars document: the expvar JSON shape
 // (cmdline + memstats) plus the cpackd application metrics, rendered
 // without touching the process-global expvar registry so multiple servers
@@ -598,6 +338,10 @@ type appVars struct {
 	Coalesced     uint64                  `json:"compress_coalesced"`
 	Stages        map[string]histSnapshot `json:"stages,omitempty"`
 	Traces        uint64                  `json:"traces_recorded"`
+	TracesEvicted uint64                  `json:"traces_evicted"`
+	TraceRingCap  int                     `json:"trace_ring_capacity"`
+	SLOState      string                  `json:"slo_state,omitempty"`
+	Profiler      *obs.ProfilerStats      `json:"profiler,omitempty"`
 	Peer          *peerVars               `json:"peer,omitempty"`
 	Tenants       map[string]tenantVars   `json:"tenants,omitempty"`
 	AuthFail      map[string]uint64       `json:"auth_failures,omitempty"`
@@ -697,6 +441,15 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 		"internal": s.metrics.internalAuthFailures.value(),
 	}
 	snap.Cpackd.Traces = s.tracer.Total()
+	snap.Cpackd.TracesEvicted = s.tracer.Evicted()
+	snap.Cpackd.TraceRingCap = s.tracer.Capacity()
+	if s.slo != nil {
+		snap.Cpackd.SLOState = s.slo.WorstState().String()
+	}
+	if s.profiler != nil {
+		ps := s.profiler.Stats()
+		snap.Cpackd.Profiler = &ps
+	}
 	runtime.ReadMemStats(&snap.MemStats)
 	for _, name := range s.metrics.endpointNames() {
 		e := s.metrics.endpoint(name)

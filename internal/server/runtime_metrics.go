@@ -1,0 +1,86 @@
+package server
+
+import (
+	"math"
+	rm "runtime/metrics"
+)
+
+// runtimeSampleNames are the runtime/metrics samples exported on
+// /metrics — the runtime-pressure signals an SLO breach is most often
+// correlated with: GC pause tail, scheduler latency tail, goroutine
+// count and live heap. Samples the running toolchain does not publish
+// render as absent families, not errors.
+var runtimeSampleNames = []string{
+	"/sched/goroutines:goroutines",
+	"/gc/heap/live:bytes",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+// float64HistP99 extracts the 99th percentile upper bound from a
+// runtime/metrics histogram: the bucket boundary below which at least
+// 99% of observations fall.
+func float64HistP99(h *rm.Float64Histogram) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	thresh := uint64(math.Ceil(float64(total) * 0.99))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= thresh {
+			// Buckets has len(Counts)+1 boundaries; use the bucket's upper
+			// bound, falling back to its lower one when the tail bucket is
+			// unbounded.
+			upper := h.Buckets[i+1]
+			if math.IsInf(upper, 1) {
+				upper = h.Buckets[i]
+			}
+			if math.IsInf(upper, -1) {
+				return 0
+			}
+			return upper
+		}
+	}
+	return 0
+}
+
+// writeRuntimeMetrics renders the Go runtime health gauges.
+func writeRuntimeMetrics(x *expoWriter) {
+	samples := make([]rm.Sample, len(runtimeSampleNames))
+	for i, n := range runtimeSampleNames {
+		samples[i].Name = n
+	}
+	rm.Read(samples)
+	for _, s := range samples {
+		switch s.Name {
+		case "/sched/goroutines:goroutines":
+			if s.Value.Kind() == rm.KindUint64 {
+				x.family("cpackd_go_goroutines", "gauge", "Live goroutines.")
+				x.gaugeInt("cpackd_go_goroutines", "", int64(s.Value.Uint64()))
+			}
+		case "/gc/heap/live:bytes":
+			if s.Value.Kind() == rm.KindUint64 {
+				x.family("cpackd_go_heap_live_bytes", "gauge", "Heap bytes live after the last GC mark.")
+				x.gaugeInt("cpackd_go_heap_live_bytes", "", int64(s.Value.Uint64()))
+			}
+		case "/gc/pauses:seconds":
+			if s.Value.Kind() == rm.KindFloat64Histogram {
+				x.family("cpackd_go_gc_pause_p99_seconds", "gauge", "99th percentile stop-the-world GC pause.")
+				x.gauge("cpackd_go_gc_pause_p99_seconds", "", float64HistP99(s.Value.Float64Histogram()))
+			}
+		case "/sched/latencies:seconds":
+			if s.Value.Kind() == rm.KindFloat64Histogram {
+				x.family("cpackd_go_sched_latency_p99_seconds", "gauge", "99th percentile time goroutines spent runnable before running.")
+				x.gauge("cpackd_go_sched_latency_p99_seconds", "", float64HistP99(s.Value.Float64Histogram()))
+			}
+		}
+	}
+}

@@ -52,6 +52,7 @@ import (
 
 	"codepack"
 	"codepack/internal/harness"
+	"codepack/internal/obs"
 	"codepack/internal/peer"
 	"codepack/internal/tenant"
 	"codepack/internal/trace"
@@ -126,6 +127,19 @@ type Config struct {
 	// preserving the pre-tenancy behaviour.
 	Tenants *tenant.Registry
 
+	// SLO, when non-nil, is the burn-rate engine (internal/obs) every
+	// finished public request is recorded into. The server starts its
+	// evaluation loop, serves its status at GET /debug/slo and as
+	// cpackd_slo_* metrics, and triggers a profile capture when an
+	// objective pages. Ownership transfers: Close stops the engine.
+	SLO *obs.Engine
+
+	// Profile, when non-nil, enables triggered continuous profiling:
+	// CPU/heap/goroutine snapshots land in Profile.Dir (a bounded
+	// on-disk ring served at /debug/profiles/ on the debug listener)
+	// whenever an SLO pages or a slow trace trips TraceSlow.
+	Profile *obs.ProfilerConfig
+
 	// Logger receives access and lifecycle logs (nil = slog.Default()).
 	Logger *slog.Logger
 }
@@ -179,12 +193,14 @@ type Server struct {
 	log     *slog.Logger
 	light   *pool
 	heavy   *pool
-	cache   *compCache
-	suite   *harness.Suite
-	metrics *metrics
-	tracer  *trace.Tracer
-	tenants *tenant.Registry
-	mux     *http.ServeMux
+	cache    *compCache
+	suite    *harness.Suite
+	metrics  *metrics
+	tracer   *trace.Tracer
+	tenants  *tenant.Registry
+	slo      *obs.Engine
+	profiler *obs.Profiler
+	mux      *http.ServeMux
 
 	// Warm-tier state (nil cluster = standalone instance).
 	cluster    *peer.Cluster
@@ -239,6 +255,27 @@ func New(cfg Config) (*Server, error) {
 			OnTraceDone: s.traceDone,
 		})
 	}
+	if cfg.Profile != nil {
+		p, err := obs.NewProfiler(*cfg.Profile)
+		if err != nil {
+			s.light.close()
+			s.heavy.close()
+			s.cache.close()
+			return nil, fmt.Errorf("server: profiler: %w", err)
+		}
+		s.profiler = p
+	}
+	if cfg.SLO != nil {
+		s.slo = cfg.SLO
+		// A paging objective is the trigger for evidence capture: snapshot
+		// the process before anyone has to ask what it was doing.
+		s.slo.SetOnAlert(func(a obs.Alert) {
+			if a.To == obs.StatePage {
+				s.profiler.Trigger("slo_page_" + a.SLO)
+			}
+		})
+		s.slo.Start()
+	}
 	s.mux.Handle("POST /v1/compress", s.instrument("compress", s.handleCompress))
 	s.mux.Handle("POST /v1/decompress", s.instrument("decompress", s.handleDecompress))
 	s.mux.Handle("POST /v1/verify", s.instrument("verify", s.handleVerify))
@@ -248,6 +285,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.Handle("GET /metrics", http.HandlerFunc(s.handleMetrics))
 	s.mux.Handle("GET /debug/vars", http.HandlerFunc(s.handleVars))
 	s.mux.Handle("GET /debug/trace/recent", http.HandlerFunc(s.handleTraceRecent))
+	s.mux.Handle("GET /debug/slo", http.HandlerFunc(s.handleDebugSLO))
+	s.mux.Handle("GET /debug/cluster", http.HandlerFunc(s.handleDebugCluster))
 	s.mux.Handle("GET /healthz", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		io.WriteString(w, "{\"status\":\"ok\"}\n")
@@ -261,6 +300,8 @@ func New(cfg Config) (*Server, error) {
 			s.light.close()
 			s.heavy.close()
 			s.cache.close()
+			s.slo.Stop()
+			s.profiler.Close()
 			return nil, fmt.Errorf("server: join peer cluster: %w", err)
 		}
 	}
@@ -304,6 +345,7 @@ func (s *Server) joinCluster(pc peer.Config) error {
 	s.mux.Handle("POST "+peer.JoinPath, s.instrumentInternal("peer_membership", cluster.HandleJoin))
 	s.mux.Handle("POST "+peer.HeartbeatPath, s.instrumentInternal("peer_membership", cluster.HandleHeartbeat))
 	s.mux.Handle("POST "+peer.LeavePath, s.instrumentInternal("peer_membership", cluster.HandleLeave))
+	s.mux.Handle("GET "+peer.HealthPath, s.instrumentInternal("peer_health", s.handleInternalHealth))
 	s.log.Info("joined peer cache cluster",
 		"self", cluster.Self(), "seeds", len(cluster.Members())-1)
 
@@ -420,6 +462,8 @@ func (s *Server) Close() {
 	s.light.close()
 	s.heavy.close()
 	s.cache.close()
+	s.slo.Stop()
+	s.profiler.Close()
 }
 
 // --- API types -----------------------------------------------------------
@@ -663,10 +707,11 @@ func (s *Server) instrumented(name string, internal bool, h http.HandlerFunc) ht
 		root.SetAttr("status", sw.code)
 		root.End()
 		dur := time.Since(start)
-		s.metrics.endpoint(name).record(sw.code, body.n, sw.bytes, dur)
+		s.metrics.endpoint(name).record(sw.code, body.n, sw.bytes, dur, reqID)
 		s.metrics.tenant(tenantID).record(sw.code, body.n, sw.bytes)
 		if !internal {
 			s.tenants.AccountBytes(tenantID, body.n+sw.bytes, time.Now())
+			s.slo.Record(name, tenantID, sw.code, dur)
 		}
 		s.log.LogAttrs(ctx, slog.LevelInfo, "request",
 			slog.String("endpoint", name),
@@ -692,6 +737,9 @@ func (s *Server) traceDone(tr trace.Trace) {
 	if tr.DurationMS < float64(s.cfg.TraceSlow)/float64(time.Millisecond) {
 		return
 	}
+	// A slow trace is the other evidence trigger besides an SLO page:
+	// capture the process while whatever made it slow may still be going.
+	s.profiler.Trigger("slow_trace_" + tr.Endpoint)
 	s.log.Warn("slow trace",
 		"trace_id", tr.TraceID,
 		"endpoint", tr.Endpoint,

@@ -85,9 +85,10 @@ type TracerConfig struct {
 	// (0 = DefaultCapacity).
 	Capacity int
 	// OnSpanEnd, when non-nil, observes every completed span (stage
-	// histograms hook in here). Called outside the tracer's lock; must
-	// be safe for concurrent use.
-	OnSpanEnd func(name string, d time.Duration)
+	// histograms hook in here); traceID identifies the trace the span
+	// belongs to, so histogram buckets can carry exemplars. Called
+	// outside the tracer's lock; must be safe for concurrent use.
+	OnSpanEnd func(name string, d time.Duration, traceID string)
 	// OnTraceDone, when non-nil, observes every completed trace (slow
 	// logging hooks in here). Called outside the tracer's lock.
 	OnTraceDone func(Trace)
@@ -98,7 +99,7 @@ type TracerConfig struct {
 // nil *Tracer is a valid no-op tracer.
 type Tracer struct {
 	capacity    int
-	onSpanEnd   func(string, time.Duration)
+	onSpanEnd   func(string, time.Duration, string)
 	onTraceDone func(Trace)
 
 	mu    sync.Mutex
@@ -159,6 +160,26 @@ func (t *Tracer) Total() uint64 {
 	return t.total
 }
 
+// Evicted returns how many recorded traces have been overwritten by
+// newer ones — the ring's loss counter, surfaced in /debug/vars so an
+// undersized -trace-ring is visible.
+func (t *Tracer) Evicted() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total - uint64(len(t.ring))
+}
+
+// Capacity returns the ring's configured size.
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return t.capacity
+}
+
 // Recent returns completed traces newest-first, keeping only those at
 // least minDur long and (when endpoint != "") entered through endpoint.
 // limit <= 0 means no limit beyond the ring capacity.
@@ -214,7 +235,7 @@ func (at *activeTrace) newSpan(name, parent string, attrs []Attr) *Span {
 // finish records one ended span; ending the root finalizes the trace.
 func (at *activeTrace) finish(s *Span, dur time.Duration, attrs []Attr) {
 	if hook := at.tracer.onSpanEnd; hook != nil {
-		hook(s.name, dur)
+		hook(s.name, dur, at.id)
 	}
 	data := SpanData{
 		ID:         s.id,

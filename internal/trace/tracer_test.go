@@ -153,7 +153,7 @@ func TestRecentFilters(t *testing.T) {
 func TestConcurrentEmitAndRead(t *testing.T) {
 	tr := NewTracer(TracerConfig{
 		Capacity:  8,
-		OnSpanEnd: func(string, time.Duration) {},
+		OnSpanEnd: func(string, time.Duration, string) {},
 	})
 	var emitters, readers sync.WaitGroup
 	stop := make(chan struct{})
@@ -194,6 +194,12 @@ func TestConcurrentEmitAndRead(t *testing.T) {
 	if got := tr.Recent(0, "", 0); len(got) != 8 {
 		t.Errorf("ring holds %d, want 8", len(got))
 	}
+	if got := tr.Evicted(); got != 792 {
+		t.Errorf("Evicted = %d, want 792", got)
+	}
+	if got := tr.Capacity(); got != 8 {
+		t.Errorf("Capacity = %d, want 8", got)
+	}
 }
 
 // TestHooksFire: OnSpanEnd sees every span, OnTraceDone every completed
@@ -202,11 +208,13 @@ func TestConcurrentEmitAndRead(t *testing.T) {
 func TestHooksFire(t *testing.T) {
 	var mu sync.Mutex
 	spanNames := map[string]int{}
+	spanTraceIDs := map[string]bool{}
 	var traces []Trace
 	tr := NewTracer(TracerConfig{
-		OnSpanEnd: func(name string, d time.Duration) {
+		OnSpanEnd: func(name string, d time.Duration, traceID string) {
 			mu.Lock()
 			spanNames[name]++
+			spanTraceIDs[traceID] = true
 			mu.Unlock()
 		},
 		OnTraceDone: func(tc Trace) {
@@ -226,6 +234,9 @@ func TestHooksFire(t *testing.T) {
 	defer mu.Unlock()
 	if spanNames["handler"] != 1 || spanNames["cache-lookup"] != 1 || spanNames["late"] != 1 {
 		t.Errorf("OnSpanEnd counts = %v", spanNames)
+	}
+	if len(spanTraceIDs) != 1 || !spanTraceIDs["req"] {
+		t.Errorf("OnSpanEnd trace IDs = %v, want {req}", spanTraceIDs)
 	}
 	if len(traces) != 1 {
 		t.Fatalf("OnTraceDone fired %d times, want 1", len(traces))
